@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures: one dataset context per preset, reused by
+every table/figure module, plus a results sink that mirrors each printed
+table into ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiment import BENCH_SCALE, build_context
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def foursquare_context():
+    """Foursquare-like preset (Los Angeles target), bench scale."""
+    return build_context("foursquare", scale=BENCH_SCALE, eval_seed=42)
+
+
+@pytest.fixture(scope="session")
+def yelp_context():
+    """Yelp-like preset (Las Vegas target), bench scale."""
+    return build_context("yelp", scale=BENCH_SCALE, eval_seed=42)
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Callable writing a named result table to disk and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+
+    return sink

@@ -1,0 +1,50 @@
+"""Complexity check — per-epoch cost is near-linear in check-ins.
+
+Section 3.2 argues each training iteration costs O(nD): linear in the
+number of check-ins D (with n the mean POI degree in the context graph).
+This bench times one joint epoch at three dataset scales and asserts
+sub-quadratic growth: quadrupling the data must not blow the epoch time
+up by anywhere near 16x.
+"""
+
+import numpy as np
+
+from repro.core.trainer import STTransRecTrainer
+from repro.data.split import make_crossing_city_split
+from repro.data.synthetic import foursquare_like, generate_dataset
+
+SCALES = (0.3, 0.6, 1.2)
+
+
+def _epoch_seconds(scale):
+    config = foursquare_like(scale=scale)
+    dataset, _ = generate_dataset(config)
+    split = make_crossing_city_split(dataset, config.target_city)
+    model_config = __import__(
+        "repro.core.config", fromlist=["STTransRecConfig"]
+    ).STTransRecConfig(
+        embedding_dim=32, epochs=1, pretrain_epochs=0,
+        mmd_batch_size=64, seed=0,
+    )
+    trainer = STTransRecTrainer(split, model_config)
+    stats = trainer.train_epoch(0)
+    return split.train.num_checkins(), stats.seconds
+
+
+def test_epoch_cost_scales_linearly(benchmark, results_sink):
+    rows = benchmark.pedantic(
+        lambda: [_epoch_seconds(s) for s in SCALES],
+        rounds=1, iterations=1,
+    )
+    lines = [f"{'scale':<8}{'check-ins':<12}{'epoch seconds':<14}"]
+    for scale, (checkins, seconds) in zip(SCALES, rows):
+        lines.append(f"{scale:<8}{checkins:<12}{seconds:<14.3f}")
+    (d_small, t_small), (_m, _tm), (d_large, t_large) = rows
+    data_ratio = d_large / d_small
+    time_ratio = t_large / t_small
+    lines.append(f"\ndata x{data_ratio:.1f} -> time x{time_ratio:.1f} "
+                 f"(quadratic would be x{data_ratio**2:.0f})")
+    results_sink("complexity_scaling", "\n".join(lines))
+
+    # Near-linear: time growth well below the quadratic envelope.
+    assert time_ratio < data_ratio ** 1.5

@@ -1,0 +1,44 @@
+"""Figure 3 — top-k comparison of all nine methods on Foursquare.
+
+Paper: ST-TransRec achieves Recall@10 ≈ 0.450, ahead of PACE (+2.5%),
+SH-CDL (+2.3%), CTLM (+6.6%), ST-LDA (+9.9%), PR-UIDT (+20.6%),
+CRCF (+22.0%), LCE (+10.8%) and ItemPop (+39.4%), with the same ordering
+across Precision/NDCG/MAP.
+
+Reproduction shape asserted here: ST-TransRec is the best method, and
+the deep-model band (ST-TransRec, SH-CDL, PACE) outperforms the averages
+of the topic-model band (CTLM, ST-LDA) and the CF band (LCE, CRCF,
+PR-UIDT).  Known deviation (see EXPERIMENTS.md): at synthetic scale
+ItemPop is stronger and the CF methods weaker than in the paper.
+"""
+
+import numpy as np
+
+from repro.eval.experiment import run_method_comparison
+from repro.eval.reporting import format_all_metrics
+
+DEEP = ("ST-TransRec", "SH-CDL", "PACE")
+TOPIC = ("CTLM", "ST-LDA")
+CF = ("LCE", "CRCF", "PR-UIDT")
+
+
+def band_mean(results, names, metric="recall", k=10):
+    return float(np.mean([results[n][metric][k] for n in names]))
+
+
+def test_fig3_foursquare_comparison(benchmark, foursquare_context,
+                                    results_sink):
+    results = benchmark.pedantic(
+        lambda: run_method_comparison(foursquare_context),
+        rounds=1, iterations=1,
+    )
+    results_sink("fig3_foursquare_comparison", format_all_metrics(results))
+
+    best = max(results, key=lambda m: results[m]["recall"][10])
+    assert best == "ST-TransRec", f"expected ST-TransRec on top, got {best}"
+    # Band ordering: deep > topic-model and deep > CF on Recall@10.
+    assert band_mean(results, DEEP) > band_mean(results, TOPIC)
+    assert band_mean(results, DEEP) > band_mean(results, CF)
+    # ST-TransRec clears ItemPop (the paper's largest margin).
+    assert results["ST-TransRec"]["recall"][10] > \
+        results["ItemPop"]["recall"][10]

@@ -1,0 +1,27 @@
+"""Figure 6 — ablation of ST-TransRec's components on Yelp.
+
+Same design as Figure 5 on the Yelp-like preset.  Paper shape: the full
+model leads every variant on most metrics; ablation deltas are small
+(1–4%), so this bench asserts the full model is not beaten by any
+variant beyond a small tolerance.
+"""
+
+from repro.eval.experiment import run_ablation
+from repro.eval.reporting import format_all_metrics
+
+TOLERANCE = 0.01  # the paper's own deltas are on the order of 2%
+
+
+def test_fig6_ablation_yelp(benchmark, yelp_context, results_sink):
+    results = benchmark.pedantic(
+        lambda: run_ablation(yelp_context),
+        rounds=1, iterations=1,
+    )
+    results_sink("fig6_ablation_yelp", format_all_metrics(results))
+
+    full = results["ST-TransRec"]["recall"][10]
+    for variant in ("ST-TransRec-1", "ST-TransRec-2", "ST-TransRec-3"):
+        assert results[variant]["recall"][10] <= full + TOLERANCE, (
+            f"{variant} unexpectedly beats the full model by more than "
+            f"the tolerance"
+        )

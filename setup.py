@@ -1,0 +1,10 @@
+"""Legacy setup shim so ``pip install -e .`` works without network access.
+
+The offline environment lacks the ``wheel`` package required by PEP 660
+editable builds; this shim lets pip fall back to ``setup.py develop``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

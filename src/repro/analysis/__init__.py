@@ -1,0 +1,18 @@
+"""``repro.analysis`` — embedding diagnostics and cross-city matching."""
+
+from repro.analysis.embedding import (
+    CrossCityAlignment,
+    EmbeddingSpace,
+    cross_city_alignment,
+    embedding_mmd,
+)
+from repro.analysis.matching import CrossCityMatch, match_pois_across_cities
+
+__all__ = [
+    "EmbeddingSpace",
+    "CrossCityAlignment",
+    "cross_city_alignment",
+    "embedding_mmd",
+    "CrossCityMatch",
+    "match_pois_across_cities",
+]

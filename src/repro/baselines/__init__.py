@@ -1,0 +1,41 @@
+"""``repro.baselines`` — every comparison method from Section 4.1."""
+
+from repro.baselines.base import BaselineRecommender
+from repro.baselines.crcf import CRCF
+from repro.baselines.ctlm import CTLM
+from repro.baselines.itempop import ItemPop
+from repro.baselines.lce import LCE
+from repro.baselines.lda import GibbsLDA
+from repro.baselines.pace import PACE
+from repro.baselines.pr_uidt import PRUIDT
+from repro.baselines.registry import (
+    FOURSQUARE_PROFILE,
+    METHOD_NAMES,
+    PROFILES,
+    YELP_PROFILE,
+    MethodProfile,
+    make_method,
+)
+from repro.baselines.sh_cdl import SHCDL
+from repro.baselines.st_lda import STLDA
+from repro.baselines.st_transrec_method import STTransRecMethod
+
+__all__ = [
+    "BaselineRecommender",
+    "ItemPop",
+    "LCE",
+    "CRCF",
+    "PRUIDT",
+    "GibbsLDA",
+    "STLDA",
+    "CTLM",
+    "SHCDL",
+    "PACE",
+    "STTransRecMethod",
+    "MethodProfile",
+    "make_method",
+    "METHOD_NAMES",
+    "PROFILES",
+    "FOURSQUARE_PROFILE",
+    "YELP_PROFILE",
+]

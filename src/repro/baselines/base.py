@@ -1,0 +1,53 @@
+"""Common interface for all recommendation methods.
+
+Every baseline (and the ST-TransRec adapter) implements
+:class:`BaselineRecommender`: ``fit`` consumes a
+:class:`~repro.data.split.CrossingCitySplit` and
+``score_candidates`` returns scores in dataset-id space, so one
+evaluation harness compares all methods on identical candidate lists.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.split import CrossingCitySplit
+
+
+class BaselineRecommender(abc.ABC):
+    """Abstract recommendation method with the shared scoring interface."""
+
+    #: Display name used in result tables (matches the paper's labels).
+    name: str = "unnamed"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, split: CrossingCitySplit) -> "BaselineRecommender":
+        """Train on ``split.train``; must set ``self._fitted`` and
+        return ``self`` for chaining."""
+
+    @abc.abstractmethod
+    def score_candidates(self, user_id: int,
+                         candidate_poi_ids: Sequence[int]) -> np.ndarray:
+        """Scores (higher = better) for candidate POIs, aligned with input.
+
+        Raises
+        ------
+        KeyError:
+            For users unknown to the model (skipped by the evaluator).
+        RuntimeError:
+            If called before :meth:`fit`.
+        """
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: score before fit()")
+
+    def __repr__(self) -> str:
+        status = "fitted" if self._fitted else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {status})"

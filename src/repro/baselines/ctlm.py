@@ -1,0 +1,126 @@
+"""CTLM — common topic transfer learning model (Li & Gong, IEEE TCyb 2019).
+
+The ST-TransRec authors' earlier topic-model approach: separate *common
+topics* (shared semantics across cities) from *city-specific topics* so
+user interests transfer through the common part only.
+
+Implementation: the vocabulary is split into words occurring in two or
+more cities (common) vs one city (city-specific).  LDA runs over user
+documents restricted to the common vocabulary — city-specific words
+never contaminate the transferable topics — and target POIs are scored
+by the user's common-topic interests, with a small popularity smoothing
+for POIs whose description is entirely city-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineRecommender
+from repro.baselines.features import common_words
+from repro.baselines.lda import GibbsLDA
+from repro.data.split import CrossingCitySplit
+from repro.data.vocabulary import IndexMap
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_fraction, check_positive
+
+
+class CTLM(BaselineRecommender):
+    """Common-topic LDA transfer.
+
+    Parameters
+    ----------
+    num_topics:
+        Common topics.
+    popularity_weight:
+        Mixing weight of the popularity prior (rescues POIs with no
+        common-vocabulary words).
+    iterations:
+        Gibbs sweeps.
+    """
+
+    name = "CTLM"
+
+    def __init__(self, num_topics: int = 12, popularity_weight: float = 0.15,
+                 iterations: int = 30, max_tokens_per_doc: int = 80,
+                 seed: SeedLike = 0) -> None:
+        super().__init__()
+        check_positive("num_topics", num_topics)
+        check_fraction("popularity_weight", popularity_weight)
+        check_positive("max_tokens_per_doc", max_tokens_per_doc)
+        self.num_topics = num_topics
+        self.popularity_weight = popularity_weight
+        self.iterations = iterations
+        self.max_tokens_per_doc = max_tokens_per_doc
+        self._seed = seed
+
+    def fit(self, split: CrossingCitySplit) -> "CTLM":
+        train = split.train
+        self._train = train
+
+        # Common vocabulary: words used by POIs of at least two cities.
+        shared = common_words(train, min_cities=2)
+        if not shared:
+            raise ValueError("no words shared across cities; CTLM cannot fit")
+        self._common_vocab: IndexMap[str] = IndexMap(sorted(shared))
+
+        user_ids = sorted(train.users)
+        self._doc_of_user: Dict[int, int] = {
+            u: i for i, u in enumerate(user_ids)
+        }
+        from repro.utils.rng import as_rng
+        rng = as_rng(self._seed)
+        documents: List[List[int]] = []
+        for user in user_ids:
+            tokens: List[int] = []
+            for record in train.user_profile(user):
+                for word in train.pois[record.poi_id].words:
+                    w = self._common_vocab.get(word)
+                    if w >= 0:
+                        tokens.append(w)
+            # Cap document length; Gibbs cost is linear in tokens.
+            if len(tokens) > self.max_tokens_per_doc:
+                keep = rng.choice(len(tokens), size=self.max_tokens_per_doc,
+                                  replace=False)
+                tokens = [tokens[i] for i in sorted(keep)]
+            documents.append(tokens)
+
+        self._lda = GibbsLDA(
+            num_topics=self.num_topics,
+            num_words=len(self._common_vocab),
+            iterations=self.iterations,
+            seed=self._seed,
+        ).fit(documents)
+        self._theta = self._lda.theta
+
+        counts = train.visit_counts()
+        max_count = max(counts.values()) if counts else 1
+        self._popularity = {p: c / max_count for p, c in counts.items()}
+        self._fitted = True
+        return self
+
+    def _poi_topic_likelihood(self, poi_id: int) -> np.ndarray:
+        phi = self._lda.phi
+        likelihood = np.zeros(self.num_topics)
+        for word in self._train.pois[poi_id].words:
+            w = self._common_vocab.get(word)
+            if w >= 0:
+                likelihood += phi[:, w]
+        return likelihood
+
+    def score_candidates(self, user_id: int,
+                         candidate_poi_ids: Sequence[int]) -> np.ndarray:
+        self._require_fitted()
+        doc = self._doc_of_user.get(user_id)
+        if doc is None:
+            raise KeyError(f"user {user_id} unseen in training data")
+        theta = self._theta[doc]
+        scores = np.empty(len(candidate_poi_ids))
+        for i, poi_id in enumerate(candidate_poi_ids):
+            topic_score = float(theta @ self._poi_topic_likelihood(int(poi_id)))
+            pop = self._popularity.get(int(poi_id), 0.0)
+            scores[i] = ((1.0 - self.popularity_weight) * topic_score
+                         + self.popularity_weight * pop)
+        return scores

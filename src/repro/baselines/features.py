@@ -1,0 +1,90 @@
+"""Shared feature extraction for content-based baselines.
+
+Most baselines consume POIs as bags of words and users as aggregated
+word profiles; this module centralizes those transforms so every method
+sees identical features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.data.dataset import CheckinDataset
+from repro.data.vocabulary import DatasetIndex
+
+
+def poi_word_matrix(dataset: CheckinDataset,
+                    index: DatasetIndex) -> np.ndarray:
+    """Binary POI × word occurrence matrix under ``index``."""
+    matrix = np.zeros((index.num_pois, index.num_words))
+    for poi_id, poi in dataset.pois.items():
+        v = index.pois.get(poi_id)
+        if v < 0:
+            continue
+        for word in poi.words:
+            w = index.words.get(word)
+            if w >= 0:
+                matrix[v, w] = 1.0
+    return matrix
+
+
+def tfidf_matrix(counts: np.ndarray) -> np.ndarray:
+    """Row-normalized TF-IDF from a count/occurrence matrix."""
+    tf = counts / np.maximum(counts.sum(axis=1, keepdims=True), 1.0)
+    df = (counts > 0).sum(axis=0)
+    idf = np.log((1.0 + counts.shape[0]) / (1.0 + df)) + 1.0
+    weighted = tf * idf
+    norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+    return weighted / np.maximum(norms, 1e-12)
+
+
+def user_word_profiles(dataset: CheckinDataset,
+                       index: DatasetIndex) -> np.ndarray:
+    """User × word check-in-weighted count matrix.
+
+    A user's profile accumulates the words of every visited POI, once
+    per check-in, so repeat visits strengthen the signal.
+    """
+    matrix = np.zeros((index.num_users, index.num_words))
+    for record in dataset.checkins:
+        u = index.users.get(record.user_id)
+        if u < 0:
+            continue
+        poi = dataset.pois[record.poi_id]
+        for word in poi.words:
+            w = index.words.get(word)
+            if w >= 0:
+                matrix[u, w] += 1.0
+    return matrix
+
+
+def cosine_scores(profile: np.ndarray, items: np.ndarray) -> np.ndarray:
+    """Cosine similarity of one profile vector against item rows."""
+    p_norm = np.linalg.norm(profile)
+    i_norms = np.linalg.norm(items, axis=1)
+    denom = np.maximum(p_norm * i_norms, 1e-12)
+    return (items @ profile) / denom
+
+
+def words_by_city(dataset: CheckinDataset) -> Dict[str, set]:
+    """City → set of words used by that city's POIs."""
+    out: Dict[str, set] = {}
+    for poi in dataset.pois.values():
+        out.setdefault(poi.city, set()).update(poi.words)
+    return out
+
+
+def common_words(dataset: CheckinDataset, min_cities: int = 2) -> set:
+    """Words appearing in at least ``min_cities`` cities.
+
+    The vocabulary split CTLM relies on: words shared across cities are
+    candidates for *common topics*; the rest are city-specific.
+    """
+    per_city = words_by_city(dataset)
+    counts: Dict[str, int] = {}
+    for words in per_city.values():
+        for word in words:
+            counts[word] = counts.get(word, 0) + 1
+    return {w for w, c in counts.items() if c >= min_cities}

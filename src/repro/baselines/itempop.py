@@ -1,0 +1,41 @@
+"""ItemPop: rank POIs by global popularity.
+
+The paper's weakest baseline — "ranked POIs based on their popularity,
+judged by the number of check-ins".  Personalization-free: every user
+sees the same ranking of target-city POIs by training check-in count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineRecommender
+from repro.data.split import CrossingCitySplit
+
+
+class ItemPop(BaselineRecommender):
+    """Popularity ranking from training check-ins."""
+
+    name = "ItemPop"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: Dict[int, int] = {}
+        self._known_users: set = set()
+
+    def fit(self, split: CrossingCitySplit) -> "ItemPop":
+        self._counts = dict(split.train.visit_counts())
+        self._known_users = split.train.users
+        self._fitted = True
+        return self
+
+    def score_candidates(self, user_id: int,
+                         candidate_poi_ids: Sequence[int]) -> np.ndarray:
+        self._require_fitted()
+        if user_id not in self._known_users:
+            raise KeyError(f"user {user_id} unseen in training data")
+        return np.array(
+            [float(self._counts.get(int(p), 0)) for p in candidate_poi_ids]
+        )

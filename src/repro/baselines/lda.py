@@ -1,0 +1,148 @@
+"""Latent Dirichlet Allocation by collapsed Gibbs sampling.
+
+The topic-model substrate under the ST-LDA and CTLM baselines.  Plain
+LDA with symmetric priors; documents are arbitrary token-index lists, so
+callers decide what a "document" is (a user's aggregated check-in words
+for ST-LDA, per-city corpora for CTLM).
+
+Collapsed Gibbs: each token's topic is resampled from
+
+    p(z = t | rest) ∝ (n_dt + α) · (n_tw + β) / (n_t + Wβ)
+
+with the token's own count removed.  Estimates: θ_d (document-topic)
+and φ_t (topic-word) from the final counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive
+
+
+class GibbsLDA:
+    """Collapsed Gibbs LDA.
+
+    Parameters
+    ----------
+    num_topics:
+        Number of latent topics T.
+    num_words:
+        Vocabulary size W.
+    alpha, beta:
+        Symmetric Dirichlet priors on document-topic / topic-word.
+    iterations:
+        Full Gibbs sweeps.
+    """
+
+    def __init__(self, num_topics: int, num_words: int, alpha: float = 0.5,
+                 beta: float = 0.05, iterations: int = 60,
+                 seed: SeedLike = 0) -> None:
+        check_positive("num_topics", num_topics)
+        check_positive("num_words", num_words)
+        check_positive("alpha", alpha)
+        check_positive("beta", beta)
+        check_positive("iterations", iterations)
+        self.num_topics = num_topics
+        self.num_words = num_words
+        self.alpha = alpha
+        self.beta = beta
+        self.iterations = iterations
+        self._rng = as_rng(seed)
+        self._fitted = False
+
+    def fit(self, documents: Sequence[Sequence[int]]) -> "GibbsLDA":
+        """Run Gibbs sampling over token-index documents."""
+        docs: List[np.ndarray] = [
+            np.asarray(d, dtype=np.int64) for d in documents
+        ]
+        num_docs = len(docs)
+        if num_docs == 0:
+            raise ValueError("LDA needs at least one document")
+        t, w = self.num_topics, self.num_words
+
+        doc_topic = np.zeros((num_docs, t), dtype=np.int64)
+        topic_word = np.zeros((t, w), dtype=np.int64)
+        topic_total = np.zeros(t, dtype=np.int64)
+        assignments: List[np.ndarray] = []
+
+        for d, tokens in enumerate(docs):
+            if tokens.size and (tokens.min() < 0 or tokens.max() >= w):
+                raise IndexError(f"document {d} has word ids outside [0, {w})")
+            z = self._rng.integers(0, t, size=len(tokens))
+            assignments.append(z)
+            for token, topic in zip(tokens, z):
+                doc_topic[d, topic] += 1
+                topic_word[topic, token] += 1
+                topic_total[topic] += 1
+
+        w_beta = w * self.beta
+        for _ in range(self.iterations):
+            for d, tokens in enumerate(docs):
+                z = assignments[d]
+                for i, token in enumerate(tokens):
+                    old = z[i]
+                    doc_topic[d, old] -= 1
+                    topic_word[old, token] -= 1
+                    topic_total[old] -= 1
+                    probs = (
+                        (doc_topic[d] + self.alpha)
+                        * (topic_word[:, token] + self.beta)
+                        / (topic_total + w_beta)
+                    )
+                    probs /= probs.sum()
+                    new = int(self._rng.choice(t, p=probs))
+                    z[i] = new
+                    doc_topic[d, new] += 1
+                    topic_word[new, token] += 1
+                    topic_total[new] += 1
+
+        self.doc_topic_counts = doc_topic
+        self.topic_word_counts = topic_word
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def theta(self) -> np.ndarray:
+        """Document-topic distributions (num_docs, T)."""
+        self._check_fitted()
+        counts = self.doc_topic_counts + self.alpha
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    @property
+    def phi(self) -> np.ndarray:
+        """Topic-word distributions (T, W)."""
+        self._check_fitted()
+        counts = self.topic_word_counts + self.beta
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def infer_document(self, tokens: Sequence[int],
+                       iterations: int = 20) -> np.ndarray:
+        """Fold-in: topic distribution of an unseen document."""
+        self._check_fitted()
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size == 0:
+            return np.full(self.num_topics, 1.0 / self.num_topics)
+        phi = self.phi
+        counts = np.zeros(self.num_topics)
+        z = self._rng.integers(0, self.num_topics, size=len(tokens))
+        for topic in z:
+            counts[topic] += 1
+        for _ in range(iterations):
+            for i, token in enumerate(tokens):
+                counts[z[i]] -= 1
+                probs = (counts + self.alpha) * phi[:, token]
+                probs /= probs.sum()
+                new = int(self._rng.choice(self.num_topics, p=probs))
+                z[i] = new
+                counts[new] += 1
+        theta = counts + self.alpha
+        return theta / theta.sum()
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("LDA model not fitted")

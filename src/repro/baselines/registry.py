@@ -1,0 +1,134 @@
+"""Method registry: build any paper method by name.
+
+``make_method(name, profile)`` returns an unfitted
+:class:`~repro.baselines.base.BaselineRecommender`.  Profiles carry the
+per-dataset hyper-parameters of Section 4.1 ("the hyparameters and
+structure [of SH-CDL and PACE] are set the same to those of
+ST-TransRec"), scaled to the synthetic data sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.base import BaselineRecommender
+from repro.baselines.crcf import CRCF
+from repro.baselines.ctlm import CTLM
+from repro.baselines.itempop import ItemPop
+from repro.baselines.lce import LCE
+from repro.baselines.pace import PACE
+from repro.baselines.pr_uidt import PRUIDT
+from repro.baselines.sh_cdl import SHCDL
+from repro.baselines.st_lda import STLDA
+from repro.baselines.st_transrec_method import STTransRecMethod
+from repro.core.config import STTransRecConfig
+
+
+@dataclass
+class MethodProfile:
+    """Shared hyper-parameters for one dataset preset.
+
+    Attributes mirror the implementation details of Section 4.1 at the
+    reduced synthetic scale: ``embedding_dim`` maps to the paper's
+    {64, 128}, ``segmentation_threshold`` to δ ∈ {0.10, 0.25},
+    ``resample_alpha`` to the optimum α ∈ {0.10, 0.11} and ``dropout``
+    to {0.1, 0.2}.
+    """
+
+    embedding_dim: int = 32
+    dropout: float = 0.1
+    epochs: int = 12
+    learning_rate: float = 5e-3
+    weight_decay: float = 3e-4
+    pretrain_epochs: int = 25
+    segmentation_threshold: float = 0.10
+    resample_alpha: float = 0.10
+    num_topics: int = 12
+    mf_rank: int = 24
+    seed: int = 0
+
+    def st_transrec_config(self, **overrides) -> STTransRecConfig:
+        """Translate the profile into an ST-TransRec config."""
+        params = dict(
+            embedding_dim=self.embedding_dim,
+            dropout=self.dropout,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+            pretrain_epochs=self.pretrain_epochs,
+            segmentation_threshold=self.segmentation_threshold,
+            resample_alpha=self.resample_alpha,
+            seed=self.seed,
+        )
+        params.update(overrides)
+        return STTransRecConfig(**params)
+
+
+FOURSQUARE_PROFILE = MethodProfile(
+    embedding_dim=32, dropout=0.3, segmentation_threshold=0.10,
+    resample_alpha=0.10,
+)
+YELP_PROFILE = MethodProfile(
+    embedding_dim=32, dropout=0.4, segmentation_threshold=0.25,
+    resample_alpha=0.11,
+)
+
+PROFILES: Dict[str, MethodProfile] = {
+    "foursquare": FOURSQUARE_PROFILE,
+    "yelp": YELP_PROFILE,
+}
+
+#: Methods in the order the paper's figures list them.
+METHOD_NAMES: List[str] = [
+    "ItemPop",
+    "LCE",
+    "CRCF",
+    "PR-UIDT",
+    "ST-LDA",
+    "CTLM",
+    "SH-CDL",
+    "PACE",
+    "ST-TransRec",
+]
+
+
+def make_method(name: str,
+                profile: Optional[MethodProfile] = None) -> BaselineRecommender:
+    """Instantiate a method by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`METHOD_NAMES`, or an ST-TransRec variant
+        (``"ST-TransRec-1"`` … ``"-3"``).
+    profile:
+        Hyper-parameter profile (defaults to the Foursquare profile).
+    """
+    p = profile or FOURSQUARE_PROFILE
+    builders: Dict[str, Callable[[], BaselineRecommender]] = {
+        "ItemPop": lambda: ItemPop(),
+        "LCE": lambda: LCE(seed=p.seed),
+        "CRCF": lambda: CRCF(),
+        "PR-UIDT": lambda: PRUIDT(seed=p.seed),
+        "ST-LDA": lambda: STLDA(num_topics=p.num_topics, seed=p.seed),
+        "CTLM": lambda: CTLM(num_topics=p.num_topics, seed=p.seed),
+        "SH-CDL": lambda: SHCDL(
+            latent_dim=p.embedding_dim, learning_rate=p.learning_rate,
+            pref_epochs=p.epochs, seed=p.seed,
+        ),
+        "PACE": lambda: PACE(
+            embedding_dim=p.embedding_dim, dropout=p.dropout,
+            learning_rate=p.learning_rate, weight_decay=p.weight_decay,
+            epochs=p.epochs, seed=p.seed,
+        ),
+        "ST-TransRec": lambda: STTransRecMethod(p.st_transrec_config()),
+    }
+    if name in builders:
+        return builders[name]()
+    if name.startswith("ST-TransRec-"):
+        return STTransRecMethod(p.st_transrec_config(), variant=name)
+    raise KeyError(
+        f"unknown method {name!r}; valid: {METHOD_NAMES} "
+        f"plus ST-TransRec-1/2/3"
+    )

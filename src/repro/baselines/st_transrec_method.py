@@ -1,0 +1,66 @@
+"""Adapter exposing ST-TransRec (and its variants) as a baseline method.
+
+Wraps :class:`~repro.core.trainer.STTransRecTrainer` behind the shared
+:class:`~repro.baselines.base.BaselineRecommender` interface, so the
+comparison and ablation harnesses treat the paper's model exactly like
+its competitors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineRecommender
+from repro.core.config import STTransRecConfig
+from repro.core.recommend import Recommender
+from repro.core.trainer import STTransRecTrainer, TrainResult
+from repro.core.variants import variant_config
+from repro.data.split import CrossingCitySplit
+
+
+class STTransRecMethod(BaselineRecommender):
+    """ST-TransRec under the common method interface.
+
+    Parameters
+    ----------
+    config:
+        Model configuration; defaults to :class:`STTransRecConfig()`.
+    variant:
+        Optional variant name (``"ST-TransRec-1"`` … ``"-3"``); the
+        corresponding switch is flipped on a copy of ``config``.
+    """
+
+    def __init__(self, config: Optional[STTransRecConfig] = None,
+                 variant: Optional[str] = None) -> None:
+        super().__init__()
+        base = config or STTransRecConfig()
+        if variant is not None:
+            base = variant_config(variant, base)
+            self.name = variant
+        else:
+            self.name = "ST-TransRec"
+        self.config = base
+        self.train_result: Optional[TrainResult] = None
+
+    def fit(self, split: CrossingCitySplit) -> "STTransRecMethod":
+        trainer = STTransRecTrainer(split, self.config)
+        self.train_result = trainer.fit()
+        self.trainer = trainer
+        self._recommender = Recommender(
+            trainer.model, trainer.index, split.train, split.target_city
+        )
+        self._fitted = True
+        return self
+
+    def score_candidates(self, user_id: int,
+                         candidate_poi_ids: Sequence[int]) -> np.ndarray:
+        self._require_fitted()
+        return self._recommender.score_candidates(user_id, candidate_poi_ids)
+
+    @property
+    def recommender(self) -> Recommender:
+        """The underlying :class:`Recommender` (top-k, case study)."""
+        self._require_fitted()
+        return self._recommender

@@ -1,0 +1,258 @@
+"""Command-line interface: generate data, train, evaluate, case-study.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli generate --preset foursquare --out data.jsonl
+    python -m repro.cli train --data data.jsonl --target los_angeles \
+        --model-out model.npz
+    python -m repro.cli evaluate --data data.jsonl --target los_angeles \
+        --model model.npz
+    python -m repro.cli compare --preset yelp --methods ItemPop CTLM \
+        ST-TransRec
+    python -m repro.cli case-study --preset foursquare
+
+Every command accepts ``--scale`` and ``--seed`` so results are
+reproducible from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import METHOD_NAMES, PROFILES, make_method
+from repro.core import Recommender, STTransRecConfig, STTransRecTrainer
+from repro.data import (
+    foursquare_like,
+    generate_dataset,
+    load_dataset,
+    make_crossing_city_split,
+    save_dataset,
+    yelp_like,
+)
+from repro.data.stats import dataset_statistics
+from repro.eval import RankingEvaluator, build_case_study
+from repro.eval.reporting import format_comparison
+
+PRESETS = {"foursquare": foursquare_like, "yelp": yelp_like}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor (default 0.5)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="model seed (default 0)")
+
+
+def _build_preset_split(args):
+    config = PRESETS[args.preset](scale=args.scale)
+    dataset, _ = generate_dataset(config)
+    return config, dataset, make_crossing_city_split(dataset,
+                                                     config.target_city)
+
+
+def cmd_generate(args) -> int:
+    config = PRESETS[args.preset](scale=args.scale)
+    dataset, _ = generate_dataset(config)
+    save_dataset(dataset, args.out)
+    stats = dataset_statistics(dataset, config.target_city)
+    print(f"wrote {args.out} (target city: {config.target_city})")
+    for label, value in stats.rows():
+        print(f"  {label:<22}{value}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = load_dataset(args.data)
+    split = make_crossing_city_split(dataset, args.target)
+    config = STTransRecConfig(
+        embedding_dim=args.embedding_dim,
+        epochs=args.epochs,
+        weight_decay=5e-3,
+        pretrain_epochs=args.pretrain_epochs,
+        seed=args.seed,
+    )
+    trainer = STTransRecTrainer(split, config)
+    result = trainer.fit()
+    print(f"trained {result.epochs} epochs, final loss "
+          f"{result.final_loss:.4f}")
+    if args.model_out:
+        state = trainer.model.state_dict()
+        np.savez(args.model_out, **state)
+        meta = {
+            "target_city": args.target,
+            "embedding_dim": args.embedding_dim,
+            "epochs": args.epochs,
+            "pretrain_epochs": args.pretrain_epochs,
+            "seed": args.seed,
+        }
+        Path(str(args.model_out) + ".json").write_text(json.dumps(meta))
+        print(f"saved model to {args.model_out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    dataset = load_dataset(args.data)
+    split = make_crossing_city_split(dataset, args.target)
+    config = STTransRecConfig(
+        embedding_dim=args.embedding_dim,
+        epochs=args.epochs,
+        weight_decay=5e-3,
+        pretrain_epochs=args.pretrain_epochs,
+        seed=args.seed,
+    )
+    trainer = STTransRecTrainer(split, config)
+    if args.model:
+        state = dict(np.load(args.model))
+        trainer.model.load_state_dict(state)
+        trainer.model.eval()
+        print(f"loaded parameters from {args.model}")
+    else:
+        trainer.fit()
+    recommender = Recommender(trainer.model, trainer.index, split.train,
+                              args.target)
+    result = RankingEvaluator(split, seed=42).evaluate(recommender)
+    print(f"evaluated {result.num_users} crossing-city users:")
+    print(result.table())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config, _dataset, split = _build_preset_split(args)
+    evaluator = RankingEvaluator(split, seed=42)
+    profile = dataclasses.replace(PROFILES[args.preset], seed=args.seed)
+    results = {}
+    for name in args.methods:
+        method = make_method(name, profile).fit(split)
+        results[name] = evaluator.evaluate(method).scores
+        print(f"fitted {name}: recall@10 = "
+              f"{results[name]['recall'][10]:.4f}")
+    print()
+    print(format_comparison(results, metric=args.metric))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run one experiment (comparison/ablation/sweep) outside pytest."""
+    from repro.eval.experiment import (
+        build_context,
+        run_ablation,
+        run_dropout_sweep,
+        run_method_comparison,
+        run_resample_sweep,
+    )
+    from repro.eval.reporting import (
+        format_all_metrics,
+        format_scalar_sweep,
+        format_sweep,
+    )
+    from repro.eval.viz import comparison_chart
+
+    context = build_context(args.preset, scale=args.scale)
+    if args.experiment == "comparison":
+        results = run_method_comparison(context)
+        print(format_all_metrics(results))
+        print()
+        print(comparison_chart(results))
+    elif args.experiment == "ablation":
+        results = run_ablation(context)
+        print(format_all_metrics(results))
+        print()
+        print(comparison_chart(results))
+    elif args.experiment == "resample-sweep":
+        print(format_sweep(run_resample_sweep(context), "alpha"))
+    elif args.experiment == "dropout-sweep":
+        print(format_scalar_sweep(run_dropout_sweep(context), "dropout"))
+    else:  # pragma: no cover — argparse restricts choices
+        raise ValueError(args.experiment)
+    return 0
+
+
+def cmd_case_study(args) -> int:
+    config, _dataset, split = _build_preset_split(args)
+    profile = dataclasses.replace(PROFILES[args.preset], seed=args.seed)
+    from repro.baselines import STTransRecMethod
+    full = STTransRecMethod(profile.st_transrec_config())
+    full.fit(split)
+    no_text = STTransRecMethod(profile.st_transrec_config(),
+                               variant="ST-TransRec-2")
+    no_text.fit(split)
+    study = build_case_study(
+        split,
+        {"ST-TransRec": full.recommender,
+         "ST-TransRec-2": no_text.recommender},
+        user_id=args.user,
+    )
+    print(study.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a dataset to JSONL")
+    p.add_argument("--preset", choices=sorted(PRESETS), required=True)
+    p.add_argument("--out", required=True, help="output JSONL path")
+    _add_common(p)
+    p.set_defaults(func=cmd_generate)
+
+    for name, func, needs_model in (("train", cmd_train, False),
+                                    ("evaluate", cmd_evaluate, True)):
+        p = sub.add_parser(name, help=f"{name} ST-TransRec on a dataset")
+        p.add_argument("--data", required=True, help="dataset JSONL path")
+        p.add_argument("--target", required=True, help="target city name")
+        p.add_argument("--embedding-dim", type=int, default=32)
+        p.add_argument("--epochs", type=int, default=12)
+        p.add_argument("--pretrain-epochs", type=int, default=15)
+        if needs_model:
+            p.add_argument("--model", help="load parameters from .npz")
+        else:
+            p.add_argument("--model-out", help="save parameters to .npz")
+        _add_common(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("compare", help="compare methods on a preset")
+    p.add_argument("--preset", choices=sorted(PRESETS), required=True)
+    p.add_argument("--methods", nargs="+", default=list(METHOD_NAMES),
+                   choices=list(METHOD_NAMES) + [
+                       "ST-TransRec-1", "ST-TransRec-2", "ST-TransRec-3"],
+                   help="method names (default: all nine)")
+    p.add_argument("--metric", default="recall",
+                   choices=["recall", "precision", "ndcg", "map"])
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("bench", help="run one experiment end to end")
+    p.add_argument("--preset", choices=sorted(PRESETS), required=True)
+    p.add_argument("--experiment", required=True,
+                   choices=["comparison", "ablation", "resample-sweep",
+                            "dropout-sweep"])
+    _add_common(p)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("case-study", help="Table 3-style case study")
+    p.add_argument("--preset", choices=sorted(PRESETS), required=True)
+    p.add_argument("--user", type=int, default=None,
+                   help="test user id (default: richest ground truth)")
+    _add_common(p)
+    p.set_defaults(func=cmd_case_study)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

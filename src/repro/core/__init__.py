@@ -1,0 +1,28 @@
+"""``repro.core`` — the ST-TransRec model, trainer, and recommender."""
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import (
+    STTransRecConfig,
+    foursquare_paper_config,
+    yelp_paper_config,
+)
+from repro.core.model import STTransRec
+from repro.core.recommend import Recommender
+from repro.core.trainer import EpochStats, STTransRecTrainer, TrainResult
+from repro.core.variants import VARIANT_NAMES, VARIANTS, variant_config
+
+__all__ = [
+    "STTransRecConfig",
+    "foursquare_paper_config",
+    "yelp_paper_config",
+    "STTransRec",
+    "STTransRecTrainer",
+    "TrainResult",
+    "EpochStats",
+    "Recommender",
+    "save_checkpoint",
+    "load_checkpoint",
+    "VARIANTS",
+    "VARIANT_NAMES",
+    "variant_config",
+]

@@ -1,0 +1,83 @@
+"""Checkpointing: save/restore a trained model with its config.
+
+A checkpoint is a single ``.npz`` holding the model's parameter arrays
+plus a JSON-encoded config and entity-index manifest, so a restored
+recommender is guaranteed to interpret embedding rows identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+from repro.data.vocabulary import DatasetIndex
+
+PathLike = Union[str, Path]
+
+_MANIFEST_KEY = "__manifest__"
+_FORMAT = "repro.checkpoint.v1"
+
+
+def save_checkpoint(model: STTransRec, index: DatasetIndex,
+                    path: PathLike) -> None:
+    """Write model parameters + config + index manifest to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format": _FORMAT,
+        "config": model.config.__dict__,
+        "users": index.users.keys(),
+        "pois": index.pois.keys(),
+        "words": index.words.keys(),
+    }
+    arrays = {name: value for name, value in model.state_dict().items()}
+    arrays[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest, default=list).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: PathLike) -> Tuple[STTransRec, DatasetIndex]:
+    """Restore the model and entity index saved by :func:`save_checkpoint`.
+
+    Raises
+    ------
+    ValueError:
+        If the file lacks the manifest or has an unknown format version.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+        if manifest.get("format") != _FORMAT:
+            raise ValueError(
+                f"unknown checkpoint format {manifest.get('format')!r}"
+            )
+        state = {name: archive[name] for name in archive.files
+                 if name != _MANIFEST_KEY}
+
+    config_dict = dict(manifest["config"])
+    # Tuples serialize as lists; restore the fields that need tuples.
+    if config_dict.get("grid_shape") is not None:
+        config_dict["grid_shape"] = tuple(config_dict["grid_shape"])
+    config = STTransRecConfig(**config_dict)
+    index = DatasetIndex(
+        user_ids=manifest["users"],
+        poi_ids=manifest["pois"],
+        words=manifest["words"],
+    )
+    model = STTransRec(
+        num_users=index.num_users,
+        num_pois=index.num_pois,
+        num_words=index.num_words,
+        config=config,
+    )
+    model.load_state_dict(state)
+    model.eval()
+    return model, index

@@ -1,0 +1,120 @@
+"""The ST-TransRec neural architecture (Fig. 1b, Eqs. 11–12).
+
+Three embedding tables (users, POIs, words) feed two output paths:
+
+* the **interaction path** concatenates ``[x_u, x_v]`` and runs it
+  through the ReLU MLP tower to a 1-unit prediction head (its sigmoid is
+  taken inside the loss for numerical stability);
+* the **context path** scores (POI, word) pairs with dot products for
+  the skipgram objective.
+
+The transfer-learning layer (MMD between source/target POI embedding
+batches) and the resampling module live in the trainer: they consume the
+same POI embedding table that both paths train.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import STTransRecConfig
+from repro.nn.layers import MLP, Dropout, Embedding
+from repro.nn.module import Module
+from repro.nn.ops import concat
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_rng
+
+
+class STTransRec(Module):
+    """The joint deep network for crossing-city POI recommendation.
+
+    Parameters
+    ----------
+    num_users, num_pois, num_words:
+        Entity counts from the dataset index.
+    config:
+        Hyper-parameters (embedding size, tower shape, dropout, seed).
+    """
+
+    def __init__(self, num_users: int, num_pois: int, num_words: int,
+                 config: STTransRecConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = as_rng(config.seed)
+        d = config.embedding_dim
+        self.user_embeddings = Embedding(num_users, d, rng=rng)
+        self.poi_embeddings = Embedding(num_pois, d, rng=rng)
+        # A wordless dataset (text disabled) still gets a 1-row table so
+        # module plumbing stays uniform; it receives no gradients.
+        self.word_embeddings = Embedding(max(num_words, 1), d, rng=rng)
+        self.embedding_dropout = Dropout(config.dropout, rng=rng)
+        input_width = (3 * d if config.interaction_features == "concat_product"
+                       else 2 * d)
+        self.tower = MLP(input_width, config.tower_sizes(),
+                         dropout=config.dropout, rng=rng)
+        # Per-POI bias absorbing popularity, so embedding directions are
+        # free to encode topical structure (see DESIGN.md).
+        self.poi_bias = Embedding(num_pois, 1, std=0.0 + 1e-8, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Interaction path
+    # ------------------------------------------------------------------
+    def interaction_logits(self, user_idx: np.ndarray,
+                           poi_idx: np.ndarray) -> Tensor:
+        """Pre-sigmoid scores ŷ_uv for (user, POI) index pairs (Eq. 11).
+
+        Dropout is applied to the concatenated embedding (the paper's
+        "dropout on the embedding layer") and inside each hidden layer.
+        """
+        x_u = self.user_embeddings(user_idx)
+        x_v = self.poi_embeddings(poi_idx)
+        if self.config.interaction_features == "concat_product":
+            joined = concat([x_u, x_v, x_u * x_v], axis=1)
+        else:
+            joined = concat([x_u, x_v], axis=1)
+        joined = self.embedding_dropout(joined)
+        bias = self.poi_bias(poi_idx).reshape(-1)
+        return self.tower(joined) + bias
+
+    def predict_scores(self, user_idx: np.ndarray,
+                       poi_idx: np.ndarray) -> np.ndarray:
+        """Sigmoid prediction scores (Eq. 12), eval mode, no graph."""
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.interaction_logits(user_idx, poi_idx)
+            return logits.sigmoid().numpy().copy()
+        finally:
+            if was_training:
+                self.train()
+
+    def score_pois_for_user(self, user_index: int,
+                            poi_indices: np.ndarray) -> np.ndarray:
+        """Scores of many POIs for one user (recommendation inference)."""
+        poi_indices = np.asarray(poi_indices)
+        users = np.full(len(poi_indices), user_index, dtype=np.int64)
+        return self.predict_scores(users, poi_indices)
+
+    # ------------------------------------------------------------------
+    # Embedding access for transfer and diagnostics
+    # ------------------------------------------------------------------
+    def poi_embedding_batch(self, poi_idx: np.ndarray) -> Tensor:
+        """POI embedding rows as a graph node (MMD input)."""
+        return self.poi_embeddings(poi_idx)
+
+    def poi_vectors(self) -> np.ndarray:
+        """The full POI embedding matrix (copy, no graph)."""
+        return self.poi_embeddings.weight.data.copy()
+
+    def user_vectors(self) -> np.ndarray:
+        """The full user embedding matrix (copy, no graph)."""
+        return self.user_embeddings.weight.data.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"STTransRec(users={self.user_embeddings.num_embeddings}, "
+            f"pois={self.poi_embeddings.num_embeddings}, "
+            f"words={self.word_embeddings.num_embeddings}, "
+            f"d={self.config.embedding_dim}, "
+            f"tower={self.config.tower_sizes()})"
+        )

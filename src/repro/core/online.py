@@ -1,0 +1,132 @@
+"""Online user updates: fold new check-ins into a trained model.
+
+The crossing-city scenario continues after the first recommendation: a
+traveller checks in at a few target-city POIs, and the next ranking
+should reflect that immediately.  Retraining the whole model per event
+is infeasible in serving; :class:`OnlineUserUpdater` instead performs a
+few gradient steps on *that user's embedding only* (all other
+parameters frozen), the standard fold-in treatment for two-tower-style
+models.
+
+The fold-in objective is pairwise (BPR): maximize
+``σ(score(pos) − score(neg))`` over sampled pairs.  A pointwise BCE
+objective is unsuitable here — with one free user vector, its easiest
+descent direction is often a *global* score shift (dominated by the
+negatives), which changes no ranking; the pairwise loss is invariant to
+global shifts by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import STTransRec
+from repro.data.vocabulary import DatasetIndex
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive
+
+
+class OnlineUserUpdater:
+    """Per-user embedding refinement from new interactions.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`STTransRec`; only the target user's embedding
+        row is modified.
+    index:
+        The model's entity index.
+    learning_rate:
+        Step size for the fold-in updates.
+    steps:
+        Gradient steps per :meth:`update` call.
+    num_negatives:
+        Sampled negatives per observed POI (uniform over the candidate
+        pool passed to :meth:`update`).
+    """
+
+    def __init__(self, model: STTransRec, index: DatasetIndex,
+                 learning_rate: float = 0.05, steps: int = 20,
+                 num_negatives: int = 4, rng: SeedLike = 0) -> None:
+        check_positive("learning_rate", learning_rate)
+        check_positive("steps", steps)
+        check_positive("num_negatives", num_negatives)
+        self.model = model
+        self.index = index
+        self.learning_rate = learning_rate
+        self.steps = steps
+        self.num_negatives = num_negatives
+        self._rng = as_rng(rng)
+
+    def update(self, user_id: int, new_poi_ids: Sequence[int],
+               negative_pool_ids: Sequence[int]) -> np.ndarray:
+        """Fold ``new_poi_ids`` into the user's embedding.
+
+        Parameters
+        ----------
+        user_id:
+            A user known to the model.
+        new_poi_ids:
+            Freshly observed check-ins (dataset POI ids).
+        negative_pool_ids:
+            POIs to sample negatives from (e.g. the target city's
+            catalogue); observed POIs are excluded automatically.
+
+        Returns
+        -------
+        The updated embedding row (copy).
+        """
+        if not new_poi_ids:
+            raise ValueError("need at least one new check-in")
+        u = self.index.users.get(user_id)
+        if u < 0:
+            raise KeyError(f"user {user_id} unknown to the model")
+        positives = np.array(
+            [self.index.pois.index_of(int(p)) for p in new_poi_ids]
+        )
+        observed = set(positives.tolist())
+        pool = np.array([
+            self.index.pois.index_of(int(p)) for p in negative_pool_ids
+            if self.index.pois.index_of(int(p)) not in observed
+        ])
+        if pool.size == 0:
+            raise ValueError("negative pool is empty after exclusion")
+
+        was_training = self.model.training
+        self.model.eval()  # deterministic forward (no dropout) for fold-in
+        user_row = self.model.user_embeddings.weight
+        try:
+            for _ in range(self.steps):
+                repeats = self.num_negatives
+                pos = np.repeat(positives, repeats)
+                neg = pool[self._rng.integers(0, len(pool), size=len(pos))]
+                users = np.full(len(pos), u, dtype=np.int64)
+                self.model.zero_grad()
+                pos_logits = self.model.interaction_logits(users, pos)
+                neg_logits = self.model.interaction_logits(users, neg)
+                # BPR: -mean log σ(z_pos − z_neg)
+                loss = -(pos_logits - neg_logits).log_sigmoid().mean()
+                loss.backward()
+                grad = user_row.grad
+                if grad is None:
+                    break
+                # Update only this user's row; everything else frozen.
+                user_row.data[u] -= self.learning_rate * grad[u]
+        finally:
+            self.model.zero_grad()
+            if was_training:
+                self.model.train()
+        return user_row.data[u].copy()
+
+    def score_after_update(self, user_id: int,
+                           candidate_poi_ids: Sequence[int]) -> np.ndarray:
+        """Scores for candidates with the user's current embedding."""
+        u = self.index.users.get(user_id)
+        if u < 0:
+            raise KeyError(f"user {user_id} unknown to the model")
+        rows = np.array(
+            [self.index.pois.index_of(int(p)) for p in candidate_poi_ids]
+        )
+        return self.model.score_pois_for_user(u, rows)

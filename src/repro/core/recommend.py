@@ -1,0 +1,149 @@
+"""Top-k crossing-city recommendation (Problem 1).
+
+Wraps a trained ST-TransRec with the entity index and target-city POI
+catalogue so callers can ask, in dataset id space: *which target-city
+POIs should user u see?*  Also used by the Table 3 case study, which
+needs the textual descriptions of recommended POIs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import CheckinDataset
+from repro.data.vocabulary import DatasetIndex
+
+
+class Recommender:
+    """Scores and ranks target-city POIs for users.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`STTransRec` (or any object exposing
+        ``score_pois_for_user(user_index, poi_indices)``).
+    index:
+        The entity index the model was trained under.
+    dataset:
+        Training dataset (for the target-city POI catalogue and the
+        user's visited set).
+    target_city:
+        The city whose POIs are recommended.
+    """
+
+    def __init__(self, model, index: DatasetIndex,
+                 dataset: CheckinDataset, target_city: str) -> None:
+        self.model = model
+        self.index = index
+        self.dataset = dataset
+        self.target_city = target_city
+        pois = dataset.pois_in_city(target_city)
+        if not pois:
+            raise ValueError(f"no POIs in target city {target_city!r}")
+        self.target_poi_ids = np.array([p.poi_id for p in pois])
+        self.target_poi_indices = np.array(
+            [index.pois.index_of(p.poi_id) for p in pois]
+        )
+
+    # ------------------------------------------------------------------
+    def score_candidates(self, user_id: int,
+                         candidate_poi_ids: Sequence[int]) -> np.ndarray:
+        """Model scores for explicit candidate POIs (dataset ids)."""
+        user_index = self.index.users.get(user_id)
+        if user_index < 0:
+            raise KeyError(f"user {user_id} unknown to the model")
+        candidate_indices = np.array(
+            [self.index.pois.index_of(int(p)) for p in candidate_poi_ids]
+        )
+        return self.model.score_pois_for_user(user_index, candidate_indices)
+
+    def recommend(self, user_id: int, k: int = 10,
+                  exclude_visited: bool = True) -> List[Tuple[int, float]]:
+        """Top-k (poi_id, score) in the target city for ``user_id``.
+
+        Parameters
+        ----------
+        exclude_visited:
+            Drop POIs the user already visited in training data (always
+            true in the paper's protocol, where test users have no
+            target-city training check-ins at all).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        candidates = self.target_poi_ids
+        if exclude_visited:
+            visited = {r.poi_id for r in self.dataset.user_profile(user_id)}
+            keep = np.array([p not in visited for p in candidates])
+            candidates = candidates[keep]
+        if len(candidates) == 0:
+            return []
+        scores = self.score_candidates(user_id, candidates)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [(int(candidates[i]), float(scores[i])) for i in order]
+
+    def describe_recommendations(
+            self, user_id: int, k: int = 5,
+            words_per_poi: int = 5) -> List[Tuple[int, List[str]]]:
+        """Top-k POIs with their description words (Table 3 layout)."""
+        ranked = self.recommend(user_id, k=k)
+        out = []
+        for poi_id, _score in ranked:
+            words = list(self.dataset.pois[poi_id].words)[:words_per_poi]
+            out.append((poi_id, words))
+        return out
+
+    def batch_recommend(self, user_ids: Sequence[int], k: int = 10,
+                        exclude_visited: bool = True
+                        ) -> Dict[int, List[Tuple[int, float]]]:
+        """Top-k lists for many users; unknown users are skipped.
+
+        Returns a dict so callers can detect skipped users by absence.
+        """
+        out: Dict[int, List[Tuple[int, float]]] = {}
+        for user_id in user_ids:
+            try:
+                out[user_id] = self.recommend(user_id, k=k,
+                                              exclude_visited=exclude_visited)
+            except KeyError:
+                continue
+        return out
+
+    def export_recommendations(self, path, user_ids: Sequence[int],
+                               k: int = 10) -> int:
+        """Write top-k lists as JSONL (one user per line); returns count.
+
+        Line format: ``{"user_id": ..., "recommendations":
+        [{"poi_id": ..., "score": ...}, ...]}`` — the shape a serving
+        layer or downstream analysis job consumes.
+        """
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        results = self.batch_recommend(user_ids, k=k)
+        with path.open("w", encoding="utf-8") as fh:
+            for user_id in sorted(results):
+                fh.write(json.dumps({
+                    "user_id": user_id,
+                    "recommendations": [
+                        {"poi_id": poi_id, "score": score}
+                        for poi_id, score in results[user_id]
+                    ],
+                }) + "\n")
+        return len(results)
+
+    def user_top_words(self, user_id: int, k: int = 10) -> List[str]:
+        """Most frequent words over the user's visited POIs.
+
+        Table 3 presents a user's preferences via the top words of
+        their source-city check-ins.
+        """
+        counts: Dict[str, int] = {}
+        for record in self.dataset.user_profile(user_id):
+            for word in self.dataset.pois[record.poi_id].words:
+                counts[word] = counts.get(word, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [word for word, _ in ranked[:k]]

@@ -1,0 +1,470 @@
+"""Joint training of ST-TransRec (Section 3.2).
+
+Each epoch interleaves mini-batches of the four supervised objectives
+plus the transfer term, optimizing the overall loss of Eq. 3:
+
+    L = L_I^s + L_G^s + L_I^t + L_G^t + λ · D(P, Q)
+
+* ``L_I`` — binary cross-entropy on (user, POI) pairs with 4 sampled
+  negatives per positive, separately for source and target cities.
+* ``L_G`` — skipgram context prediction on the textual context graphs.
+* ``D(P, Q)`` — MMD between batches of source- and target-city POI
+  embeddings, where batches are drawn from the *resampled* check-in
+  pools: the raw check-ins augmented by ``α · Σ_r n'_r`` density-based
+  draws (Eqs. 6–9), so sparse regions are represented.
+
+The source side pools all source cities (each segmented and resampled
+independently, then concatenated), matching the paper's treatment of
+"the remaining cities as source cities".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+from repro.data.sampling import ContextPairSampler, InteractionSampler
+from repro.data.split import CrossingCitySplit
+from repro.data.vocabulary import DatasetIndex
+from repro.nn.losses import bce_with_logits
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.spatial.density import build_density_model
+from repro.spatial.grid import CityGrid
+from repro.spatial.resampling import DensityResampler
+from repro.spatial.segmentation import Segmentation, segment_city
+from repro.text.context_graph import TextualContextGraph
+from repro.text.skipgram import skipgram_batch_loss
+from repro.transfer.kernels import (
+    GaussianKernel,
+    MultiGaussianKernel,
+    median_heuristic_bandwidth,
+)
+from repro.transfer.mmd import mmd_between_embeddings
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_rng
+
+logger = get_logger("core.trainer")
+
+
+class _OptimizerGroup:
+    """Several optimizers stepped together (per-group hyper-parameters)."""
+
+    def __init__(self, optimizers: Sequence[Adam]) -> None:
+        self.optimizers = list(optimizers)
+
+    def zero_grad(self) -> None:
+        for optimizer in self.optimizers:
+            optimizer.zero_grad()
+
+    def step(self) -> None:
+        for optimizer in self.optimizers:
+            optimizer.step()
+
+
+@dataclass
+class EpochStats:
+    """Loss components averaged over one epoch's steps."""
+
+    epoch: int
+    total: float
+    interaction_source: float
+    interaction_target: float
+    context_source: float
+    context_target: float
+    mmd: float
+    seconds: float
+
+
+@dataclass
+class TrainResult:
+    """Outcome of :meth:`STTransRecTrainer.fit`."""
+
+    history: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1].total if self.history else float("nan")
+
+    @property
+    def epochs(self) -> int:
+        return len(self.history)
+
+
+class STTransRecTrainer:
+    """Builds all substrate components and runs joint optimization.
+
+    Parameters
+    ----------
+    split:
+        Crossing-city train/test split; only ``split.train`` is read.
+    config:
+        Model and training hyper-parameters.
+    index:
+        Optional pre-built entity index (shared across models when
+        comparing methods); built from the training data otherwise.
+    """
+
+    def __init__(self, split: CrossingCitySplit, config: STTransRecConfig,
+                 index: Optional[DatasetIndex] = None) -> None:
+        self.split = split
+        self.config = config
+        self.train_data = split.train
+        self.target_city = split.target_city
+        self.source_cities = [c for c in self.train_data.cities
+                              if c != self.target_city]
+        if not self.source_cities:
+            raise ValueError("training data has no source cities")
+        self.index = index or self.train_data.build_index()
+        self._rng = as_rng(config.seed)
+
+        self.model = STTransRec(
+            num_users=self.index.num_users,
+            num_pois=self.index.num_pois,
+            num_words=self.index.num_words,
+            config=config,
+        )
+        self.optimizer = self._build_optimizer()
+
+        self._build_interaction_samplers()
+        if config.use_text:
+            self._build_context_samplers()
+        self.segmentations: Dict[str, Segmentation] = {}
+        self._build_mmd_pools()
+        # Kernel bandwidth is finalized after pre-training, when the
+        # embedding scale is realistic; start with a provisional kernel
+        # so train_epoch() works even without a fit() call.
+        self._kernel = self._build_kernel()
+        self._profile_rows = self._build_profile_rows()
+        self._anchors: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Component construction
+    # ------------------------------------------------------------------
+    def _build_optimizer(self):
+        """Adam over all parameters, with per-group weight decay.
+
+        Tower weights get ``tower_weight_decay`` (default: same as
+        ``weight_decay``); see the config docstring for why the groups
+        need different values under Adam.
+        """
+        cfg = self.config
+        tower_decay = (cfg.weight_decay if cfg.tower_weight_decay is None
+                       else cfg.tower_weight_decay)
+        if tower_decay == cfg.weight_decay:
+            return Adam(self.model.parameters(), lr=cfg.learning_rate,
+                        weight_decay=cfg.weight_decay)
+        tower_params = [p for name, p in self.model.named_parameters()
+                        if name.startswith("tower.")]
+        other_params = [p for name, p in self.model.named_parameters()
+                        if not name.startswith("tower.")]
+        return _OptimizerGroup([
+            Adam(other_params, lr=cfg.learning_rate,
+                 weight_decay=cfg.weight_decay),
+            Adam(tower_params, lr=cfg.learning_rate,
+                 weight_decay=tower_decay),
+        ])
+
+    def _build_interaction_samplers(self) -> None:
+        cfg = self.config
+        self.target_interactions = InteractionSampler(
+            self.train_data, self.index, self.target_city,
+            num_negatives=cfg.num_negatives, rng=self._rng,
+        )
+        self.source_interactions = [
+            InteractionSampler(
+                self.train_data, self.index, city,
+                num_negatives=cfg.num_negatives, rng=self._rng,
+            )
+            for city in self.source_cities
+        ]
+
+    def _build_context_samplers(self) -> None:
+        cfg = self.config
+        target_pois = self.train_data.pois_in_city(self.target_city)
+        source_pois = [
+            poi for city in self.source_cities
+            for poi in self.train_data.pois_in_city(city)
+        ]
+        self.target_graph = TextualContextGraph(target_pois, self.index)
+        self.source_graph = TextualContextGraph(source_pois, self.index)
+        self.target_contexts = ContextPairSampler(
+            self.target_graph.edges, self.index.num_words,
+            num_negatives=cfg.num_context_negatives, rng=self._rng,
+        )
+        self.source_contexts = ContextPairSampler(
+            self.source_graph.edges, self.index.num_words,
+            num_negatives=cfg.num_context_negatives, rng=self._rng,
+        )
+
+    def _build_city_mmd_pool(self, city: str) -> np.ndarray:
+        """Raw check-in POI draws + α-scaled density resampling draws."""
+        cfg = self.config
+        pois = self.train_data.pois_in_city(city)
+        grid = CityGrid(pois, cfg.grid_shape)
+        segmentation = segment_city(self.train_data, grid,
+                                    cfg.segmentation_threshold)
+        self.segmentations[city] = segmentation
+        raw = np.array(
+            [self.index.pois.index_of(r.poi_id)
+             for r in self.train_data.checkins_in_city(city)],
+            dtype=np.int64,
+        )
+        if cfg.resample_alpha <= 0:
+            return raw
+        density = build_density_model(self.train_data, segmentation)
+        resampler = DensityResampler(density, alpha=cfg.resample_alpha,
+                                     rng=self._rng)
+        plan = resampler.plan()
+        if plan.num_draws == 0:
+            return raw
+        extra = np.array(
+            [self.index.pois.index_of(int(p)) for p in plan.poi_ids],
+            dtype=np.int64,
+        )
+        return np.concatenate([raw, extra])
+
+    def _build_mmd_pools(self) -> None:
+        source_pools = [self._build_city_mmd_pool(c)
+                        for c in self.source_cities]
+        self.source_mmd_pool = np.concatenate(source_pools)
+        self.target_mmd_pool = self._build_city_mmd_pool(self.target_city)
+
+    def _build_kernel(self):
+        bandwidth = self.config.mmd_bandwidth
+        if bandwidth is None:
+            # Median heuristic on current embedding samples.
+            sample_s = self._sample_pool(self.source_mmd_pool,
+                                         self.config.mmd_batch_size)
+            sample_t = self._sample_pool(self.target_mmd_pool,
+                                         self.config.mmd_batch_size)
+            emb = self.model.poi_embeddings.weight.data
+            bandwidth = median_heuristic_bandwidth(emb[sample_s], emb[sample_t])
+        if self.config.mmd_kernel == "multi":
+            return MultiGaussianKernel(base_bandwidth=bandwidth)
+        return GaussianKernel(bandwidth)
+
+    def _sample_pool(self, pool: np.ndarray, size: int) -> np.ndarray:
+        replace = len(pool) < size
+        return self._rng.choice(pool, size=size, replace=replace)
+
+    def _build_profile_rows(self) -> Dict[int, List[int]]:
+        """user index → POI indices of the user's training check-ins."""
+        rows: Dict[int, List[int]] = {}
+        for user_id in self.train_data.users:
+            u = self.index.users.get(user_id)
+            if u < 0:
+                continue
+            rows[u] = [
+                self.index.pois.index_of(r.poi_id)
+                for r in self.train_data.user_profile(user_id)
+            ]
+        return rows
+
+    def _refresh_anchors(self) -> None:
+        """Recompute content anchors: mean visited-POI embedding per user."""
+        poi_emb = self.model.poi_embeddings.weight.data
+        anchors = np.zeros_like(self.model.user_embeddings.weight.data)
+        for u, rows in self._profile_rows.items():
+            if rows:
+                anchors[u] = poi_emb[rows].mean(axis=0)
+        self._anchors = anchors
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _cycling_context(self, sampler: ContextPairSampler) -> Iterator[tuple]:
+        """Endless stream of context batches (fresh epoch when drained).
+
+        The context graphs hold far fewer edges than there are
+        interaction examples; cycling keeps the textual gradient present
+        at every step so topical structure and interaction fit develop
+        together.
+        """
+        while True:
+            yield from sampler.epoch(self.config.batch_size)
+
+    def _interaction_batches(self) -> Iterator[Tuple[str, tuple]]:
+        """Interleave target and pooled-source interaction batches."""
+        cfg = self.config
+        iters = [("target", self.target_interactions.epoch(cfg.batch_size))]
+        for sampler in self.source_interactions:
+            iters.append(("source", sampler.epoch(cfg.batch_size)))
+        # Round-robin until all are exhausted.
+        live = [(name, it) for name, it in iters]
+        while live:
+            next_live = []
+            for name, it in live:
+                batch = next(it, None)
+                if batch is not None:
+                    yield name, batch
+                    next_live.append((name, it))
+            live = next_live
+
+    def train_epoch(self, epoch: int = 0) -> EpochStats:
+        """Run one epoch of joint optimization and return its stats."""
+        cfg = self.config
+        self.model.train()
+        sums = {"is": 0.0, "it": 0.0, "cs": 0.0, "ct": 0.0, "mmd": 0.0,
+                "total": 0.0}
+        counts = {"is": 0, "it": 0, "cs": 0, "ct": 0, "mmd": 0, "steps": 0}
+
+        context_src = (self._cycling_context(self.source_contexts)
+                       if cfg.use_text else iter(()))
+        context_tgt = (self._cycling_context(self.target_contexts)
+                       if cfg.use_text else iter(()))
+        started = time.perf_counter()
+
+        if cfg.user_anchor > 0 and self._anchors is None:
+            self._refresh_anchors()
+
+        for name, (users, pois, labels) in self._interaction_batches():
+            self.optimizer.zero_grad()
+            logits = self.model.interaction_logits(users, pois)
+            loss = bce_with_logits(logits, labels)
+            key = "it" if name == "target" else "is"
+            sums[key] += loss.item()
+            counts[key] += 1
+
+            if cfg.user_anchor > 0:
+                unique_users = np.unique(users)
+                x_u = self.model.user_embeddings(unique_users)
+                diff = x_u - Tensor(self._anchors[unique_users])
+                loss = loss + (diff * diff).mean() * cfg.user_anchor
+
+            if cfg.use_text:
+                ctx = next(context_src if name == "source" else context_tgt,
+                           None)
+                if ctx is not None:
+                    poi_idx, word_idx, neg_idx = ctx
+                    ctx_loss = skipgram_batch_loss(
+                        self.model.poi_embeddings,
+                        self.model.word_embeddings,
+                        poi_idx, word_idx, neg_idx,
+                    )
+                    ckey = "ct" if name == "target" else "cs"
+                    sums[ckey] += ctx_loss.item()
+                    counts[ckey] += 1
+                    loss = loss + ctx_loss * cfg.lambda_text
+
+            if cfg.use_mmd and cfg.lambda_mmd > 0:
+                src_idx = self._sample_pool(self.source_mmd_pool,
+                                            cfg.mmd_batch_size)
+                tgt_idx = self._sample_pool(self.target_mmd_pool,
+                                            cfg.mmd_batch_size)
+                mmd = mmd_between_embeddings(
+                    self.model.poi_embedding_batch(src_idx),
+                    self.model.poi_embedding_batch(tgt_idx),
+                    kernel=self._kernel,
+                    estimator=cfg.mmd_estimator,
+                )
+                sums["mmd"] += mmd.item()
+                counts["mmd"] += 1
+                loss = loss + mmd * cfg.lambda_mmd
+
+            sums["total"] += loss.item()
+            counts["steps"] += 1
+            loss.backward()
+            self.optimizer.step()
+
+        seconds = time.perf_counter() - started
+
+        def avg(key: str, count_key: str) -> float:
+            return sums[key] / counts[count_key] if counts[count_key] else 0.0
+
+        stats = EpochStats(
+            epoch=epoch,
+            total=avg("total", "steps"),
+            interaction_source=avg("is", "is"),
+            interaction_target=avg("it", "it"),
+            context_source=avg("cs", "cs"),
+            context_target=avg("ct", "ct"),
+            mmd=avg("mmd", "mmd"),
+            seconds=seconds,
+        )
+        logger.debug("epoch %d: %s", epoch, stats)
+        return stats
+
+    def pretrain(self, epochs: Optional[int] = None) -> None:
+        """Word2vec-style initialization (Section 3, "we first apply the
+        Word2vec technique to learning the embeddings of POIs").
+
+        Runs skipgram-only epochs over both cities' context graphs, then
+        warm-starts each user's embedding at the mean of their visited
+        POIs' embeddings, so the interaction tower starts from a space
+        where user–POI affinity is approximately geometric.
+        """
+        cfg = self.config
+        if not cfg.use_text:
+            return
+        n = cfg.pretrain_epochs if epochs is None else epochs
+        for _ in range(n):
+            for sampler in (self.source_contexts, self.target_contexts):
+                for poi_idx, word_idx, neg_idx in sampler.epoch(cfg.batch_size):
+                    self.optimizer.zero_grad()
+                    loss = skipgram_batch_loss(
+                        self.model.poi_embeddings,
+                        self.model.word_embeddings,
+                        poi_idx, word_idx, neg_idx,
+                    )
+                    loss.backward()
+                    self.optimizer.step()
+        # Content-based warm start for user embeddings.
+        poi_emb = self.model.poi_embeddings.weight.data
+        user_emb = self.model.user_embeddings.weight.data
+        for user_id in self.train_data.users:
+            u = self.index.users.get(user_id)
+            if u < 0:
+                continue
+            rows = [
+                self.index.pois.index_of(r.poi_id)
+                for r in self.train_data.user_profile(user_id)
+            ]
+            if rows:
+                user_emb[u] = poi_emb[rows].mean(axis=0)
+
+    def fit(self, epochs: Optional[int] = None,
+            epoch_callback=None) -> TrainResult:
+        """Pre-train embeddings, then run joint training.
+
+        Parameters
+        ----------
+        epochs:
+            Joint-training epochs (default: ``config.epochs``).
+        epoch_callback:
+            Optional ``callback(trainer, stats)`` invoked after each
+            epoch — e.g. to track validation metrics or snapshot
+            embeddings.  Exceptions from the callback propagate.
+        """
+        self.pretrain()
+        # Re-estimate the kernel bandwidth on the pre-trained embedding
+        # scale (a fixed bandwidth chosen at random-init scale would be
+        # orders of magnitude too small once embeddings grow).
+        if self.config.mmd_bandwidth is None:
+            self._kernel = self._build_kernel()
+        result = TrainResult()
+        best_loss = float("inf")
+        stale_epochs = 0
+        for epoch in range(epochs if epochs is not None else self.config.epochs):
+            if self.config.user_anchor > 0:
+                self._refresh_anchors()
+            stats = self.train_epoch(epoch)
+            result.history.append(stats)
+            if epoch_callback is not None:
+                epoch_callback(self, stats)
+            if self.config.patience is not None:
+                if stats.total < best_loss - self.config.min_loss_delta:
+                    best_loss = stats.total
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= self.config.patience:
+                        logger.info("early stopping at epoch %d", epoch)
+                        break
+        self.model.eval()
+        return result

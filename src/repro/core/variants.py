@@ -1,0 +1,69 @@
+"""The ablation variants of Section 4.2.2.
+
+* **ST-TransRec-1** — drops the MMD transfer term (λ·D(P,Q) removed
+  from Eq. 3): city-dependent features are never eliminated.
+* **ST-TransRec-2** — drops the textual context prediction (no L_G):
+  POIs are matched only through interaction-learned features.
+* **ST-TransRec-3** — drops density-based resampling (α = 0): MMD
+  batches follow the raw, spatially imbalanced check-in distribution.
+
+Each factory copies a base config and flips exactly one switch, so a
+variant differs from the full model in nothing else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from repro.core.config import STTransRecConfig
+
+VARIANT_NAMES = (
+    "ST-TransRec",
+    "ST-TransRec-1",
+    "ST-TransRec-2",
+    "ST-TransRec-3",
+)
+
+
+def full_model(config: STTransRecConfig) -> STTransRecConfig:
+    """The complete model (identity; exists for uniform dispatch)."""
+    return dataclasses.replace(config)
+
+
+def without_mmd(config: STTransRecConfig) -> STTransRecConfig:
+    """ST-TransRec-1: no transfer-learning layer."""
+    return dataclasses.replace(config, use_mmd=False)
+
+
+def without_text(config: STTransRecConfig) -> STTransRecConfig:
+    """ST-TransRec-2: no textual context prediction."""
+    return dataclasses.replace(config, use_text=False)
+
+
+def without_resampling(config: STTransRecConfig) -> STTransRecConfig:
+    """ST-TransRec-3: α = 0, raw imbalanced MMD batches."""
+    return dataclasses.replace(config, resample_alpha=0.0)
+
+
+VARIANTS: Dict[str, Callable[[STTransRecConfig], STTransRecConfig]] = {
+    "ST-TransRec": full_model,
+    "ST-TransRec-1": without_mmd,
+    "ST-TransRec-2": without_text,
+    "ST-TransRec-3": without_resampling,
+}
+
+
+def variant_config(name: str, base: STTransRecConfig) -> STTransRecConfig:
+    """Config for a named variant derived from ``base``.
+
+    Raises
+    ------
+    KeyError:
+        For unknown variant names (valid: ``VARIANT_NAMES``).
+    """
+    if name not in VARIANTS:
+        raise KeyError(
+            f"unknown variant {name!r}; expected one of {VARIANT_NAMES}"
+        )
+    return VARIANTS[name](base)

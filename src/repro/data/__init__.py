@@ -1,0 +1,52 @@
+"""``repro.data`` — LBSN data model, synthetic generator, and splits."""
+
+from repro.data.dataset import CheckinDataset
+from repro.data.io import load_dataset, save_dataset
+from repro.data.records import POI, CheckinRecord
+from repro.data.sampling import ContextPairSampler, InteractionSampler
+from repro.data.loaders import (
+    FoursquareColumns,
+    load_foursquare_checkins,
+    load_yelp_dataset,
+)
+from repro.data.split import CrossingCitySplit, make_crossing_city_split
+from repro.data.temporal import leave_last_k_out, time_threshold_split
+from repro.data.stats import DatasetStatistics, dataset_statistics
+from repro.data.synthetic import (
+    CitySpec,
+    SyntheticConfig,
+    SyntheticGroundTruth,
+    SyntheticLBSN,
+    foursquare_like,
+    generate_dataset,
+    yelp_like,
+)
+from repro.data.vocabulary import DatasetIndex, IndexMap
+
+__all__ = [
+    "POI",
+    "CheckinRecord",
+    "CheckinDataset",
+    "DatasetIndex",
+    "IndexMap",
+    "InteractionSampler",
+    "ContextPairSampler",
+    "CrossingCitySplit",
+    "make_crossing_city_split",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "CitySpec",
+    "SyntheticConfig",
+    "SyntheticGroundTruth",
+    "SyntheticLBSN",
+    "generate_dataset",
+    "foursquare_like",
+    "yelp_like",
+    "save_dataset",
+    "load_dataset",
+    "load_foursquare_checkins",
+    "load_yelp_dataset",
+    "FoursquareColumns",
+    "leave_last_k_out",
+    "time_threshold_split",
+]

@@ -1,0 +1,88 @@
+"""Dataset persistence: JSON-lines for portability.
+
+The file format is a single JSONL stream: one header line with format
+metadata, then one line per POI, then one line per check-in.  Round-trips
+exactly (including synthetic topic labels).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.data.dataset import CheckinDataset
+from repro.data.records import POI, CheckinRecord
+
+_FORMAT = "repro.checkins.v1"
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: CheckinDataset, path: PathLike) -> None:
+    """Write ``dataset`` to ``path`` in JSONL format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "format": _FORMAT,
+            "num_pois": len(dataset.pois),
+            "num_checkins": dataset.num_checkins(),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for poi_id in sorted(dataset.pois):
+            poi = dataset.pois[poi_id]
+            fh.write(json.dumps({
+                "type": "poi",
+                "poi_id": poi.poi_id,
+                "city": poi.city,
+                "location": list(poi.location),
+                "words": list(poi.words),
+                "topic": poi.topic,
+            }) + "\n")
+        for record in dataset.checkins:
+            fh.write(json.dumps({
+                "type": "checkin",
+                "user_id": record.user_id,
+                "poi_id": record.poi_id,
+                "city": record.city,
+                "timestamp": record.timestamp,
+            }) + "\n")
+
+
+def load_dataset(path: PathLike) -> CheckinDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    pois = []
+    checkins = []
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path} has unknown format {header.get('format')!r}; "
+                f"expected {_FORMAT!r}"
+            )
+        for line in fh:
+            obj = json.loads(line)
+            kind = obj.pop("type")
+            if kind == "poi":
+                pois.append(POI(
+                    poi_id=obj["poi_id"],
+                    city=obj["city"],
+                    location=tuple(obj["location"]),
+                    words=tuple(obj["words"]),
+                    topic=obj.get("topic", -1),
+                ))
+            elif kind == "checkin":
+                checkins.append(CheckinRecord(
+                    user_id=obj["user_id"],
+                    poi_id=obj["poi_id"],
+                    city=obj["city"],
+                    timestamp=obj.get("timestamp", 0.0),
+                ))
+            else:
+                raise ValueError(f"unknown record type {kind!r} in {path}")
+    return CheckinDataset(pois, checkins)

@@ -1,0 +1,78 @@
+"""Core data records: POIs and check-ins (Definitions 1 and 3).
+
+A check-in record in the paper is the tuple ``(u, v, l_v, W_v, c)`` —
+user, POI, POI location, POI textual description, and city.  We normalize
+that into two record types: :class:`POI` carries the static attributes
+(location, words, city) and :class:`CheckinRecord` the event ``(u, v, t)``;
+the dataset container joins them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class POI:
+    """A point of interest.
+
+    Attributes
+    ----------
+    poi_id:
+        Globally unique integer id.
+    city:
+        City name the POI belongs to.
+    location:
+        ``(x, y)`` position in city-local kilometres (stand-in for
+        latitude/longitude; distances are Euclidean at city scale).
+    words:
+        Textual description tokens — categories and tips in the paper.
+    topic:
+        Latent interest topic assigned by the synthetic generator
+        (ground truth for diagnostics; ``-1`` when unknown).
+    """
+
+    poi_id: int
+    city: str
+    location: Tuple[float, float]
+    words: Tuple[str, ...]
+    topic: int = -1
+
+    def __post_init__(self) -> None:
+        if self.poi_id < 0:
+            raise ValueError(f"poi_id must be non-negative, got {self.poi_id}")
+        if len(self.location) != 2:
+            raise ValueError(f"location must be (x, y), got {self.location!r}")
+        # Freeze mutable inputs defensively.
+        object.__setattr__(self, "location", tuple(float(c) for c in self.location))
+        object.__setattr__(self, "words", tuple(self.words))
+
+
+@dataclass(frozen=True)
+class CheckinRecord:
+    """A single check-in event ``(u, v, t)`` joined to the POI's city.
+
+    Attributes
+    ----------
+    user_id:
+        Integer id of the user checking in.
+    poi_id:
+        Id of the visited POI.
+    city:
+        City of the POI (denormalized for fast per-city filtering).
+    timestamp:
+        Event time; the synthetic generator emits a monotonically
+        increasing per-user counter, sufficient for ordering.
+    """
+
+    user_id: int
+    poi_id: int
+    city: str
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise ValueError(f"user_id must be non-negative, got {self.user_id}")
+        if self.poi_id < 0:
+            raise ValueError(f"poi_id must be non-negative, got {self.poi_id}")

@@ -1,0 +1,184 @@
+"""Mini-batch construction and negative sampling.
+
+ST-TransRec trains on two kinds of labelled pairs per city (Section 3.2):
+
+* **Interaction pairs** — observed (user, POI) check-ins as positives
+  and, per positive, ``num_negatives`` uniformly sampled unvisited POIs
+  as negatives (the paper uses 4, following NCF).
+* **Context pairs** — (POI, word) edges of the textual context graph as
+  positives with sampled non-context words as negatives (Eq. 4).
+
+Samplers are index-space (contiguous ids from ``DatasetIndex``) so their
+output feeds embedding tables directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.dataset import CheckinDataset
+from repro.data.vocabulary import DatasetIndex
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive
+
+
+class InteractionSampler:
+    """Generates labelled (user, POI) training examples for one city.
+
+    Parameters
+    ----------
+    dataset:
+        Training dataset.
+    index:
+        Shared entity index.
+    city:
+        Restrict interactions and candidate negatives to this city's
+        POIs — the model's interaction losses are per-city (Eq. 3 has
+        separate L_I^s and L_I^t terms).
+    num_negatives:
+        Negatives drawn per positive (uniform over the city's POIs not
+        visited by the user).
+    """
+
+    def __init__(self, dataset: CheckinDataset, index: DatasetIndex,
+                 city: str, num_negatives: int = 4,
+                 rng: SeedLike = None) -> None:
+        check_positive("num_negatives", num_negatives)
+        self.num_negatives = num_negatives
+        self._rng = as_rng(rng)
+        self.city = city
+
+        city_pois = dataset.pois_in_city(city)
+        if not city_pois:
+            raise ValueError(f"no POIs in city {city!r}")
+        self.city_poi_indices = np.array(
+            [index.pois.index_of(p.poi_id) for p in city_pois]
+        )
+        self._city_poi_set: Set[int] = set(self.city_poi_indices.tolist())
+
+        self.positives: List[Tuple[int, int]] = []
+        self._visited: Dict[int, Set[int]] = {}
+        for user_id, poi_id in dataset.user_poi_pairs():
+            v = index.pois.get(poi_id)
+            if v not in self._city_poi_set:
+                continue
+            u = index.users.get(user_id)
+            if u < 0:
+                continue
+            self.positives.append((u, v))
+            self._visited.setdefault(u, set()).add(v)
+        if not self.positives:
+            raise ValueError(f"no training interactions in city {city!r}")
+
+    def __len__(self) -> int:
+        return len(self.positives)
+
+    def sample_negatives(self, user_index: int, count: int) -> np.ndarray:
+        """Uniformly sample ``count`` unvisited city POIs for a user."""
+        visited = self._visited.get(user_index, set())
+        out = np.empty(count, dtype=np.int64)
+        pool = self.city_poi_indices
+        for i in range(count):
+            # Rejection sampling: the visited set is tiny relative to the
+            # candidate pool, so this terminates almost immediately.
+            for _ in range(100):
+                candidate = int(pool[self._rng.integers(0, len(pool))])
+                if candidate not in visited:
+                    out[i] = candidate
+                    break
+            else:
+                out[i] = int(pool[self._rng.integers(0, len(pool))])
+        return out
+
+    def epoch(self, batch_size: int) -> Iterator[Tuple[np.ndarray, np.ndarray,
+                                                       np.ndarray]]:
+        """Yield shuffled batches of ``(user_idx, poi_idx, label)``.
+
+        Each positive contributes itself plus ``num_negatives`` sampled
+        negatives with label 0, as in the paper's training procedure.
+        """
+        check_positive("batch_size", batch_size)
+        users: List[int] = []
+        pois: List[int] = []
+        labels: List[float] = []
+        for u, v in self.positives:
+            users.append(u)
+            pois.append(v)
+            labels.append(1.0)
+            for neg in self.sample_negatives(u, self.num_negatives):
+                users.append(u)
+                pois.append(int(neg))
+                labels.append(0.0)
+        order = self._rng.permutation(len(users))
+        users_arr = np.asarray(users)[order]
+        pois_arr = np.asarray(pois)[order]
+        labels_arr = np.asarray(labels)[order]
+        for start in range(0, len(users_arr), batch_size):
+            sl = slice(start, start + batch_size)
+            yield users_arr[sl], pois_arr[sl], labels_arr[sl]
+
+
+class ContextPairSampler:
+    """Generates skipgram training pairs from a textual context graph.
+
+    Parameters
+    ----------
+    edges:
+        (poi_index, word_index) positive pairs.
+    num_words:
+        Vocabulary size, for sampling negative words.
+    num_negatives:
+        Negative words per positive pair.
+    """
+
+    def __init__(self, edges: Sequence[Tuple[int, int]], num_words: int,
+                 num_negatives: int = 4, rng: SeedLike = None) -> None:
+        if not edges:
+            raise ValueError("context sampler needs at least one edge")
+        check_positive("num_words", num_words)
+        check_positive("num_negatives", num_negatives)
+        self.edges = np.asarray(edges, dtype=np.int64)
+        self.num_words = num_words
+        self.num_negatives = num_negatives
+        self._rng = as_rng(rng)
+        self._positive_words: Dict[int, Set[int]] = {}
+        for poi, word in edges:
+            self._positive_words.setdefault(int(poi), set()).add(int(word))
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def sample_negative_words(self, poi_index: int, count: int) -> np.ndarray:
+        """Sample words outside the POI's positive context (w' ∉ W_v)."""
+        positives = self._positive_words.get(poi_index, set())
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            for _ in range(100):
+                candidate = int(self._rng.integers(0, self.num_words))
+                if candidate not in positives:
+                    out[i] = candidate
+                    break
+            else:
+                out[i] = int(self._rng.integers(0, self.num_words))
+        return out
+
+    def epoch(self, batch_size: int) -> Iterator[Tuple[np.ndarray, np.ndarray,
+                                                       np.ndarray]]:
+        """Yield batches of ``(poi_idx, pos_word_idx, neg_word_idx)``.
+
+        ``neg_word_idx`` has shape ``(batch, num_negatives)``.
+        """
+        check_positive("batch_size", batch_size)
+        order = self._rng.permutation(len(self.edges))
+        shuffled = self.edges[order]
+        for start in range(0, len(shuffled), batch_size):
+            chunk = shuffled[start:start + batch_size]
+            pois = chunk[:, 0]
+            words = chunk[:, 1]
+            negs = np.stack([
+                self.sample_negative_words(int(p), self.num_negatives)
+                for p in pois
+            ])
+            yield pois, words, negs

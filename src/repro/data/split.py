@@ -1,0 +1,95 @@
+"""Crossing-city train/test split (Section 4.1, "Dataset Construction").
+
+The paper's protocol: pick one target city; *crossing-city users* are
+those with check-ins in both the target and at least one source city.
+Their target-city check-ins become the test ground truth; everything
+else — all source-city check-ins, plus target-city check-ins of local
+users — is training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.data.dataset import CheckinDataset
+
+
+@dataclass
+class CrossingCitySplit:
+    """A train/test split for the crossing-city recommendation task.
+
+    Attributes
+    ----------
+    train:
+        Training dataset: every check-in except the crossing-city users'
+        target-city check-ins.  Contains *all* POIs (target-city POIs
+        must be rankable even if unvisited in training).
+    target_city:
+        The held-out city.
+    test_users:
+        Crossing-city user ids (the evaluation population).
+    ground_truth:
+        user id → set of target-city POI ids the user actually visited.
+    """
+
+    train: CheckinDataset
+    target_city: str
+    test_users: List[int]
+    ground_truth: Dict[int, Set[int]]
+
+    @property
+    def num_test_checkins(self) -> int:
+        return sum(len(v) for v in self.ground_truth.values())
+
+
+def make_crossing_city_split(dataset: CheckinDataset,
+                             target_city: str) -> CrossingCitySplit:
+    """Apply the paper's dataset-construction protocol.
+
+    Parameters
+    ----------
+    dataset:
+        The full check-in collection.
+    target_city:
+        City to hold out; must exist in the dataset.
+
+    Raises
+    ------
+    ValueError:
+        If the target city is unknown or no crossing-city users exist.
+    """
+    if target_city not in dataset.cities:
+        raise ValueError(
+            f"target city {target_city!r} not in dataset cities "
+            f"{dataset.cities}"
+        )
+    source_cities = [c for c in dataset.cities if c != target_city]
+
+    crossing_users: List[int] = []
+    for user_id in sorted(dataset.users):
+        visited = dataset.cities_of_user(user_id)
+        if target_city in visited and visited & set(source_cities):
+            crossing_users.append(user_id)
+    if not crossing_users:
+        raise ValueError(
+            "no crossing-city users: nobody visited both the target city "
+            "and a source city"
+        )
+
+    crossing_set = set(crossing_users)
+    ground_truth: Dict[int, Set[int]] = {u: set() for u in crossing_users}
+    train_records = []
+    for record in dataset.checkins:
+        if record.user_id in crossing_set and record.city == target_city:
+            ground_truth[record.user_id].add(record.poi_id)
+        else:
+            train_records.append(record)
+
+    train = CheckinDataset(dataset.pois.values(), train_records)
+    return CrossingCitySplit(
+        train=train,
+        target_city=target_city,
+        test_users=crossing_users,
+        ground_truth=ground_truth,
+    )

@@ -1,0 +1,84 @@
+"""Dataset statistics in the layout of the paper's Table 1.
+
+``dataset_statistics`` computes total users / POIs / words / check-ins
+plus the crossing-city slice (users visiting both source and target
+cities, and their target-city check-ins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import CheckinDataset
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Counts mirroring Table 1's rows for one dataset."""
+
+    num_users: int
+    num_pois: int
+    num_words: int
+    num_checkins: int
+    num_crossing_users: int
+    num_crossing_checkins: int
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(label, value) pairs in Table 1 order."""
+        return [
+            ("#Users", self.num_users),
+            ("#POIs", self.num_pois),
+            ("#Words", self.num_words),
+            ("#Check-ins", self.num_checkins),
+            ("Crossing #Users", self.num_crossing_users),
+            ("Crossing #Check-ins", self.num_crossing_checkins),
+        ]
+
+
+def city_statistics(dataset: CheckinDataset) -> dict:
+    """Per-city POI / user / check-in counts.
+
+    Returns ``{city: {"pois": n, "users": n, "checkins": n}}`` — the
+    breakdown behind Table 1's totals.
+    """
+    out = {}
+    for city in dataset.cities:
+        out[city] = {
+            "pois": len(dataset.pois_in_city(city)),
+            "users": len(dataset.users_in_city(city)),
+            "checkins": len(dataset.checkins_in_city(city)),
+        }
+    return out
+
+
+def dataset_statistics(dataset: CheckinDataset,
+                       target_city: str) -> DatasetStatistics:
+    """Compute Table 1 statistics for ``dataset`` with ``target_city``.
+
+    Crossing-city users are users with check-ins in the target city and
+    at least one other city; their crossing check-ins are the ones in the
+    target city.
+    """
+    if target_city not in dataset.cities:
+        raise ValueError(
+            f"target city {target_city!r} not in dataset cities "
+            f"{dataset.cities}"
+        )
+    crossing_users = 0
+    crossing_checkins = 0
+    for user_id in dataset.users:
+        visited = dataset.cities_of_user(user_id)
+        if target_city in visited and len(visited) > 1:
+            crossing_users += 1
+            crossing_checkins += sum(
+                1 for r in dataset.user_profile(user_id)
+                if r.city == target_city
+            )
+    return DatasetStatistics(
+        num_users=len(dataset.users),
+        num_pois=len(dataset.pois),
+        num_words=len(dataset.vocabulary()),
+        num_checkins=dataset.num_checkins(),
+        num_crossing_users=crossing_users,
+        num_crossing_checkins=crossing_checkins,
+    )

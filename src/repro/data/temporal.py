@@ -1,0 +1,108 @@
+"""Temporal evaluation splits.
+
+The paper's protocol holds out crossing-city users' target-city
+check-ins; follow-up work often evaluates temporally instead
+(train on each user's past, test on their future).  This module provides
+the two standard temporal splits, producing the same
+:class:`~repro.data.split.CrossingCitySplit` container so every
+evaluator and method works unchanged:
+
+* :func:`leave_last_k_out` — per crossing-city user, their last ``k``
+  target-city check-ins (by timestamp) are the test set;
+* :func:`time_threshold_split` — all target-city check-ins of
+  crossing-city users after a global cut-off time are test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.data.dataset import CheckinDataset
+from repro.data.split import CrossingCitySplit
+from repro.utils.validation import check_positive
+
+
+def _crossing_users(dataset: CheckinDataset, target_city: str) -> List[int]:
+    source_cities = set(dataset.cities) - {target_city}
+    users = []
+    for user_id in sorted(dataset.users):
+        visited = dataset.cities_of_user(user_id)
+        if target_city in visited and visited & source_cities:
+            users.append(user_id)
+    if not users:
+        raise ValueError("no crossing-city users in the dataset")
+    return users
+
+
+def leave_last_k_out(dataset: CheckinDataset, target_city: str,
+                     k: int = 2) -> CrossingCitySplit:
+    """Hold out each crossing user's last ``k`` target-city check-ins.
+
+    Users whose target-city history is not longer than ``k`` contribute
+    their entire target-city history (they still need ≥1 held-out event
+    to be evaluable, which the crossing-user definition guarantees).
+    """
+    check_positive("k", k)
+    if target_city not in dataset.cities:
+        raise ValueError(f"unknown target city {target_city!r}")
+    users = _crossing_users(dataset, target_city)
+    user_set = set(users)
+
+    held_out_keys: Set[int] = set()
+    ground_truth: Dict[int, Set[int]] = {}
+    for user_id in users:
+        target_records = [r for r in dataset.user_profile(user_id)
+                          if r.city == target_city]
+        held = target_records[-k:]
+        ground_truth[user_id] = {r.poi_id for r in held}
+        held_out_keys.update(id(r) for r in held)
+
+    train_records = [r for r in dataset.checkins
+                     if id(r) not in held_out_keys]
+    train = CheckinDataset(dataset.pois.values(), train_records)
+    return CrossingCitySplit(
+        train=train,
+        target_city=target_city,
+        test_users=users,
+        ground_truth=ground_truth,
+    )
+
+
+def time_threshold_split(dataset: CheckinDataset, target_city: str,
+                         cutoff: float) -> CrossingCitySplit:
+    """Hold out crossing users' target-city check-ins after ``cutoff``.
+
+    Users with no post-cutoff target check-ins are dropped from the
+    test population (they have nothing to predict).
+
+    Raises
+    ------
+    ValueError:
+        If no user has target-city check-ins after the cutoff.
+    """
+    if target_city not in dataset.cities:
+        raise ValueError(f"unknown target city {target_city!r}")
+    users = _crossing_users(dataset, target_city)
+
+    ground_truth: Dict[int, Set[int]] = {}
+    held_out_keys: Set[int] = set()
+    for user_id in users:
+        held = [r for r in dataset.user_profile(user_id)
+                if r.city == target_city and r.timestamp > cutoff]
+        if held:
+            ground_truth[user_id] = {r.poi_id for r in held}
+            held_out_keys.update(id(r) for r in held)
+    if not ground_truth:
+        raise ValueError(
+            f"no target-city check-ins after cutoff {cutoff}"
+        )
+
+    train_records = [r for r in dataset.checkins
+                     if id(r) not in held_out_keys]
+    train = CheckinDataset(dataset.pois.values(), train_records)
+    return CrossingCitySplit(
+        train=train,
+        target_city=target_city,
+        test_users=sorted(ground_truth),
+        ground_truth=ground_truth,
+    )

@@ -1,0 +1,87 @@
+"""Bidirectional mappings from entity keys to contiguous indices.
+
+Embedding tables need dense 0..n-1 indices; datasets carry arbitrary user
+ids, POI ids, and word strings.  :class:`IndexMap` provides the stable,
+order-preserving bridge, and :class:`DatasetIndex` bundles the three maps
+a model needs (users, POIs, words).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class IndexMap(Generic[K]):
+    """Assigns contiguous indices to keys in first-seen order."""
+
+    def __init__(self, keys: Iterable[K] = ()) -> None:
+        self._index: Dict[K, int] = {}
+        self._keys: List[K] = []
+        for key in keys:
+            self.add(key)
+
+    def add(self, key: K) -> int:
+        """Insert ``key`` if absent; return its index."""
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._keys)
+            self._index[key] = idx
+            self._keys.append(key)
+        return idx
+
+    def index_of(self, key: K) -> int:
+        """Return the index for ``key``; raises ``KeyError`` if absent."""
+        return self._index[key]
+
+    def get(self, key: K, default: int = -1) -> int:
+        """Return the index for ``key`` or ``default`` when absent."""
+        return self._index.get(key, default)
+
+    def key_of(self, index: int) -> K:
+        """Inverse lookup."""
+        return self._keys[index]
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._keys)
+
+    def keys(self) -> List[K]:
+        """All keys in index order (copy)."""
+        return list(self._keys)
+
+
+class DatasetIndex:
+    """User / POI / word index maps for one dataset.
+
+    Built once from a training dataset and shared by every model so that
+    embedding row ``i`` means the same entity everywhere.
+    """
+
+    def __init__(self, user_ids: Iterable[int], poi_ids: Iterable[int],
+                 words: Iterable[str]) -> None:
+        self.users: IndexMap[int] = IndexMap(user_ids)
+        self.pois: IndexMap[int] = IndexMap(poi_ids)
+        self.words: IndexMap[str] = IndexMap(words)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def num_pois(self) -> int:
+        return len(self.pois)
+
+    @property
+    def num_words(self) -> int:
+        return len(self.words)
+
+    def __repr__(self) -> str:
+        return (f"DatasetIndex(users={self.num_users}, pois={self.num_pois}, "
+                f"words={self.num_words})")

@@ -1,0 +1,107 @@
+"""``repro.eval`` — metrics, protocol, experiment runners, reporting."""
+
+from repro.eval.case_study import CaseStudy, RankedPOI, build_case_study
+from repro.eval.experiment import (
+    BENCH_SCALE,
+    BENCH_SEEDS,
+    ExperimentContext,
+    build_context,
+    run_ablation,
+    run_depth_sweep,
+    run_dropout_sweep,
+    run_embedding_size_sweep,
+    run_method_comparison,
+    run_resample_sweep,
+)
+from repro.eval.extended_metrics import (
+    auc,
+    extended_metrics_at_k,
+    hit_rate_at_k,
+    mrr_at_k,
+)
+from repro.eval.metrics import (
+    METRIC_NAMES,
+    all_metrics_at_k,
+    average_precision_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.protocol import (
+    DEFAULT_CUTOFFS,
+    EvaluationResult,
+    RankingEvaluator,
+    ScoringModel,
+)
+from repro.eval.significance import (
+    PairedComparison,
+    compare_methods,
+    paired_bootstrap,
+)
+from repro.eval.tuning import (
+    PAPER_LEARNING_RATES,
+    GridPoint,
+    GridSearchResult,
+    expand_grid,
+    grid_search,
+)
+from repro.eval.viz import (
+    bar_chart,
+    comparison_chart,
+    sparkline,
+    sweep_chart,
+)
+from repro.eval.reporting import (
+    format_all_metrics,
+    format_comparison,
+    format_hyper_table,
+    format_scalar_sweep,
+    format_sweep,
+)
+
+__all__ = [
+    "recall_at_k",
+    "precision_at_k",
+    "ndcg_at_k",
+    "average_precision_at_k",
+    "all_metrics_at_k",
+    "METRIC_NAMES",
+    "RankingEvaluator",
+    "EvaluationResult",
+    "ScoringModel",
+    "DEFAULT_CUTOFFS",
+    "ExperimentContext",
+    "build_context",
+    "run_method_comparison",
+    "run_ablation",
+    "run_resample_sweep",
+    "run_dropout_sweep",
+    "run_embedding_size_sweep",
+    "run_depth_sweep",
+    "BENCH_SCALE",
+    "BENCH_SEEDS",
+    "CaseStudy",
+    "RankedPOI",
+    "build_case_study",
+    "format_comparison",
+    "format_all_metrics",
+    "format_sweep",
+    "format_scalar_sweep",
+    "format_hyper_table",
+    "PairedComparison",
+    "paired_bootstrap",
+    "compare_methods",
+    "grid_search",
+    "expand_grid",
+    "GridPoint",
+    "GridSearchResult",
+    "PAPER_LEARNING_RATES",
+    "hit_rate_at_k",
+    "mrr_at_k",
+    "auc",
+    "extended_metrics_at_k",
+    "sparkline",
+    "bar_chart",
+    "sweep_chart",
+    "comparison_chart",
+]

@@ -1,0 +1,231 @@
+"""Experiment runners producing the paper's figures and tables as data.
+
+Each function takes a dataset preset name (``"foursquare"``/``"yelp"``)
+or an explicit split, trains whatever methods the experiment needs, and
+returns plain dictionaries of series — the benchmark modules print them
+in the layout of the corresponding paper artefact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.registry import (
+    METHOD_NAMES,
+    PROFILES,
+    MethodProfile,
+    make_method,
+)
+from repro.core.variants import VARIANT_NAMES
+from repro.data.split import CrossingCitySplit, make_crossing_city_split
+from repro.data.synthetic import (
+    SyntheticConfig,
+    foursquare_like,
+    generate_dataset,
+    yelp_like,
+)
+from repro.eval.protocol import RankingEvaluator
+from repro.utils.logging import get_logger
+
+logger = get_logger("eval.experiment")
+
+PRESET_BUILDERS = {
+    "foursquare": foursquare_like,
+    "yelp": yelp_like,
+}
+
+#: Dataset scale used by the benchmark harness (CPU-friendly).
+BENCH_SCALE = 0.6
+#: Model seeds averaged per stochastic method in comparisons.
+BENCH_SEEDS = (0, 1, 2)
+
+
+@dataclass
+class ExperimentContext:
+    """A generated dataset, its split, and a shared evaluator."""
+
+    name: str
+    config: SyntheticConfig
+    split: CrossingCitySplit
+    evaluator: RankingEvaluator
+    profile: MethodProfile
+
+    @property
+    def target_city(self) -> str:
+        return self.split.target_city
+
+
+def build_context(preset: str, scale: float = BENCH_SCALE,
+                  eval_seed: int = 42) -> ExperimentContext:
+    """Generate a preset dataset and wrap it for experiments."""
+    if preset not in PRESET_BUILDERS:
+        raise KeyError(f"unknown preset {preset!r}; valid: "
+                       f"{sorted(PRESET_BUILDERS)}")
+    config = PRESET_BUILDERS[preset](scale=scale)
+    dataset, _truth = generate_dataset(config)
+    split = make_crossing_city_split(dataset, config.target_city)
+    evaluator = RankingEvaluator(split, seed=eval_seed)
+    return ExperimentContext(
+        name=preset,
+        config=config,
+        split=split,
+        evaluator=evaluator,
+        profile=PROFILES[preset],
+    )
+
+
+def _evaluate_averaged(context: ExperimentContext, method_name: str,
+                       seeds: Sequence[int],
+                       **config_overrides) -> Dict[str, Dict[int, float]]:
+    """Fit+evaluate a method for several seeds; average metric tables."""
+    tables: List[Dict[str, Dict[int, float]]] = []
+    for seed in seeds:
+        profile = dataclasses.replace(context.profile, seed=seed)
+        if config_overrides and method_name.startswith("ST-TransRec"):
+            from repro.baselines.st_transrec_method import STTransRecMethod
+            variant = method_name if method_name != "ST-TransRec" else None
+            method = STTransRecMethod(
+                profile.st_transrec_config(**config_overrides),
+                variant=variant,
+            )
+        else:
+            method = make_method(method_name, profile)
+        method.fit(context.split)
+        tables.append(context.evaluator.evaluate(method).scores)
+    return _average_tables(tables)
+
+
+def _average_tables(tables: List[Dict[str, Dict[int, float]]]
+                    ) -> Dict[str, Dict[int, float]]:
+    out: Dict[str, Dict[int, float]] = {}
+    for metric in tables[0]:
+        out[metric] = {
+            k: float(np.mean([t[metric][k] for t in tables]))
+            for k in tables[0][metric]
+        }
+    return out
+
+
+def _seeds_for(method_name: str) -> Sequence[int]:
+    """Deterministic methods need one seed; stochastic ones several."""
+    deterministic = {"ItemPop", "CRCF"}
+    return (0,) if method_name in deterministic else BENCH_SEEDS
+
+
+# ----------------------------------------------------------------------
+# Figures 3 & 4 — method comparison
+# ----------------------------------------------------------------------
+def run_method_comparison(context: ExperimentContext,
+                          methods: Optional[Sequence[str]] = None
+                          ) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Metrics for every method: ``{method: {metric: {k: value}}}``."""
+    methods = list(methods) if methods is not None else list(METHOD_NAMES)
+    results: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for name in methods:
+        logger.info("comparison: fitting %s on %s", name, context.name)
+        results[name] = _evaluate_averaged(context, name, _seeds_for(name))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figures 5 & 6 — ablation over ST-TransRec variants
+# ----------------------------------------------------------------------
+def run_ablation(context: ExperimentContext
+                 ) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Metrics for ST-TransRec and its three ablated variants."""
+    results: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for name in VARIANT_NAMES:
+        logger.info("ablation: fitting %s on %s", name, context.name)
+        results[name] = _evaluate_averaged(context, name, BENCH_SEEDS)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figures 7 & 8 — resampling rate sweep
+# ----------------------------------------------------------------------
+def run_resample_sweep(context: ExperimentContext,
+                       alphas: Sequence[float] = (0.06, 0.08, 0.10,
+                                                  0.12, 0.15),
+                       cutoffs: Sequence[int] = (2, 6, 10)
+                       ) -> Dict[float, Dict[str, Dict[int, float]]]:
+    """ST-TransRec metrics as a function of the resampling rate α."""
+    results: Dict[float, Dict[str, Dict[int, float]]] = {}
+    for alpha in alphas:
+        logger.info("resample sweep: alpha=%s on %s", alpha, context.name)
+        table = _evaluate_averaged(context, "ST-TransRec", BENCH_SEEDS,
+                                   resample_alpha=alpha)
+        results[alpha] = {
+            metric: {k: table[metric][k] for k in cutoffs}
+            for metric in table
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — dropout sweep
+# ----------------------------------------------------------------------
+def run_dropout_sweep(context: ExperimentContext,
+                      rates: Sequence[float] = (0.0, 0.1, 0.2,
+                                                0.3, 0.4, 0.5),
+                      cutoff: int = 10
+                      ) -> Dict[float, Dict[str, float]]:
+    """ST-TransRec metrics @k=10 as a function of dropout rate."""
+    results: Dict[float, Dict[str, float]] = {}
+    for rate in rates:
+        logger.info("dropout sweep: rate=%s on %s", rate, context.name)
+        table = _evaluate_averaged(context, "ST-TransRec", BENCH_SEEDS,
+                                   dropout=rate)
+        results[rate] = {metric: table[metric][cutoff] for metric in table}
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table 4 — embedding size
+# ----------------------------------------------------------------------
+def run_embedding_size_sweep(context: ExperimentContext,
+                             sizes: Sequence[int] = (16, 32, 64, 128),
+                             cutoffs: Sequence[int] = (2, 4)
+                             ) -> Dict[int, Dict[str, Dict[int, float]]]:
+    """ST-TransRec metrics @ {2, 4} per embedding size."""
+    results: Dict[int, Dict[str, Dict[int, float]]] = {}
+    for size in sizes:
+        logger.info("embedding sweep: d=%s on %s", size, context.name)
+        table = _evaluate_averaged(context, "ST-TransRec", BENCH_SEEDS,
+                                   embedding_dim=size)
+        results[size] = {
+            metric: {k: table[metric][k] for k in cutoffs}
+            for metric in table
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table 5 — depth of hidden layers
+# ----------------------------------------------------------------------
+def run_depth_sweep(context: ExperimentContext,
+                    depths: Sequence[int] = (1, 2, 3, 4),
+                    cutoffs: Sequence[int] = (2, 4)
+                    ) -> Dict[int, Dict[str, Dict[int, float]]]:
+    """ST-TransRec metrics @ {2, 4} per number of hidden layers.
+
+    Depth n keeps the paper's funnel: the first n widths of
+    ``[2d, d, d/2, d/4]``.
+    """
+    d = context.profile.embedding_dim
+    funnel = [2 * d, d, max(d // 2, 1), max(d // 4, 1)]
+    results: Dict[int, Dict[str, Dict[int, float]]] = {}
+    for depth in depths:
+        if not 1 <= depth <= len(funnel):
+            raise ValueError(f"depth must be in [1, {len(funnel)}]")
+        logger.info("depth sweep: layers=%s on %s", depth, context.name)
+        table = _evaluate_averaged(context, "ST-TransRec", BENCH_SEEDS,
+                                   hidden_sizes=funnel[:depth])
+        results[depth] = {
+            metric: {k: table[metric][k] for k in cutoffs}
+            for metric in table
+        }
+    return results

@@ -1,0 +1,69 @@
+"""Metrics beyond the paper's four: HitRate@k, MRR@k, AUC.
+
+The paper evaluates with Recall/Precision/NDCG/MAP; these additions are
+standard in POI-recommendation follow-ups (e.g. the paper's evaluation
+reference, Liu et al. VLDB 2017, also reports them) and are useful when
+positioning new methods against this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+
+def hit_rate_at_k(ranked: Sequence[int], relevant: Set[int],
+                  k: int) -> float:
+    """1 if any relevant item appears in the top k, else 0."""
+    _validate(ranked, relevant, k)
+    return float(any(item in relevant for item in ranked[:k]))
+
+
+def mrr_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Reciprocal rank of the first relevant hit within the top k."""
+    _validate(ranked, relevant, k)
+    for i, item in enumerate(ranked[:k]):
+        if item in relevant:
+            return 1.0 / (i + 1)
+    return 0.0
+
+
+def auc(ranked: Sequence[int], relevant: Set[int]) -> float:
+    """Probability a random relevant item outranks a random negative.
+
+    Computed over the full ranked list (no cutoff); undefined (raises)
+    when the list has no negatives or no positives.
+    """
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    positions_pos = [i for i, item in enumerate(ranked)
+                     if item in relevant]
+    positions_neg = [i for i, item in enumerate(ranked)
+                     if item not in relevant]
+    if not positions_pos or not positions_neg:
+        raise ValueError("AUC needs both positives and negatives in list")
+    wins = 0
+    for p in positions_pos:
+        wins += sum(1 for n in positions_neg if p < n)
+    return wins / (len(positions_pos) * len(positions_neg))
+
+
+EXTENDED_METRIC_FUNCTIONS = {
+    "hit_rate": hit_rate_at_k,
+    "mrr": mrr_at_k,
+}
+
+
+def extended_metrics_at_k(ranked: Sequence[int], relevant: Set[int],
+                          k: int) -> Dict[str, float]:
+    """HitRate@k, MRR@k, and AUC for one ranked list."""
+    out = {name: fn(ranked, relevant, k)
+           for name, fn in EXTENDED_METRIC_FUNCTIONS.items()}
+    out["auc"] = auc(ranked, relevant)
+    return out
+
+
+def _validate(ranked: Sequence[int], relevant: Set[int], k: int) -> None:
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")

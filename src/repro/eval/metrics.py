@@ -1,0 +1,82 @@
+"""Ranking metrics: Recall@k, Precision@k, NDCG@k, MAP@k (Section 4.1).
+
+All metrics operate on a ranked candidate list and a set of relevant
+items, per test user; the protocol module averages them over users.
+Definitions follow the paper's reference [20] (Liu et al., VLDB 2017):
+
+* ``Recall@k``   = |top-k ∩ relevant| / |relevant|
+* ``Precision@k`` = |top-k ∩ relevant| / k
+* ``NDCG@k``     = DCG@k / IDCG@k with binary gains
+* ``MAP@k``      = mean of precision@i at each relevant hit i ≤ k,
+  normalized by min(|relevant|, k)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+import numpy as np
+
+
+def recall_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Fraction of relevant items retrieved in the top k."""
+    _validate(ranked, relevant, k)
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / len(relevant)
+
+
+def precision_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Fraction of the top k that is relevant."""
+    _validate(ranked, relevant, k)
+    hits = sum(1 for item in ranked[:k] if item in relevant)
+    return hits / k
+
+
+def ndcg_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Normalized discounted cumulative gain with binary relevance."""
+    _validate(ranked, relevant, k)
+    dcg = 0.0
+    for i, item in enumerate(ranked[:k]):
+        if item in relevant:
+            dcg += 1.0 / np.log2(i + 2)
+    ideal_hits = min(len(relevant), k)
+    idcg = sum(1.0 / np.log2(i + 2) for i in range(ideal_hits))
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def average_precision_at_k(ranked: Sequence[int], relevant: Set[int],
+                           k: int) -> float:
+    """AP@k: mean precision at each hit, over min(|relevant|, k)."""
+    _validate(ranked, relevant, k)
+    hits = 0
+    score = 0.0
+    for i, item in enumerate(ranked[:k]):
+        if item in relevant:
+            hits += 1
+            score += hits / (i + 1)
+    denom = min(len(relevant), k)
+    return score / denom if denom > 0 else 0.0
+
+
+METRIC_FUNCTIONS = {
+    "recall": recall_at_k,
+    "precision": precision_at_k,
+    "ndcg": ndcg_at_k,
+    "map": average_precision_at_k,
+}
+
+METRIC_NAMES = tuple(METRIC_FUNCTIONS)
+
+
+def all_metrics_at_k(ranked: Sequence[int], relevant: Set[int],
+                     k: int) -> Dict[str, float]:
+    """All four metrics for one ranked list at one cutoff."""
+    return {name: fn(ranked, relevant, k)
+            for name, fn in METRIC_FUNCTIONS.items()}
+
+
+def _validate(ranked: Sequence[int], relevant: Set[int], k: int) -> None:
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")

@@ -1,0 +1,97 @@
+"""Plain-text rendering of experiment outputs in the paper's layouts.
+
+The benchmark harness prints these tables so a run's stdout can be
+compared side by side with the paper's figures; EXPERIMENTS.md records
+the paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.eval.metrics import METRIC_NAMES
+
+
+def format_comparison(results: Dict[str, Dict[str, Dict[int, float]]],
+                      metric: str = "recall",
+                      cutoffs: Sequence[int] = (2, 4, 6, 8, 10)) -> str:
+    """Figures 3/4 layout: rows = methods, columns = k."""
+    if metric not in METRIC_NAMES:
+        raise ValueError(f"unknown metric {metric!r}")
+    header = f"{metric:<14}" + "".join(f"@{k:<8}" for k in cutoffs)
+    lines = [header]
+    for method, table in results.items():
+        row = f"{method:<14}"
+        for k in cutoffs:
+            row += f"{table[metric][k]:<9.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_all_metrics(results: Dict[str, Dict[str, Dict[int, float]]],
+                       cutoffs: Sequence[int] = (2, 4, 6, 8, 10)) -> str:
+    """One block per metric (full Figures 3/4 content)."""
+    blocks = [format_comparison(results, metric, cutoffs)
+              for metric in METRIC_NAMES]
+    return "\n\n".join(blocks)
+
+
+def format_sweep(results: Dict, value_label: str,
+                 metric: str = "recall") -> str:
+    """Figures 7/8 layout: rows = swept value, columns = cutoffs."""
+    lines = []
+    first = next(iter(results.values()))
+    cutoffs = sorted(first[metric].keys())
+    lines.append(f"{value_label:<12}" + "".join(
+        f"{metric}@{k:<7}" for k in cutoffs))
+    for value, table in results.items():
+        row = f"{value:<12}"
+        for k in cutoffs:
+            row += f"{table[metric][k]:<10.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_scalar_sweep(results: Dict[float, Dict[str, float]],
+                        value_label: str) -> str:
+    """Figure 9 layout: rows = swept value, columns = metrics @k=10."""
+    lines = [f"{value_label:<12}" + "".join(
+        f"{m:<12}" for m in METRIC_NAMES)]
+    for value, metrics in results.items():
+        row = f"{value:<12}"
+        for m in METRIC_NAMES:
+            row += f"{metrics[m]:<12.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def markdown_comparison(results: Dict[str, Dict[str, Dict[int, float]]],
+                        metric: str = "recall", k: int = 10) -> str:
+    """GitHub-flavoured markdown table of one metric@k per method.
+
+    Used to regenerate EXPERIMENTS.md's tables from a fresh run.
+    """
+    if metric not in METRIC_NAMES:
+        raise ValueError(f"unknown metric {metric!r}")
+    lines = [f"| Method | {metric}@{k} |", "|---|---|"]
+    for method, table in results.items():
+        lines.append(f"| {method} | {table[metric][k]:.4f} |")
+    return "\n".join(lines)
+
+
+def format_hyper_table(results: Dict[int, Dict[str, Dict[int, float]]],
+                       value_label: str,
+                       cutoffs: Sequence[int] = (2, 4)) -> str:
+    """Tables 4/5 layout: rows = swept value, metric × k columns."""
+    header = f"{value_label:<10}"
+    for metric in METRIC_NAMES:
+        for k in cutoffs:
+            header += f"{metric[:4]}@{k:<6}"
+    lines = [header]
+    for value, table in results.items():
+        row = f"{value:<10}"
+        for metric in METRIC_NAMES:
+            for k in cutoffs:
+                row += f"{table[metric][k]:<8.4f}"
+        lines.append(row)
+    return "\n".join(lines)

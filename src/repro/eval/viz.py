@@ -1,0 +1,73 @@
+"""Terminal visualization: sparklines and bar charts for result series.
+
+The harness is terminal-first; these helpers render metric sweeps and
+method comparisons as unicode charts so a benchmark run's stdout can be
+read at a glance (no plotting dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR_CHAR = "█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a numeric series.
+
+    Values are scaled to the series' own min/max; a constant series
+    renders at mid height.
+    """
+    if not values:
+        raise ValueError("sparkline needs at least one value")
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_LEVELS[3] * len(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        level = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40,
+              precision: int = 4) -> str:
+    """Horizontal bar chart, one row per labelled value.
+
+    Bars are scaled to the maximum value; labels are left-aligned to
+    the longest key.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max(values.values())
+    label_width = max(len(str(key)) for key in values)
+    lines = []
+    for key, value in values.items():
+        filled = int(round(value / peak * width)) if peak > 0 else 0
+        bar = _BAR_CHAR * filled
+        lines.append(f"{str(key):<{label_width}}  {bar} {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def sweep_chart(results: Mapping[float, float], value_label: str,
+                metric_label: str, width: int = 40) -> str:
+    """Bar chart of a hyper-parameter sweep plus a sparkline summary."""
+    if not results:
+        raise ValueError("sweep_chart needs at least one point")
+    ordered = dict(sorted(results.items()))
+    header = (f"{value_label} -> {metric_label}   "
+              f"[{sparkline(list(ordered.values()))}]")
+    bars = bar_chart({f"{k:g}": v for k, v in ordered.items()}, width=width)
+    return header + "\n" + bars
+
+
+def comparison_chart(results: Mapping[str, Mapping[str, Dict[int, float]]],
+                     metric: str = "recall", k: int = 10,
+                     width: int = 40) -> str:
+    """Bar chart of a method-comparison result at one (metric, k)."""
+    values = {method: table[metric][k] for method, table in results.items()}
+    return (f"{metric}@{k}\n" + bar_chart(values, width=width))

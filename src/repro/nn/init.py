@@ -1,0 +1,38 @@
+"""Weight initializers.
+
+The paper initializes parameters "with a Gaussian distribution"; we
+default to that for embeddings and use He initialization for the ReLU MLP
+tower, which keeps activations well-scaled at the depths the paper sweeps
+(Table 5 goes to four hidden layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def normal(shape: tuple, std: float = 0.01, rng: SeedLike = None) -> np.ndarray:
+    """Zero-mean Gaussian init with standard deviation ``std``."""
+    return as_rng(rng).normal(0.0, std, size=shape)
+
+
+def he_normal(shape: tuple, rng: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) normal init for ReLU layers: std = sqrt(2 / fan_in)."""
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return as_rng(rng).normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple, rng: SeedLike = None) -> np.ndarray:
+    """Glorot uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    fan_out = shape[1] if len(shape) >= 2 else fan_in
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return as_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,19 @@
+"""``repro.parallel`` — synchronous data-parallel training (Table 2)."""
+
+from repro.parallel.data_parallel import (
+    DataParallelTrainer,
+    ParallelEpochStats,
+)
+from repro.parallel.timing import (
+    TimingRow,
+    format_timing_table,
+    measure_training_time,
+)
+
+__all__ = [
+    "DataParallelTrainer",
+    "ParallelEpochStats",
+    "TimingRow",
+    "measure_training_time",
+    "format_timing_table",
+]

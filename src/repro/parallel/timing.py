@@ -1,0 +1,62 @@
+"""Table 2 harness: per-epoch training time vs number of workers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import STTransRecConfig
+from repro.data.split import CrossingCitySplit
+from repro.parallel.data_parallel import DataParallelTrainer, ParallelEpochStats
+
+
+@dataclass
+class TimingRow:
+    """One cell of Table 2: mean epoch seconds for a worker count."""
+
+    num_workers: int
+    epochs_timed: int
+    mean_seconds: float
+    mean_loss: float
+
+
+def measure_training_time(split: CrossingCitySplit,
+                          config: STTransRecConfig,
+                          worker_counts: Sequence[int] = (1, 2),
+                          epochs: int = 2,
+                          warmup_epochs: int = 1) -> List[TimingRow]:
+    """Time data-parallel epochs for each worker count.
+
+    A warm-up epoch is run (and discarded) per configuration so process
+    start-up and allocator effects do not contaminate the measurement.
+    """
+    rows: List[TimingRow] = []
+    for workers in worker_counts:
+        with DataParallelTrainer(split, config, num_workers=workers) as dp:
+            for _ in range(warmup_epochs):
+                dp.train_epoch()
+            stats: List[ParallelEpochStats] = [
+                dp.train_epoch() for _ in range(epochs)
+            ]
+        rows.append(TimingRow(
+            num_workers=workers,
+            epochs_timed=epochs,
+            mean_seconds=sum(s.seconds for s in stats) / len(stats),
+            mean_loss=sum(s.mean_loss for s in stats) / len(stats),
+        ))
+    return rows
+
+
+def format_timing_table(rows_by_dataset: Dict[str, List[TimingRow]]) -> str:
+    """Render in Table 2's layout (datasets × worker counts)."""
+    lines = []
+    for dataset, rows in rows_by_dataset.items():
+        lines.append(f"{dataset}:")
+        for row in rows:
+            label = ("Single-worker" if row.num_workers == 1
+                     else f"Multi-worker-{row.num_workers}")
+            lines.append(f"  {label:<16} {row.mean_seconds:.2f}s/epoch")
+        if len(rows) >= 2 and rows[-1].mean_seconds > 0:
+            speedup = rows[0].mean_seconds / rows[-1].mean_seconds
+            lines.append(f"  speedup          {speedup:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""``repro.spatial`` — grids, region segmentation, densities, resampling."""
+
+from repro.spatial.density import RegionDensityModel, build_density_model
+from repro.spatial.geometry import centroid, euclidean, pairwise_distances
+from repro.spatial.grid import BoundingBox, Cell, CityGrid
+from repro.spatial.resampling import (
+    DensityResampler,
+    ResamplePlan,
+    empirical_poi_sample,
+)
+from repro.spatial.segmentation import (
+    Region,
+    Segmentation,
+    common_user_distance,
+    segment_city,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Cell",
+    "CityGrid",
+    "Region",
+    "Segmentation",
+    "segment_city",
+    "common_user_distance",
+    "RegionDensityModel",
+    "build_density_model",
+    "DensityResampler",
+    "ResamplePlan",
+    "empirical_poi_sample",
+    "euclidean",
+    "centroid",
+    "pairwise_distances",
+]

@@ -1,0 +1,117 @@
+"""Region densities and the two sampling distributions (Eqs. 7–8).
+
+Given a segmentation and the training check-ins, this module computes:
+
+* ``ρ_r = n_r / S_r`` — check-ins per cell, per region;
+* ``P(V = v | r)`` (Eq. 7) — within-region POI distribution proportional
+  to each POI's check-in count;
+* ``P(r | c)`` (Eq. 8) — the *inverse-density* region distribution
+  ``(ρ_r* / ρ_r) / Σ_r' (ρ_r* / ρ_r')`` that favours sparse regions, so
+  resampling boosts exactly the under-represented areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.data.dataset import CheckinDataset
+from repro.spatial.segmentation import Segmentation
+
+
+@dataclass
+class RegionDensityModel:
+    """Densities and sampling distributions for one segmented city.
+
+    Attributes
+    ----------
+    segmentation:
+        The underlying region structure.
+    region_densities:
+        ρ_r per region (check-ins per cell).
+    poi_distributions:
+        Per region: (poi_ids array, probability array) for Eq. 7.
+    region_distribution:
+        P(r|c) over regions (Eq. 8).
+    checkins_per_poi:
+        Raw training check-in counts per POI.
+    """
+
+    segmentation: Segmentation
+    region_densities: np.ndarray
+    poi_distributions: Dict[int, tuple]
+    region_distribution: np.ndarray
+    checkins_per_poi: Dict[int, int]
+
+    @property
+    def max_density(self) -> float:
+        """ρ_r* — the densest region's density."""
+        return float(self.region_densities.max()) if len(
+            self.region_densities) else 0.0
+
+    def deficit(self, region_id: int) -> int:
+        """n'_r from Eq. 6: check-ins needed to reach max density.
+
+        ``(n_r + n'_r) / S_r = n_r* / S_r*``  ⇒
+        ``n'_r = ρ_r* · S_r − n_r`` (rounded down, floored at 0).
+        """
+        region = self.segmentation.regions[region_id]
+        target = self.max_density * region.num_cells
+        return max(0, int(np.floor(target - region.num_checkins)))
+
+    def total_deficit(self) -> int:
+        """Σ_r n'_r over all regions."""
+        return sum(self.deficit(r.region_id)
+                   for r in self.segmentation.regions)
+
+
+def build_density_model(dataset: CheckinDataset,
+                        segmentation: Segmentation) -> RegionDensityModel:
+    """Compute densities and Eq. 7 / Eq. 8 distributions for a city."""
+    city = segmentation.city
+    checkins_per_poi: Dict[int, int] = {}
+    for record in dataset.checkins_in_city(city):
+        checkins_per_poi[record.poi_id] = checkins_per_poi.get(
+            record.poi_id, 0) + 1
+
+    densities = np.array([r.density() for r in segmentation.regions],
+                         dtype=np.float64)
+
+    # Eq. 7 — P(V=v|r) ∝ n_{r,v}; POIs without check-ins get a unit
+    # pseudo-count so unvisited POIs in sparse regions remain sampleable
+    # (the whole point of resampling is to surface them).
+    poi_distributions: Dict[int, tuple] = {}
+    for region in segmentation.regions:
+        poi_ids = np.array(sorted(region.poi_ids), dtype=np.int64)
+        if len(poi_ids) == 0:
+            poi_distributions[region.region_id] = (poi_ids,
+                                                   np.array([], dtype=float))
+            continue
+        counts = np.array(
+            [max(checkins_per_poi.get(int(v), 0), 1) for v in poi_ids],
+            dtype=np.float64,
+        )
+        poi_distributions[region.region_id] = (poi_ids, counts / counts.sum())
+
+    # Eq. 8 — P(r|c) ∝ ρ_r* / ρ_r (sparser regions sampled more often).
+    max_density = densities.max() if len(densities) else 0.0
+    if max_density > 0:
+        safe = np.where(densities > 0, densities, np.nan)
+        inverse = max_density / safe
+        # Regions with zero density get the largest boost observed.
+        fallback = np.nanmax(inverse) if np.isfinite(inverse).any() else 1.0
+        inverse = np.where(np.isnan(inverse), fallback, inverse)
+        region_distribution = inverse / inverse.sum()
+    else:
+        n = max(len(densities), 1)
+        region_distribution = np.full(n, 1.0 / n)
+
+    return RegionDensityModel(
+        segmentation=segmentation,
+        region_densities=densities,
+        poi_distributions=poi_distributions,
+        region_distribution=region_distribution,
+        checkins_per_poi=checkins_per_poi,
+    )

@@ -1,0 +1,30 @@
+"""Small geometric helpers shared by spatial modules and baselines."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def euclidean(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Euclidean distance between two (x, y) points."""
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+def centroid(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """Mean point of a non-empty collection."""
+    if not points:
+        raise ValueError("centroid of empty point set")
+    arr = np.asarray(points, dtype=np.float64)
+    center = arr.mean(axis=0)
+    return (float(center[0]), float(center[1]))
+
+
+def pairwise_distances(points: Sequence[Tuple[float, float]]) -> np.ndarray:
+    """Dense all-pairs Euclidean distance matrix."""
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {arr.shape}")
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))

@@ -1,0 +1,127 @@
+"""City grid: map POI locations to `n1 × n2` cells.
+
+The resampling pipeline (Section 3.1.4) first divides a city uniformly
+into equal-sized grids; each POI corresponds to a cell by its location.
+This module owns the geometry: bounding box, cell assignment, and cell
+adjacency (4-neighbourhood) used by the segmentation algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.data.records import POI
+from repro.utils.validation import check_positive
+
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of a city in local coordinates."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError(f"degenerate bounding box {self}")
+
+    @staticmethod
+    def of_points(points: Sequence[Tuple[float, float]]) -> "BoundingBox":
+        """Smallest box containing all points, padded if degenerate."""
+        if not points:
+            raise ValueError("cannot build a bounding box from no points")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        min_x, max_x = min(xs), max(xs)
+        min_y, max_y = min(ys), max(ys)
+        if max_x <= min_x:
+            max_x = min_x + 1.0
+        if max_y <= min_y:
+            max_y = min_y + 1.0
+        return BoundingBox(min_x, min_y, max_x, max_y)
+
+
+class CityGrid:
+    """A uniform `n1 × n2` partition of a city's bounding box.
+
+    Parameters
+    ----------
+    pois:
+        POIs of one city (all must share the same city name).
+    shape:
+        ``(n1, n2)`` number of grid rows/columns.
+    """
+
+    def __init__(self, pois: Sequence[POI], shape: Tuple[int, int]) -> None:
+        if not pois:
+            raise ValueError("CityGrid needs at least one POI")
+        cities = {p.city for p in pois}
+        if len(cities) != 1:
+            raise ValueError(f"POIs span multiple cities: {sorted(cities)}")
+        check_positive("n1", shape[0])
+        check_positive("n2", shape[1])
+        self.city = pois[0].city
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.bbox = BoundingBox.of_points([p.location for p in pois])
+        self.pois = list(pois)
+        self._cell_of: Dict[int, Cell] = {
+            p.poi_id: self.cell_of_location(p.location) for p in pois
+        }
+        self._pois_by_cell: Dict[Cell, List[POI]] = {}
+        for poi in pois:
+            self._pois_by_cell.setdefault(self._cell_of[poi.poi_id], []).append(poi)
+
+    # ------------------------------------------------------------------
+    def cell_of_location(self, location: Tuple[float, float]) -> Cell:
+        """Map an ``(x, y)`` location to its grid cell (clamped to box)."""
+        n1, n2 = self.shape
+        span_x = self.bbox.max_x - self.bbox.min_x
+        span_y = self.bbox.max_y - self.bbox.min_y
+        fx = (location[0] - self.bbox.min_x) / span_x
+        fy = (location[1] - self.bbox.min_y) / span_y
+        row = min(max(int(fx * n1), 0), n1 - 1)
+        col = min(max(int(fy * n2), 0), n2 - 1)
+        return (row, col)
+
+    def cell_of_poi(self, poi_id: int) -> Cell:
+        """The cell containing a POI."""
+        return self._cell_of[poi_id]
+
+    def pois_in_cell(self, cell: Cell) -> List[POI]:
+        """POIs located in ``cell`` (empty list when none)."""
+        return list(self._pois_by_cell.get(cell, []))
+
+    def occupied_cells(self) -> List[Cell]:
+        """Cells containing at least one POI, sorted."""
+        return sorted(self._pois_by_cell)
+
+    def all_cells(self) -> Iterator[Cell]:
+        """Iterate every cell of the grid (occupied or not)."""
+        n1, n2 = self.shape
+        for row in range(n1):
+            for col in range(n2):
+                yield (row, col)
+
+    def neighbors(self, cell: Cell) -> List[Cell]:
+        """4-neighbourhood of ``cell`` within the grid bounds."""
+        row, col = cell
+        n1, n2 = self.shape
+        out = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            r, c = row + dr, col + dc
+            if 0 <= r < n1 and 0 <= c < n2:
+                out.append((r, c))
+        return out
+
+    @property
+    def num_cells(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def __repr__(self) -> str:
+        return (f"CityGrid(city={self.city!r}, shape={self.shape}, "
+                f"pois={len(self.pois)})")

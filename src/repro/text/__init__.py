@@ -1,0 +1,14 @@
+"""``repro.text`` — textual context graph and skipgram objectives."""
+
+from repro.text.context_graph import (
+    TextualContextGraph,
+    build_city_context_graph,
+)
+from repro.text.skipgram import pretrain_poi_embeddings, skipgram_batch_loss
+
+__all__ = [
+    "TextualContextGraph",
+    "build_city_context_graph",
+    "skipgram_batch_loss",
+    "pretrain_poi_embeddings",
+]

@@ -1,0 +1,124 @@
+"""Textual context graph G_vw (Definition 2).
+
+A bipartite graph between POIs and the words of their textual
+descriptions: nodes are POIs and words, and each POI is connected to
+every word in its categories/tips.  Skipgram context prediction over
+this graph (Eq. 4) is what gives two POIs with similar descriptions
+similar embeddings — the medium through which preferences transfer
+across cities.
+
+Built on :mod:`networkx` for graph algorithms (degree statistics,
+connected components in diagnostics) with an edge-list fast path for the
+training samplers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.data.dataset import CheckinDataset
+from repro.data.records import POI
+from repro.data.vocabulary import DatasetIndex
+
+
+class TextualContextGraph:
+    """The POI–word bipartite graph for one or more cities.
+
+    Parameters
+    ----------
+    pois:
+        POIs whose descriptions become edges.
+    index:
+        Shared dataset index providing POI and word indices.
+
+    Notes
+    -----
+    Edges are stored both as a :class:`networkx.Graph` (node attribute
+    ``bipartite`` is ``"poi"`` or ``"word"``) and as an index-space edge
+    list for the skipgram sampler.
+    """
+
+    def __init__(self, pois: Iterable[POI], index: DatasetIndex) -> None:
+        self.index = index
+        self.graph = nx.Graph()
+        self._edges: List[Tuple[int, int]] = []
+        poi_list = list(pois)
+        if not poi_list:
+            raise ValueError("context graph needs at least one POI")
+        for poi in poi_list:
+            v = index.pois.get(poi.poi_id)
+            if v < 0:
+                raise KeyError(f"POI {poi.poi_id} missing from index")
+            poi_node = ("poi", v)
+            self.graph.add_node(poi_node, bipartite="poi")
+            for word in poi.words:
+                w = index.words.get(word)
+                if w < 0:
+                    # Words outside the training vocabulary are skipped;
+                    # they cannot receive embeddings.
+                    continue
+                word_node = ("word", w)
+                self.graph.add_node(word_node, bipartite="word")
+                if not self.graph.has_edge(poi_node, word_node):
+                    self.graph.add_edge(poi_node, word_node)
+                    self._edges.append((v, w))
+        if not self._edges:
+            raise ValueError("context graph has no edges — no known words")
+        self._edges.sort()
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """(poi_index, word_index) pairs, sorted."""
+        return list(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_poi_nodes(self) -> int:
+        return sum(1 for _, d in self.graph.nodes(data=True)
+                   if d["bipartite"] == "poi")
+
+    @property
+    def num_word_nodes(self) -> int:
+        return sum(1 for _, d in self.graph.nodes(data=True)
+                   if d["bipartite"] == "word")
+
+    def words_of_poi(self, poi_index: int) -> List[int]:
+        """Word indices adjacent to a POI (its positive contexts W_v)."""
+        node = ("poi", poi_index)
+        if node not in self.graph:
+            return []
+        return sorted(w for _, (kind, w) in self.graph.edges(node)
+                      if kind == "word")
+
+    def pois_of_word(self, word_index: int) -> List[int]:
+        """POI indices adjacent to a word."""
+        node = ("word", word_index)
+        if node not in self.graph:
+            return []
+        return sorted(v for _, (kind, v) in self.graph.edges(node)
+                      if kind == "poi")
+
+    def average_poi_degree(self) -> float:
+        """Mean number of words per POI (the paper's complexity term n)."""
+        degrees = [deg for node, deg in self.graph.degree()
+                   if node[0] == "poi"]
+        return sum(degrees) / len(degrees) if degrees else 0.0
+
+    def __repr__(self) -> str:
+        return (f"TextualContextGraph(pois={self.num_poi_nodes}, "
+                f"words={self.num_word_nodes}, edges={self.num_edges})")
+
+
+def build_city_context_graph(dataset: CheckinDataset, index: DatasetIndex,
+                             city: str) -> TextualContextGraph:
+    """Context graph restricted to one city's POIs."""
+    pois = dataset.pois_in_city(city)
+    if not pois:
+        raise ValueError(f"no POIs in city {city!r}")
+    return TextualContextGraph(pois, index)

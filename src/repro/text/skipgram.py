@@ -1,0 +1,78 @@
+"""Skipgram context prediction over the textual context graph (Eq. 4).
+
+Given POI and word embedding tables, the loss for a batch of graph edges
+is the negative-sampling objective
+
+    L = -Σ [ log σ(x_w · x_v) + Σ_{w'∉W_v} log σ(-x_{w'} · x_v) ]
+
+which pushes a POI's embedding toward its description words and away
+from sampled non-context words.  POIs sharing contexts end up nearby —
+including across cities when the shared words are city-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding
+from repro.nn.losses import negative_sampling_loss
+from repro.nn.ops import rowwise_dot
+from repro.nn.tensor import Tensor
+
+
+def skipgram_batch_loss(poi_embeddings: Embedding,
+                        word_embeddings: Embedding,
+                        poi_idx: np.ndarray,
+                        pos_word_idx: np.ndarray,
+                        neg_word_idx: np.ndarray) -> Tensor:
+    """Eq. 4 on one mini-batch of context pairs.
+
+    Parameters
+    ----------
+    poi_embeddings, word_embeddings:
+        Embedding tables (graph leaves receiving gradients).
+    poi_idx:
+        POI indices, shape ``(batch,)``.
+    pos_word_idx:
+        Positive word indices, shape ``(batch,)``.
+    neg_word_idx:
+        Negative word indices, shape ``(batch, k)``.
+
+    Returns
+    -------
+    Scalar mean loss tensor.
+    """
+    poi_vecs = poi_embeddings(poi_idx)                      # (B, d)
+    pos_vecs = word_embeddings(pos_word_idx)                # (B, d)
+    pos_scores = rowwise_dot(poi_vecs, pos_vecs)            # (B,)
+
+    batch, k = np.asarray(neg_word_idx).shape
+    neg_vecs = word_embeddings(np.asarray(neg_word_idx).reshape(-1))  # (B*k, d)
+    # Broadcast each POI vector over its k negatives.
+    poi_rep = poi_vecs.gather_rows(np.repeat(np.arange(batch), k))    # (B*k, d)
+    neg_scores = rowwise_dot(poi_rep, neg_vecs).reshape(batch, k)     # (B, k)
+    return negative_sampling_loss(pos_scores, neg_scores)
+
+
+def pretrain_poi_embeddings(sampler, poi_embeddings: Embedding,
+                            word_embeddings: Embedding, optimizer,
+                            epochs: int = 1, batch_size: int = 256) -> list:
+    """Optimize only the skipgram objective for a few epochs.
+
+    Standalone context-prediction training, used by the Word2vec-style
+    initialization and by baselines (PACE) that pre-train textual POI
+    embeddings.  Returns per-epoch mean losses.
+    """
+    history = []
+    for _ in range(epochs):
+        losses = []
+        for poi_idx, word_idx, neg_idx in sampler.epoch(batch_size):
+            optimizer.zero_grad()
+            loss = skipgram_batch_loss(
+                poi_embeddings, word_embeddings, poi_idx, word_idx, neg_idx
+            )
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)) if losses else 0.0)
+    return history

@@ -1,0 +1,23 @@
+"""``repro.transfer`` — kernels and MMD estimators for embedding transfer."""
+
+from repro.transfer.kernels import (
+    GaussianKernel,
+    MultiGaussianKernel,
+    median_heuristic_bandwidth,
+)
+from repro.transfer.mmd import (
+    mmd_between_embeddings,
+    mmd_linear,
+    mmd_quadratic,
+    mmd_unbiased,
+)
+
+__all__ = [
+    "GaussianKernel",
+    "MultiGaussianKernel",
+    "median_heuristic_bandwidth",
+    "mmd_quadratic",
+    "mmd_unbiased",
+    "mmd_linear",
+    "mmd_between_embeddings",
+]

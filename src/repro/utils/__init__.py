@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG handling, validation, logging."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+]

@@ -1,0 +1,29 @@
+"""Library logging setup.
+
+The library never configures the root logger; it logs under the ``repro``
+namespace and leaves handler setup to applications.  :func:`enable_console`
+is a convenience for scripts and examples.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` logger (idempotent)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)

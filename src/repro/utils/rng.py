@@ -1,0 +1,45 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (dataset synthesis, negative
+sampling, weight initialization, resampling, dropout) accepts a ``seed``
+argument that may be an ``int``, an existing ``numpy.random.Generator``,
+or ``None``.  Routing everything through :func:`as_rng` keeps experiments
+reproducible end to end: the benchmark harness seeds one generator per
+experiment and threads it through all components.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    An existing generator is passed through unchanged so that callers can
+    share one stream; an ``int`` (or ``None``) creates a fresh PCG64 stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``.
+
+    Used by the data-parallel trainer so each worker replica draws from a
+    statistically independent stream while the whole run stays a pure
+    function of the root seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own state for determinism.
+        child_seed = int(seed.integers(0, 2**63 - 1))
+        root = np.random.SeedSequence(child_seed)
+    return [np.random.default_rng(s) for s in root.spawn(count)]

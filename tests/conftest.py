@@ -1,0 +1,55 @@
+"""Shared fixtures: tiny synthetic datasets sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.split import make_crossing_city_split
+from repro.data.synthetic import CitySpec, SyntheticConfig, generate_dataset
+
+
+def tiny_config(seed: int = 3) -> SyntheticConfig:
+    """A minimal two-city world: fast to generate, fast to train on."""
+    return SyntheticConfig(
+        cities=[
+            CitySpec("springfield", grid_shape=(4, 4), num_regions=2,
+                     num_pois=40, num_local_users=20,
+                     accessibility_skew=1.2, topic_tilt=0.8),
+            CitySpec("shelbyville", grid_shape=(4, 4), num_regions=2,
+                     num_pois=36, num_local_users=18,
+                     accessibility_skew=1.4, topic_tilt=0.5),
+        ],
+        target_city="shelbyville",
+        num_topics=4,
+        shared_words_per_topic=6,
+        city_words_per_topic=3,
+        num_generic_words=8,
+        generic_fraction=0.15,
+        words_per_poi=5,
+        city_dependent_fraction=0.4,
+        num_crossing_users=10,
+        checkins_per_local_user=15,
+        crossing_target_checkins=4,
+        drift=0.25,
+        trips_per_user=4,
+        preference_concentration=0.25,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """(dataset, ground_truth) for the tiny world."""
+    return generate_dataset(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    dataset, _truth = tiny_dataset
+    return make_crossing_city_split(dataset, "shelbyville")
+
+
+@pytest.fixture(scope="session")
+def tiny_truth(tiny_dataset):
+    _dataset, truth = tiny_dataset
+    return truth

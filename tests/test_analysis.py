@@ -1,0 +1,132 @@
+"""Embedding analysis and cross-city matching tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EmbeddingSpace,
+    cross_city_alignment,
+    embedding_mmd,
+    match_pois_across_cities,
+)
+from repro.analysis.matching import topic_match_rate
+from repro.core.trainer import STTransRecTrainer
+
+from tests.test_core_trainer import fast_config
+
+
+@pytest.fixture(scope="module")
+def trained_space(tiny_split):
+    trainer = STTransRecTrainer(tiny_split, fast_config(epochs=4,
+                                                        pretrain_epochs=8))
+    trainer.fit()
+    return EmbeddingSpace(
+        vectors=trainer.model.poi_vectors(),
+        index=trainer.index,
+        dataset=tiny_split.train,
+    )
+
+
+class TestEmbeddingSpace:
+    def test_shape_validation(self, tiny_split):
+        index = tiny_split.train.build_index()
+        with pytest.raises(ValueError):
+            EmbeddingSpace(np.zeros((3, 4)), index, tiny_split.train)
+
+    def test_vector_of(self, trained_space):
+        poi_id = next(iter(trained_space.dataset.pois))
+        vec = trained_space.vector_of(poi_id)
+        assert vec.shape == (trained_space.vectors.shape[1],)
+
+    def test_rows_for_city(self, trained_space):
+        block, ids = trained_space.rows_for_city("shelbyville")
+        assert block.shape[0] == len(ids) == 36
+
+    def test_unknown_city_rejected(self, trained_space):
+        with pytest.raises(ValueError):
+            trained_space.rows_for_city("atlantis")
+
+    def test_normalized_unit_norm(self, trained_space):
+        norms = np.linalg.norm(trained_space.normalized(), axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+
+class TestAlignment:
+    def test_alignment_fields(self, trained_space):
+        alignment = cross_city_alignment(trained_space, "springfield",
+                                         "shelbyville")
+        assert alignment.topics_compared > 0
+        assert -1.0 <= alignment.same_topic_cosine <= 1.0
+        assert alignment.margin == (alignment.same_topic_cosine
+                                    - alignment.different_topic_cosine)
+
+    def test_trained_model_has_positive_margin(self, trained_space):
+        alignment = cross_city_alignment(trained_space, "springfield",
+                                         "shelbyville")
+        assert alignment.margin > 0.0
+
+    def test_real_data_without_topics_rejected(self, trained_space):
+        import dataclasses
+        from repro.data.dataset import CheckinDataset
+        from repro.data.records import POI
+        stripped = CheckinDataset(
+            [POI(p.poi_id, p.city, p.location, p.words, topic=-1)
+             for p in trained_space.dataset.pois.values()],
+            trained_space.dataset.checkins,
+        )
+        space = EmbeddingSpace(trained_space.vectors, trained_space.index,
+                               stripped)
+        with pytest.raises(ValueError):
+            cross_city_alignment(space, "springfield", "shelbyville")
+
+
+class TestEmbeddingMMD:
+    def test_non_negative_and_finite(self, trained_space):
+        value = embedding_mmd(trained_space, "springfield", "shelbyville")
+        assert np.isfinite(value)
+        assert value >= -1e-9
+
+    def test_same_city_near_zero(self, trained_space):
+        value = embedding_mmd(trained_space, "shelbyville", "shelbyville")
+        assert value < 0.05
+
+
+class TestMatching:
+    def test_matches_cover_requested_pois(self, trained_space):
+        _, source_ids = trained_space.rows_for_city("springfield")
+        matches = match_pois_across_cities(
+            trained_space, "springfield", "shelbyville",
+            poi_ids=source_ids[:5], top_k=2,
+        )
+        assert len(matches) == 10
+        assert all(trained_space.dataset.pois[m.target_poi_id].city
+                   == "shelbyville" for m in matches)
+
+    def test_cosines_sorted_per_source(self, trained_space):
+        _, source_ids = trained_space.rows_for_city("springfield")
+        matches = match_pois_across_cities(
+            trained_space, "springfield", "shelbyville",
+            poi_ids=source_ids[:1], top_k=3,
+        )
+        cosines = [m.cosine for m in matches]
+        assert cosines == sorted(cosines, reverse=True)
+
+    def test_wrong_city_poi_rejected(self, trained_space):
+        _, target_ids = trained_space.rows_for_city("shelbyville")
+        with pytest.raises(ValueError):
+            match_pois_across_cities(
+                trained_space, "springfield", "shelbyville",
+                poi_ids=target_ids[:1],
+            )
+
+    def test_topic_match_rate_above_chance(self, trained_space):
+        matches = match_pois_across_cities(
+            trained_space, "springfield", "shelbyville", top_k=1,
+        )
+        rate = topic_match_rate(matches)
+        # 4 topics → chance is 0.25; transfer should beat it comfortably.
+        assert rate > 0.4
+
+    def test_topic_match_rate_requires_labels(self):
+        with pytest.raises(ValueError):
+            topic_match_rate([])

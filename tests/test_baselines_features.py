@@ -1,0 +1,98 @@
+"""Shared feature extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.features import (
+    common_words,
+    cosine_scores,
+    poi_word_matrix,
+    tfidf_matrix,
+    user_word_profiles,
+    words_by_city,
+)
+from repro.data.dataset import CheckinDataset
+from repro.data.records import POI, CheckinRecord
+
+
+def feature_world():
+    pois = [
+        POI(0, "a", (0, 0), ("park", "shared")),
+        POI(1, "a", (1, 1), ("museum",)),
+        POI(2, "b", (0, 0), ("casino", "shared")),
+    ]
+    checkins = [
+        CheckinRecord(1, 0, "a", 1.0),
+        CheckinRecord(1, 0, "a", 2.0),
+        CheckinRecord(1, 2, "b", 3.0),
+        CheckinRecord(2, 1, "a", 4.0),
+    ]
+    dataset = CheckinDataset(pois, checkins)
+    return dataset, dataset.build_index()
+
+
+class TestPoiWordMatrix:
+    def test_binary_occurrence(self):
+        dataset, index = feature_world()
+        matrix = poi_word_matrix(dataset, index)
+        park = index.words.index_of("park")
+        v0 = index.pois.index_of(0)
+        assert matrix[v0, park] == 1.0
+        assert matrix.sum() == 5.0  # 5 (poi, word) edges
+
+
+class TestTfidf:
+    def test_rows_unit_norm(self):
+        dataset, index = feature_world()
+        weighted = tfidf_matrix(poi_word_matrix(dataset, index))
+        norms = np.linalg.norm(weighted, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0)
+
+    def test_rare_words_upweighted(self):
+        counts = np.array([[1.0, 1.0],
+                           [0.0, 1.0],
+                           [0.0, 1.0]])
+        weighted = tfidf_matrix(counts)
+        # word 0 appears once (rare) vs word 1 everywhere (common)
+        assert weighted[0, 0] > weighted[0, 1]
+
+
+class TestUserProfiles:
+    def test_repeat_visits_strengthen(self):
+        dataset, index = feature_world()
+        profiles = user_word_profiles(dataset, index)
+        u1 = index.users.index_of(1)
+        park = index.words.index_of("park")
+        casino = index.words.index_of("casino")
+        assert profiles[u1, park] == 2.0   # two check-ins at POI 0
+        assert profiles[u1, casino] == 1.0
+
+
+class TestCosineScores:
+    def test_identical_vector_scores_one(self):
+        profile = np.array([1.0, 0.0])
+        items = np.array([[2.0, 0.0], [0.0, 3.0]])
+        scores = cosine_scores(profile, items)
+        np.testing.assert_allclose(scores, [1.0, 0.0], atol=1e-12)
+
+    def test_zero_profile_safe(self):
+        scores = cosine_scores(np.zeros(2), np.ones((3, 2)))
+        assert np.isfinite(scores).all()
+
+
+class TestVocabularySplits:
+    def test_words_by_city(self):
+        dataset, _ = feature_world()
+        by_city = words_by_city(dataset)
+        assert by_city["a"] == {"park", "shared", "museum"}
+        assert by_city["b"] == {"casino", "shared"}
+
+    def test_common_words(self):
+        dataset, _ = feature_world()
+        assert common_words(dataset) == {"shared"}
+
+    def test_common_words_min_cities(self):
+        dataset, _ = feature_world()
+        assert common_words(dataset, min_cities=1) == {
+            "park", "shared", "museum", "casino"
+        }

@@ -1,0 +1,93 @@
+"""Collapsed Gibbs LDA substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import GibbsLDA
+
+
+def two_topic_corpus(num_docs=20, rng_seed=0):
+    """Docs are purely about words 0-4 (topic A) or 5-9 (topic B)."""
+    rng = np.random.default_rng(rng_seed)
+    docs = []
+    for i in range(num_docs):
+        base = 0 if i % 2 == 0 else 5
+        docs.append(list(rng.integers(base, base + 5, size=30)))
+    return docs
+
+
+class TestFit:
+    def test_recovers_two_topics(self):
+        docs = two_topic_corpus()
+        lda = GibbsLDA(num_topics=2, num_words=10, iterations=60,
+                       seed=0).fit(docs)
+        phi = lda.phi
+        # One topic should concentrate on the low words, the other on
+        # the high words.
+        low_mass = phi[:, :5].sum(axis=1)
+        assert low_mass.max() > 0.9
+        assert low_mass.min() < 0.1
+
+    def test_same_group_docs_share_topics(self):
+        docs = two_topic_corpus()
+        lda = GibbsLDA(num_topics=2, num_words=10, iterations=60,
+                       seed=0).fit(docs)
+        theta = lda.theta
+        even_topic = theta[0].argmax()
+        assert theta[2].argmax() == even_topic
+        assert theta[1].argmax() != even_topic
+
+    def test_distributions_normalized(self):
+        lda = GibbsLDA(num_topics=3, num_words=10, iterations=10,
+                       seed=0).fit(two_topic_corpus())
+        np.testing.assert_allclose(lda.theta.sum(axis=1), 1.0)
+        np.testing.assert_allclose(lda.phi.sum(axis=1), 1.0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            GibbsLDA(num_topics=2, num_words=5).fit([])
+
+    def test_out_of_range_word_rejected(self):
+        with pytest.raises(IndexError):
+            GibbsLDA(num_topics=2, num_words=5).fit([[7]])
+
+    def test_empty_document_allowed(self):
+        lda = GibbsLDA(num_topics=2, num_words=10, iterations=5,
+                       seed=0).fit([[0, 1], []])
+        assert lda.theta.shape == (2, 2)
+
+
+class TestInference:
+    def test_fold_in_matches_training_topic(self):
+        docs = two_topic_corpus()
+        lda = GibbsLDA(num_topics=2, num_words=10, iterations=60,
+                       seed=0).fit(docs)
+        low_doc = [0, 1, 2, 3, 4] * 6
+        theta = lda.infer_document(low_doc)
+        low_topic = lda.phi[:, :5].sum(axis=1).argmax()
+        assert theta.argmax() == low_topic
+
+    def test_empty_document_uniform(self):
+        lda = GibbsLDA(num_topics=4, num_words=10, iterations=5,
+                       seed=0).fit(two_topic_corpus())
+        np.testing.assert_allclose(lda.infer_document([]), 0.25)
+
+    def test_properties_require_fit(self):
+        lda = GibbsLDA(num_topics=2, num_words=5)
+        with pytest.raises(RuntimeError):
+            lda.theta
+        with pytest.raises(RuntimeError):
+            lda.infer_document([0])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_topics=0, num_words=5),
+        dict(num_topics=2, num_words=0),
+        dict(num_topics=2, num_words=5, alpha=0),
+        dict(num_topics=2, num_words=5, beta=-1),
+        dict(num_topics=2, num_words=5, iterations=0),
+    ])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            GibbsLDA(**kwargs)

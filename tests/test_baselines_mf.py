@@ -1,0 +1,69 @@
+"""ALS factorization and ridge-map substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mf import als_factorize, ridge_map
+
+
+def low_rank_matrix(rng, num_users=20, num_items=15, rank=3):
+    u = rng.random((num_users, rank))
+    v = rng.random((num_items, rank))
+    return (u @ v.T > 1.1).astype(float) * 3.0
+
+
+class TestALS:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        matrix = low_rank_matrix(rng)
+        users, items = als_factorize(matrix, rank=4, iterations=5, rng=0)
+        assert users.shape == (20, 4)
+        assert items.shape == (15, 4)
+
+    def test_reconstructs_preference_ordering(self):
+        rng = np.random.default_rng(1)
+        matrix = low_rank_matrix(rng)
+        users, items = als_factorize(matrix, rank=6, iterations=15, rng=0)
+        scores = users @ items.T
+        # Observed entries should outrank unobserved entries on average.
+        observed = scores[matrix > 0].mean()
+        unobserved = scores[matrix == 0].mean()
+        assert observed > unobserved
+
+    def test_deterministic_per_seed(self):
+        rng = np.random.default_rng(2)
+        matrix = low_rank_matrix(rng)
+        u1, _ = als_factorize(matrix, rank=3, iterations=3, rng=7)
+        u2, _ = als_factorize(matrix, rank=3, iterations=3, rng=7)
+        np.testing.assert_array_equal(u1, u2)
+
+    def test_validation(self):
+        matrix = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            als_factorize(matrix, rank=0)
+        with pytest.raises(ValueError):
+            als_factorize(matrix, rank=2, reg=-1.0)
+        with pytest.raises(ValueError):
+            als_factorize(matrix, rank=2, iterations=0)
+
+
+class TestRidgeMap:
+    def test_recovers_linear_map(self):
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(100, 8))
+        true_map = rng.normal(size=(8, 4))
+        targets = features @ true_map
+        learned = ridge_map(features, targets, reg=1e-6)
+        np.testing.assert_allclose(learned, true_map, atol=1e-4)
+
+    def test_regularization_shrinks(self):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(30, 5))
+        targets = rng.normal(size=(30, 2))
+        weak = ridge_map(features, targets, reg=1e-6)
+        strong = ridge_map(features, targets, reg=1e3)
+        assert np.linalg.norm(strong) < np.linalg.norm(weak)
+
+    def test_negative_reg_rejected(self):
+        with pytest.raises(ValueError):
+            ridge_map(np.ones((2, 2)), np.ones((2, 1)), reg=-1.0)

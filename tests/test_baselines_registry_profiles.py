@@ -1,0 +1,39 @@
+"""Registry profile tests: presets are valid, consistent, and distinct."""
+
+import pytest
+
+from repro.baselines.registry import (
+    FOURSQUARE_PROFILE,
+    PROFILES,
+    YELP_PROFILE,
+    MethodProfile,
+)
+
+
+class TestProfiles:
+    def test_registry_contains_both_presets(self):
+        assert PROFILES["foursquare"] is FOURSQUARE_PROFILE
+        assert PROFILES["yelp"] is YELP_PROFILE
+
+    def test_profiles_follow_paper_per_dataset_settings(self):
+        # δ = 0.10 vs 0.25 and α = 0.10 vs 0.11 per Section 4.1.
+        assert FOURSQUARE_PROFILE.segmentation_threshold == 0.10
+        assert YELP_PROFILE.segmentation_threshold == 0.25
+        assert FOURSQUARE_PROFILE.resample_alpha == 0.10
+        assert YELP_PROFILE.resample_alpha == 0.11
+
+    def test_profiles_produce_valid_configs(self):
+        for profile in PROFILES.values():
+            config = profile.st_transrec_config()
+            assert config.embedding_dim == profile.embedding_dim
+            assert config.dropout == profile.dropout
+            assert config.weight_decay == profile.weight_decay
+
+    def test_config_overrides_beat_profile(self):
+        config = FOURSQUARE_PROFILE.st_transrec_config(embedding_dim=7)
+        assert config.embedding_dim == 7
+
+    def test_profile_invalid_values_surface_at_config_time(self):
+        bad = MethodProfile(dropout=2.0)
+        with pytest.raises(ValueError):
+            bad.st_transrec_config()

@@ -1,0 +1,102 @@
+"""CLI smoke tests: each command runs end-to-end on tiny inputs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--preset", "foursquare", "--out", "x.jsonl"])
+        assert args.preset == "foursquare"
+        assert args.scale == 0.5
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--preset", "yelp", "--methods", "DeepFM"])
+
+
+class TestCommands:
+    def test_generate_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "data.jsonl"
+        code = main(["generate", "--preset", "foursquare",
+                     "--out", str(out), "--scale", "0.15"])
+        assert code == 0
+        assert out.exists()
+        assert "#Check-ins" in capsys.readouterr().out
+
+    def test_train_evaluate_roundtrip(self, tmp_path, capsys):
+        data = tmp_path / "data.jsonl"
+        model = tmp_path / "model.npz"
+        main(["generate", "--preset", "foursquare", "--out", str(data),
+              "--scale", "0.15"])
+        code = main(["train", "--data", str(data),
+                     "--target", "los_angeles",
+                     "--embedding-dim", "8", "--epochs", "1",
+                     "--pretrain-epochs", "1",
+                     "--model-out", str(model)])
+        assert code == 0
+        assert model.exists()
+        meta = json.loads((tmp_path / "model.npz.json").read_text())
+        assert meta["target_city"] == "los_angeles"
+
+        code = main(["evaluate", "--data", str(data),
+                     "--target", "los_angeles",
+                     "--embedding-dim", "8", "--epochs", "1",
+                     "--pretrain-epochs", "1",
+                     "--model", str(model)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall" in out
+
+    def test_bench_requires_valid_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "--preset", "yelp", "--experiment", "bogus"])
+
+    def test_bench_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--preset", "yelp", "--experiment", "ablation"])
+        assert args.experiment == "ablation"
+
+    def test_bench_dispatch(self, capsys, monkeypatch):
+        """The bench command routes to the right runner and prints."""
+        import repro.eval.experiment as experiment
+
+        table = {m: {k: 0.5 for k in (2, 4, 6, 8, 10)}
+                 for m in ("recall", "precision", "ndcg", "map")}
+
+        monkeypatch.setattr(
+            experiment, "run_ablation",
+            lambda ctx: {"ST-TransRec": table, "ST-TransRec-1": table},
+        )
+
+        class FakeContext:
+            pass
+
+        monkeypatch.setattr(experiment, "build_context",
+                            lambda preset, scale: FakeContext())
+        code = main(["bench", "--preset", "yelp",
+                     "--experiment", "ablation"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ST-TransRec-1" in out
+        assert "recall@10" in out  # the bar chart footer
+
+    def test_compare_subset(self, capsys):
+        code = main(["compare", "--preset", "foursquare",
+                     "--methods", "ItemPop", "CRCF",
+                     "--scale", "0.15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ItemPop" in out
+        assert "CRCF" in out

@@ -1,0 +1,76 @@
+"""Checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.recommend import Recommender
+from repro.core.trainer import STTransRecTrainer
+
+from tests.test_core_trainer import fast_config
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_split):
+    trainer = STTransRecTrainer(tiny_split, fast_config())
+    trainer.fit()
+    return trainer
+
+
+class TestRoundTrip:
+    def test_parameters_identical_after_reload(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        model, index = load_checkpoint(path)
+        for (name, original), (_n2, restored) in zip(
+                trained.model.named_parameters(),
+                model.named_parameters()):
+            np.testing.assert_array_equal(original.data, restored.data)
+
+    def test_index_identical(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        _model, index = load_checkpoint(path)
+        assert index.users.keys() == trained.index.users.keys()
+        assert index.pois.keys() == trained.index.pois.keys()
+        assert index.words.keys() == trained.index.words.keys()
+
+    def test_config_round_trips(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        model, _ = load_checkpoint(path)
+        assert model.config == trained.model.config
+
+    def test_restored_model_scores_identically(self, trained, tmp_path,
+                                               tiny_split):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        model, index = load_checkpoint(path)
+        original = Recommender(trained.model, trained.index,
+                               tiny_split.train, "shelbyville")
+        restored = Recommender(model, index, tiny_split.train,
+                               "shelbyville")
+        user = tiny_split.test_users[0]
+        np.testing.assert_allclose(
+            [s for _, s in original.recommend(user, k=10)],
+            [s for _, s in restored.recommend(user, k=10)],
+        )
+
+    def test_model_in_eval_mode(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        model, _ = load_checkpoint(path)
+        assert not model.training
+
+    def test_creates_parent_dirs(self, trained, tmp_path):
+        path = tmp_path / "deep" / "dir" / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        assert path.exists()
+
+
+class TestErrors:
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)

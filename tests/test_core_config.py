@@ -1,0 +1,105 @@
+"""ST-TransRec configuration tests."""
+
+import pytest
+
+from repro.core.config import (
+    STTransRecConfig,
+    foursquare_paper_config,
+    yelp_paper_config,
+)
+from repro.core.variants import VARIANT_NAMES, variant_config
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        STTransRecConfig()
+
+    @pytest.mark.parametrize("field,value", [
+        ("embedding_dim", 0),
+        ("dropout", 1.5),
+        ("learning_rate", 0),
+        ("batch_size", -1),
+        ("epochs", 0),
+        ("num_negatives", 0),
+        ("lambda_mmd", -1.0),
+        ("lambda_text", -0.5),
+        ("mmd_batch_size", 0),
+        ("mmd_bandwidth", -2.0),
+        ("mmd_estimator", "bogus"),
+        ("interaction_features", "bogus"),
+        ("resample_alpha", 2.0),
+        ("segmentation_threshold", -0.1),
+        ("pretrain_epochs", -1),
+        ("user_anchor", -1.0),
+        ("hidden_sizes", []),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            STTransRecConfig(**{field: value})
+
+
+class TestTowerSizes:
+    def test_paper_funnel_from_dim(self):
+        assert STTransRecConfig(embedding_dim=64).tower_sizes() == \
+            [128, 64, 32, 16]
+        assert STTransRecConfig(embedding_dim=128).tower_sizes() == \
+            [256, 128, 64, 32]
+
+    def test_explicit_sizes_win(self):
+        cfg = STTransRecConfig(hidden_sizes=[10, 5])
+        assert cfg.tower_sizes() == [10, 5]
+
+    def test_tiny_dim_floors_at_one(self):
+        assert min(STTransRecConfig(embedding_dim=2).tower_sizes()) >= 1
+
+
+class TestPaperPresets:
+    def test_foursquare_preset(self):
+        cfg = foursquare_paper_config()
+        assert cfg.embedding_dim == 64
+        assert cfg.dropout == 0.1
+        assert cfg.segmentation_threshold == 0.10
+
+    def test_yelp_preset(self):
+        cfg = yelp_paper_config()
+        assert cfg.embedding_dim == 128
+        assert cfg.dropout == 0.2
+        assert cfg.segmentation_threshold == 0.25
+
+    def test_overrides_respected(self):
+        cfg = foursquare_paper_config(epochs=3)
+        assert cfg.epochs == 3
+
+
+class TestVariants:
+    def test_variant_names(self):
+        assert VARIANT_NAMES == ("ST-TransRec", "ST-TransRec-1",
+                                 "ST-TransRec-2", "ST-TransRec-3")
+
+    def test_variant_1_drops_mmd_only(self):
+        base = STTransRecConfig()
+        v = variant_config("ST-TransRec-1", base)
+        assert not v.use_mmd
+        assert v.use_text
+        assert v.resample_alpha == base.resample_alpha
+
+    def test_variant_2_drops_text_only(self):
+        v = variant_config("ST-TransRec-2", STTransRecConfig())
+        assert v.use_mmd
+        assert not v.use_text
+
+    def test_variant_3_drops_resampling_only(self):
+        v = variant_config("ST-TransRec-3", STTransRecConfig())
+        assert v.use_mmd
+        assert v.use_text
+        assert v.resample_alpha == 0.0
+
+    def test_full_model_is_copy(self):
+        base = STTransRecConfig()
+        v = variant_config("ST-TransRec", base)
+        assert v == base
+        assert v is not base
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            variant_config("ST-TransRec-9", STTransRecConfig())

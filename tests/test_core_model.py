@@ -1,0 +1,83 @@
+"""ST-TransRec network tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = STTransRecConfig(embedding_dim=8, hidden_sizes=[8, 4], seed=0)
+    return STTransRec(num_users=6, num_pois=10, num_words=12, config=config)
+
+
+class TestForward:
+    def test_logits_shape(self, model):
+        logits = model.interaction_logits(np.array([0, 1]), np.array([2, 3]))
+        assert logits.shape == (2,)
+
+    def test_scores_in_unit_interval(self, model):
+        scores = model.predict_scores(np.array([0, 1, 2]),
+                                      np.array([0, 1, 2]))
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_predict_restores_training_mode(self, model):
+        model.train()
+        model.predict_scores(np.array([0]), np.array([0]))
+        assert model.training
+        model.eval()
+        model.predict_scores(np.array([0]), np.array([0]))
+        assert not model.training
+
+    def test_score_pois_for_user(self, model):
+        scores = model.score_pois_for_user(2, np.arange(10))
+        assert scores.shape == (10,)
+
+    def test_poi_bias_shifts_logits(self, model):
+        model.eval()
+        base = model.interaction_logits(np.array([0]), np.array([5])).item()
+        model.poi_bias.weight.data[5, 0] += 3.0
+        shifted = model.interaction_logits(np.array([0]), np.array([5])).item()
+        np.testing.assert_allclose(shifted - base, 3.0, atol=1e-9)
+        model.poi_bias.weight.data[5, 0] -= 3.0
+
+
+class TestFeatureModes:
+    def test_concat_vs_product_tower_width(self):
+        concat_cfg = STTransRecConfig(embedding_dim=8,
+                                      interaction_features="concat")
+        prod_cfg = STTransRecConfig(embedding_dim=8,
+                                    interaction_features="concat_product")
+        m_concat = STTransRec(4, 4, 4, concat_cfg)
+        m_prod = STTransRec(4, 4, 4, prod_cfg)
+        assert m_concat.tower.tower[0].in_features == 16
+        assert m_prod.tower.tower[0].in_features == 24
+
+    def test_concat_mode_forward_works(self):
+        cfg = STTransRecConfig(embedding_dim=8,
+                               interaction_features="concat")
+        m = STTransRec(4, 4, 4, cfg)
+        assert m.interaction_logits(np.array([0]), np.array([1])).shape == (1,)
+
+
+class TestEmbeddingAccess:
+    def test_poi_vectors_copy(self, model):
+        vectors = model.poi_vectors()
+        vectors[0, 0] = 999.0
+        assert model.poi_embeddings.weight.data[0, 0] != 999.0
+
+    def test_poi_embedding_batch_in_graph(self, model):
+        batch = model.poi_embedding_batch(np.array([0, 1]))
+        assert batch.requires_grad
+
+    def test_deterministic_init_per_seed(self):
+        cfg = STTransRecConfig(embedding_dim=8, seed=5)
+        a = STTransRec(4, 4, 4, cfg)
+        b = STTransRec(4, 4, 4, cfg)
+        np.testing.assert_array_equal(a.poi_embeddings.weight.data,
+                                      b.poi_embeddings.weight.data)
+
+    def test_repr(self, model):
+        assert "STTransRec" in repr(model)

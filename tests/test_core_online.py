@@ -1,0 +1,100 @@
+"""Online fold-in updater tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineUserUpdater
+from repro.core.trainer import STTransRecTrainer
+
+from tests.test_core_trainer import fast_config
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_split):
+    trainer = STTransRecTrainer(tiny_split, fast_config(epochs=4))
+    trainer.fit()
+    return trainer
+
+
+@pytest.fixture()
+def updater(trained):
+    return OnlineUserUpdater(trained.model, trained.index, rng=0)
+
+
+def target_pois(tiny_split):
+    return [p.poi_id for p in tiny_split.train.pois_in_city("shelbyville")]
+
+
+class TestUpdate:
+    def test_only_target_user_row_changes(self, trained, updater,
+                                          tiny_split):
+        user = tiny_split.test_users[0]
+        pois = target_pois(tiny_split)
+        before = trained.model.user_vectors()
+        poi_before = trained.model.poi_vectors()
+        updater.update(user, pois[:2], pois)
+        after = trained.model.user_vectors()
+        u = trained.index.users.index_of(user)
+        assert not np.allclose(before[u], after[u])
+        mask = np.ones(len(before), dtype=bool)
+        mask[u] = False
+        np.testing.assert_array_equal(before[mask], after[mask])
+        np.testing.assert_array_equal(poi_before,
+                                      trained.model.poi_vectors())
+
+    def test_observed_pois_rank_higher_after_update(self, trained,
+                                                    tiny_split):
+        updater = OnlineUserUpdater(trained.model, trained.index,
+                                    learning_rate=0.1, steps=60, rng=0)
+        user = tiny_split.test_users[1]
+        pois = target_pois(tiny_split)
+        observed = pois[:2]
+        indices = [pois.index(p) for p in observed]
+        before = updater.score_after_update(user, pois)
+        updater.update(user, observed, pois)
+        after = updater.score_after_update(user, pois)
+        # BPR optimizes relative ordering: the observed POIs must gain
+        # against the candidate average.
+        gain = (after[indices].mean() - after.mean())
+        baseline = (before[indices].mean() - before.mean())
+        assert gain > baseline
+
+    def test_returns_updated_row(self, trained, updater, tiny_split):
+        user = tiny_split.test_users[0]
+        pois = target_pois(tiny_split)
+        row = updater.update(user, pois[:1], pois)
+        u = trained.index.users.index_of(user)
+        np.testing.assert_array_equal(
+            row, trained.model.user_vectors()[u]
+        )
+
+    def test_restores_training_mode(self, trained, updater, tiny_split):
+        trained.model.train()
+        pois = target_pois(tiny_split)
+        updater.update(tiny_split.test_users[0], pois[:1], pois)
+        assert trained.model.training
+        trained.model.eval()
+
+
+class TestValidation:
+    def test_unknown_user_rejected(self, updater, tiny_split):
+        pois = target_pois(tiny_split)
+        with pytest.raises(KeyError):
+            updater.update(10**9, pois[:1], pois)
+
+    def test_empty_checkins_rejected(self, updater, tiny_split):
+        pois = target_pois(tiny_split)
+        with pytest.raises(ValueError):
+            updater.update(tiny_split.test_users[0], [], pois)
+
+    def test_empty_pool_rejected(self, updater, tiny_split):
+        pois = target_pois(tiny_split)
+        with pytest.raises(ValueError):
+            updater.update(tiny_split.test_users[0], pois[:1], pois[:1])
+
+    def test_invalid_hyperparams(self, trained):
+        with pytest.raises(ValueError):
+            OnlineUserUpdater(trained.model, trained.index,
+                              learning_rate=0)
+        with pytest.raises(ValueError):
+            OnlineUserUpdater(trained.model, trained.index, steps=0)

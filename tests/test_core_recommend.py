@@ -1,0 +1,98 @@
+"""Recommender (top-k inference) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import STTransRecConfig
+from repro.core.recommend import Recommender
+from repro.core.trainer import STTransRecTrainer
+
+from tests.test_core_trainer import fast_config
+
+
+@pytest.fixture(scope="module")
+def recommender(tiny_split):
+    trainer = STTransRecTrainer(tiny_split, fast_config())
+    trainer.fit()
+    return Recommender(trainer.model, trainer.index, tiny_split.train,
+                       "shelbyville")
+
+
+class TestRecommend:
+    def test_topk_sorted_by_score(self, recommender, tiny_split):
+        user = tiny_split.test_users[0]
+        ranked = recommender.recommend(user, k=5)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert len(ranked) == 5
+
+    def test_recommends_only_target_city(self, recommender, tiny_split):
+        user = tiny_split.test_users[0]
+        for poi_id, _ in recommender.recommend(user, k=10):
+            assert tiny_split.train.pois[poi_id].city == "shelbyville"
+
+    def test_excludes_visited_when_asked(self, recommender, tiny_split):
+        # Local users have target-city training check-ins to exclude.
+        local = next(u for u in tiny_split.train.users_in_city("shelbyville")
+                     if u not in tiny_split.test_users)
+        visited = {r.poi_id
+                   for r in tiny_split.train.user_profile(local)
+                   if r.city == "shelbyville"}
+        assert visited
+        ranked = recommender.recommend(local, k=50, exclude_visited=True)
+        assert not ({p for p, _ in ranked} & visited)
+
+    def test_include_visited_flag(self, recommender, tiny_split):
+        local = next(u for u in tiny_split.train.users_in_city("shelbyville")
+                     if u not in tiny_split.test_users)
+        with_visited = recommender.recommend(local, k=100,
+                                             exclude_visited=False)
+        without = recommender.recommend(local, k=100, exclude_visited=True)
+        assert len(with_visited) > len(without)
+
+    def test_invalid_k(self, recommender, tiny_split):
+        with pytest.raises(ValueError):
+            recommender.recommend(tiny_split.test_users[0], k=0)
+
+    def test_unknown_user_raises(self, recommender):
+        with pytest.raises(KeyError):
+            recommender.score_candidates(99999, [0])
+
+
+class TestBatchAndExport:
+    def test_batch_skips_unknown_users(self, recommender, tiny_split):
+        users = tiny_split.test_users[:2] + [10**9]
+        results = recommender.batch_recommend(users, k=3)
+        assert set(results) == set(tiny_split.test_users[:2])
+        for ranked in results.values():
+            assert len(ranked) == 3
+
+    def test_export_jsonl_roundtrip(self, recommender, tiny_split,
+                                    tmp_path):
+        import json
+        path = tmp_path / "recs" / "out.jsonl"
+        count = recommender.export_recommendations(
+            path, tiny_split.test_users[:3], k=4)
+        assert count == 3
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        first = json.loads(lines[0])
+        assert set(first) == {"user_id", "recommendations"}
+        assert len(first["recommendations"]) == 4
+        assert {"poi_id", "score"} == set(first["recommendations"][0])
+
+
+class TestCaseStudyHelpers:
+    def test_describe_recommendations(self, recommender, tiny_split):
+        user = tiny_split.test_users[0]
+        described = recommender.describe_recommendations(user, k=3)
+        assert len(described) == 3
+        for poi_id, words in described:
+            assert isinstance(words, list)
+
+    def test_user_top_words_ranked_by_frequency(self, recommender,
+                                                tiny_split):
+        user = tiny_split.test_users[0]
+        words = recommender.user_top_words(user, k=5)
+        assert len(words) <= 5
+        assert len(set(words)) == len(words)

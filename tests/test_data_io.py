@@ -1,0 +1,49 @@
+"""Dataset JSONL persistence tests."""
+
+import json
+
+import pytest
+
+from repro.data.io import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, tiny_dataset, tmp_path):
+        dataset, _ = tiny_dataset
+        path = tmp_path / "data.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.num_checkins() == dataset.num_checkins()
+        assert set(loaded.pois) == set(dataset.pois)
+        # deep equality on one POI including topic
+        poi_id = next(iter(dataset.pois))
+        assert loaded.pois[poi_id] == dataset.pois[poi_id]
+        assert loaded.checkins[:10] == dataset.checkins[:10]
+
+    def test_creates_parent_directories(self, tiny_dataset, tmp_path):
+        dataset, _ = tiny_dataset
+        path = tmp_path / "deep" / "nested" / "data.jsonl"
+        save_dataset(dataset, path)
+        assert path.exists()
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_dataset(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "other.v9"}) + "\n")
+        with pytest.raises(ValueError, match="format"):
+            load_dataset(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        lines = [json.dumps({"format": "repro.checkins.v1"}),
+                 json.dumps({"type": "alien"})]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="alien"):
+            load_dataset(path)

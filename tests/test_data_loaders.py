@@ -1,0 +1,159 @@
+"""Real-format loader tests against synthetic fixture files."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (
+    FoursquareColumns,
+    load_foursquare_checkins,
+    load_yelp_dataset,
+)
+
+
+@pytest.fixture()
+def foursquare_file(tmp_path):
+    lines = [
+        # user, venue, lat, lon, category, city, timestamp
+        "u1\tv1\t34.05\t-118.24\tArt Museum\tLos Angeles\t100",
+        "u1\tv2\t34.06\t-118.25\tCoffee Shop\tLos Angeles\t101",
+        "u1\tv3\t40.71\t-74.00\tPark\tNew York\t102",
+        "u2\tv1\t34.05\t-118.24\tArt Museum\tLos Angeles\t103",
+        "u2\tv2\t34.06\t-118.25\tCoffee Shop\tLos Angeles\t104",
+        "corrupted line without tabs",
+        "u3\tv3\t40.71\tNOT_A_FLOAT\tPark\tNew York\t105",
+    ]
+    path = tmp_path / "checkins.tsv"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestFoursquareLoader:
+    def test_parses_valid_lines(self, foursquare_file):
+        dataset = load_foursquare_checkins(foursquare_file)
+        assert dataset.num_checkins() == 5
+        assert len(dataset.pois) == 3
+        assert sorted(dataset.cities) == ["los_angeles", "new_york"]
+
+    def test_malformed_lines_skipped(self, foursquare_file):
+        dataset = load_foursquare_checkins(foursquare_file)
+        # u3's malformed line contributes nothing.
+        assert len(dataset.users) == 2
+
+    def test_category_words_normalized(self, foursquare_file):
+        dataset = load_foursquare_checkins(foursquare_file)
+        museum = next(p for p in dataset.pois.values()
+                      if "museum" in p.words)
+        assert "art" in museum.words
+
+    def test_city_filter(self, foursquare_file):
+        dataset = load_foursquare_checkins(
+            foursquare_file, cities=["Los Angeles"])
+        assert dataset.cities == ["los_angeles"]
+
+    def test_min_checkins_filter(self, foursquare_file):
+        dataset = load_foursquare_checkins(foursquare_file,
+                                           min_user_checkins=3)
+        assert len(dataset.users) == 1  # only u1 has 3 events
+
+    def test_locations_projected_to_local_km(self, foursquare_file):
+        dataset = load_foursquare_checkins(foursquare_file)
+        # LA venues ~1.2 km apart (0.01° lat), local coords near origin.
+        la = dataset.pois_in_city("los_angeles")
+        coords = np.array([p.location for p in la])
+        assert np.abs(coords).max() < 10.0
+        spread = np.linalg.norm(coords[0] - coords[1])
+        assert 0.5 < spread < 3.0
+
+    def test_custom_columns(self, tmp_path):
+        path = tmp_path / "alt.tsv"
+        # timestamp first, then user, venue, lat, lon, category, city
+        path.write_text("7\tu1\tv1\t10.0\t10.0\tBar\tTown\n"
+                        "8\tu1\tv1\t10.0\t10.0\tBar\tTown\n")
+        columns = FoursquareColumns(user=1, venue=2, latitude=3,
+                                    longitude=4, category=5, city=6,
+                                    timestamp=0)
+        dataset = load_foursquare_checkins(path, columns=columns)
+        assert dataset.num_checkins() == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_foursquare_checkins(path)
+
+
+@pytest.fixture()
+def yelp_files(tmp_path):
+    businesses = [
+        {"business_id": "b1", "city": "Phoenix", "latitude": 33.45,
+         "longitude": -112.07, "categories": "Mexican, Restaurants"},
+        {"business_id": "b2", "city": "Las Vegas", "latitude": 36.17,
+         "longitude": -115.14, "categories": "Casinos, Nightlife"},
+        {"business_id": "b3", "city": "Toronto", "latitude": 43.65,
+         "longitude": -79.38, "categories": "Coffee"},
+    ]
+    reviews = (
+        [{"user_id": "alice", "business_id": "b1",
+          "date": "2018-01-0%d" % (i + 1)} for i in range(3)]
+        + [{"user_id": "alice", "business_id": "b2",
+            "date": "2018-02-01"}]
+        + [{"user_id": "bob", "business_id": "b2", "date": "2018-03-01"}]
+        + [{"user_id": "carol", "business_id": "b3",
+            "date": "2018-04-01"}]
+    )
+    business_path = tmp_path / "business.json"
+    review_path = tmp_path / "review.json"
+    business_path.write_text(
+        "\n".join(json.dumps(b) for b in businesses) + "\n")
+    review_path.write_text(
+        "\n".join(json.dumps(r) for r in reviews) + "\n")
+    return business_path, review_path
+
+
+class TestYelpLoader:
+    def test_city_restriction(self, yelp_files):
+        business, review = yelp_files
+        dataset = load_yelp_dataset(business, review,
+                                    cities=["Phoenix", "Las Vegas"],
+                                    min_user_reviews=1)
+        assert sorted(dataset.cities) == ["las_vegas", "phoenix"]
+        # Toronto review dropped with its business.
+        assert dataset.num_checkins() == 5
+
+    def test_min_reviews_matches_paper_rule(self, yelp_files):
+        business, review = yelp_files
+        dataset = load_yelp_dataset(business, review,
+                                    cities=["Phoenix", "Las Vegas"],
+                                    min_user_reviews=2)
+        # Only alice has >= 2 kept reviews.
+        assert len(dataset.users) == 1
+
+    def test_categories_become_words(self, yelp_files):
+        business, review = yelp_files
+        dataset = load_yelp_dataset(business, review,
+                                    cities=["Las Vegas"],
+                                    min_user_reviews=1)
+        vegas = dataset.pois_in_city("las_vegas")
+        assert "casinos" in vegas[0].words
+
+    def test_dates_order_checkins(self, yelp_files):
+        business, review = yelp_files
+        dataset = load_yelp_dataset(business, review,
+                                    cities=["Phoenix", "Las Vegas"],
+                                    min_user_reviews=1)
+        alice = next(iter(sorted(dataset.users)))
+        times = [r.timestamp for r in dataset.user_profile(alice)]
+        assert times == sorted(times)
+
+    def test_requires_cities(self, yelp_files):
+        business, review = yelp_files
+        with pytest.raises(ValueError):
+            load_yelp_dataset(business, review, cities=[])
+
+    def test_no_matching_city_rejected(self, yelp_files):
+        business, review = yelp_files
+        with pytest.raises(ValueError):
+            load_yelp_dataset(business, review, cities=["Atlantis"],
+                              min_user_reviews=1)

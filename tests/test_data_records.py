@@ -1,0 +1,52 @@
+"""POI and CheckinRecord validation tests."""
+
+import pytest
+
+from repro.data.records import POI, CheckinRecord
+
+
+class TestPOI:
+    def test_basic_construction(self):
+        poi = POI(poi_id=1, city="la", location=(1.5, 2.5),
+                  words=["park", "view"], topic=3)
+        assert poi.location == (1.5, 2.5)
+        assert poi.words == ("park", "view")
+        assert poi.topic == 3
+
+    def test_location_coerced_to_float_tuple(self):
+        poi = POI(poi_id=0, city="la", location=[1, 2], words=())
+        assert poi.location == (1.0, 2.0)
+        assert isinstance(poi.location, tuple)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            POI(poi_id=-1, city="la", location=(0, 0), words=())
+
+    def test_bad_location_rejected(self):
+        with pytest.raises(ValueError):
+            POI(poi_id=0, city="la", location=(1.0,), words=())
+
+    def test_frozen(self):
+        poi = POI(poi_id=0, city="la", location=(0, 0), words=())
+        with pytest.raises(AttributeError):
+            poi.city = "sf"
+
+    def test_default_topic_unknown(self):
+        assert POI(poi_id=0, city="la", location=(0, 0), words=()).topic == -1
+
+
+class TestCheckinRecord:
+    def test_basic_construction(self):
+        rec = CheckinRecord(user_id=1, poi_id=2, city="la", timestamp=5.0)
+        assert rec.timestamp == 5.0
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            CheckinRecord(user_id=-1, poi_id=0, city="la")
+        with pytest.raises(ValueError):
+            CheckinRecord(user_id=0, poi_id=-2, city="la")
+
+    def test_equality_is_by_value(self):
+        a = CheckinRecord(user_id=1, poi_id=2, city="la", timestamp=1.0)
+        b = CheckinRecord(user_id=1, poi_id=2, city="la", timestamp=1.0)
+        assert a == b

@@ -1,0 +1,109 @@
+"""Negative sampling and batching tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import ContextPairSampler, InteractionSampler
+
+
+@pytest.fixture(scope="module")
+def sampler(tiny_split):
+    index = tiny_split.train.build_index()
+    return InteractionSampler(tiny_split.train, index, "shelbyville",
+                              num_negatives=4, rng=0), index
+
+
+class TestInteractionSampler:
+    def test_positives_are_city_restricted(self, tiny_split, sampler):
+        smp, index = sampler
+        city_pois = {index.pois.index_of(p.poi_id)
+                     for p in tiny_split.train.pois_in_city("shelbyville")}
+        for _, v in smp.positives:
+            assert v in city_pois
+
+    def test_negatives_never_visited(self, sampler):
+        smp, _ = sampler
+        for u, _v in smp.positives[:20]:
+            negs = smp.sample_negatives(u, 50)
+            visited = smp._visited[u]
+            assert not (set(negs.tolist()) & visited)
+
+    def test_epoch_covers_each_positive_once(self, sampler):
+        smp, _ = sampler
+        positives_seen = 0
+        for users, pois, labels in smp.epoch(batch_size=32):
+            positives_seen += int(labels.sum())
+        assert positives_seen == len(smp)
+
+    def test_negative_ratio(self, sampler):
+        smp, _ = sampler
+        total, positives = 0, 0
+        for users, pois, labels in smp.epoch(batch_size=64):
+            total += len(labels)
+            positives += int(labels.sum())
+        assert total == positives * 5  # 1 positive + 4 negatives
+
+    def test_batch_shapes_consistent(self, sampler):
+        smp, _ = sampler
+        for users, pois, labels in smp.epoch(batch_size=16):
+            assert users.shape == pois.shape == labels.shape
+            assert len(users) <= 16
+
+    def test_unknown_city_rejected(self, tiny_split):
+        index = tiny_split.train.build_index()
+        with pytest.raises(ValueError):
+            InteractionSampler(tiny_split.train, index, "atlantis")
+
+    def test_invalid_batch_size(self, sampler):
+        smp, _ = sampler
+        with pytest.raises(ValueError):
+            next(smp.epoch(batch_size=0))
+
+
+class TestNegativeSamplingFallback:
+    def test_user_who_visited_everything_terminates(self):
+        """Rejection sampling must not loop forever when no negative
+        exists; the documented fallback returns a (visited) POI."""
+        from repro.data.dataset import CheckinDataset
+        from repro.data.records import POI, CheckinRecord
+        pois = [POI(i, "c", (float(i), 0.0), ("w",)) for i in range(3)]
+        checkins = [CheckinRecord(0, i, "c", float(i)) for i in range(3)]
+        dataset = CheckinDataset(pois, checkins)
+        index = dataset.build_index()
+        sampler = InteractionSampler(dataset, index, "c", rng=0)
+        user = index.users.index_of(0)
+        negatives = sampler.sample_negatives(user, 5)
+        assert negatives.shape == (5,)
+        assert set(negatives.tolist()) <= set(
+            sampler.city_poi_indices.tolist()
+        )
+
+
+class TestContextPairSampler:
+    def test_requires_edges(self):
+        with pytest.raises(ValueError):
+            ContextPairSampler([], num_words=10)
+
+    def test_negative_words_avoid_positive_context(self):
+        edges = [(0, 1), (0, 2), (1, 3)]
+        smp = ContextPairSampler(edges, num_words=10, rng=0)
+        negs = smp.sample_negative_words(0, 100)
+        assert 1 not in negs
+        assert 2 not in negs
+
+    def test_epoch_shapes(self):
+        edges = [(i, i % 5) for i in range(20)]
+        smp = ContextPairSampler(edges, num_words=8, num_negatives=3, rng=0)
+        seen = 0
+        for pois, words, negs in smp.epoch(batch_size=6):
+            assert negs.shape == (len(pois), 3)
+            assert pois.shape == words.shape
+            seen += len(pois)
+        assert seen == 20
+
+    def test_shuffling_differs_between_epochs(self):
+        edges = [(i, 0) for i in range(50)]
+        smp = ContextPairSampler(edges, num_words=5, rng=0)
+        first = np.concatenate([b[0] for b in smp.epoch(10)])
+        second = np.concatenate([b[0] for b in smp.epoch(10)])
+        assert not np.array_equal(first, second)

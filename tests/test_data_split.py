@@ -1,0 +1,63 @@
+"""Crossing-city split protocol tests."""
+
+import pytest
+
+from repro.data.split import make_crossing_city_split
+
+
+class TestSplit:
+    def test_unknown_target_rejected(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        with pytest.raises(ValueError):
+            make_crossing_city_split(dataset, "atlantis")
+
+    def test_test_users_visited_both_sides(self, tiny_dataset, tiny_split):
+        dataset, _ = tiny_dataset
+        for user in tiny_split.test_users:
+            cities = dataset.cities_of_user(user)
+            assert "shelbyville" in cities
+            assert cities - {"shelbyville"}
+
+    def test_ground_truth_not_in_train(self, tiny_split):
+        """Held-out check-ins must be absent from training data."""
+        for user, pois in tiny_split.ground_truth.items():
+            train_pois = {r.poi_id
+                          for r in tiny_split.train.user_profile(user)
+                          if r.city == "shelbyville"}
+            assert not (pois & train_pois)
+
+    def test_no_target_checkins_for_test_users_in_train(self, tiny_split):
+        for user in tiny_split.test_users:
+            target_records = [
+                r for r in tiny_split.train.user_profile(user)
+                if r.city == tiny_split.target_city
+            ]
+            assert target_records == []
+
+    def test_all_pois_kept_in_train(self, tiny_dataset, tiny_split):
+        dataset, _ = tiny_dataset
+        assert set(tiny_split.train.pois) == set(dataset.pois)
+
+    def test_dropped_checkins_are_exactly_ground_truth(self, tiny_dataset,
+                                                       tiny_split):
+        """Every removed check-in appears in its user's ground truth set
+        (ground truth dedupes repeat visits, so counts need not match)."""
+        dataset, _ = tiny_dataset
+        dropped = [r for r in dataset.checkins
+                   if (r.user_id, r.poi_id, r.timestamp) not in
+                   {(t.user_id, t.poi_id, t.timestamp)
+                    for t in tiny_split.train.checkins}]
+        assert dropped, "split removed nothing"
+        for record in dropped:
+            assert record.city == tiny_split.target_city
+            assert record.poi_id in tiny_split.ground_truth[record.user_id]
+        # and the train set is strictly smaller
+        assert tiny_split.train.num_checkins() < dataset.num_checkins()
+
+    def test_local_target_checkins_stay_in_train(self, tiny_dataset,
+                                                 tiny_split):
+        """Non-crossing locals' target-city check-ins train the model."""
+        assert tiny_split.train.checkins_in_city("shelbyville")
+
+    def test_matches_generator_crossing_users(self, tiny_split, tiny_truth):
+        assert set(tiny_split.test_users) == set(tiny_truth.crossing_user_ids)

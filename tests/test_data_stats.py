@@ -1,0 +1,54 @@
+"""Table 1 statistics tests."""
+
+import pytest
+
+from repro.data.stats import dataset_statistics
+
+
+class TestDatasetStatistics:
+    def test_counts_match_dataset(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        stats = dataset_statistics(dataset, "shelbyville")
+        assert stats.num_users == len(dataset.users)
+        assert stats.num_pois == len(dataset.pois)
+        assert stats.num_words == len(dataset.vocabulary())
+        assert stats.num_checkins == dataset.num_checkins()
+
+    def test_crossing_slice(self, tiny_dataset, tiny_truth):
+        dataset, _ = tiny_dataset
+        stats = dataset_statistics(dataset, "shelbyville")
+        assert stats.num_crossing_users == len(tiny_truth.crossing_user_ids)
+        assert 0 < stats.num_crossing_checkins < stats.num_checkins
+
+    def test_rows_layout(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        rows = dataset_statistics(dataset, "shelbyville").rows()
+        labels = [label for label, _ in rows]
+        assert labels == ["#Users", "#POIs", "#Words", "#Check-ins",
+                          "Crossing #Users", "Crossing #Check-ins"]
+
+    def test_unknown_city_rejected(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        with pytest.raises(ValueError):
+            dataset_statistics(dataset, "atlantis")
+
+
+class TestCityStatistics:
+    def test_per_city_breakdown_sums(self, tiny_dataset):
+        from repro.data.stats import city_statistics
+        dataset, _ = tiny_dataset
+        per_city = city_statistics(dataset)
+        assert set(per_city) == {"springfield", "shelbyville"}
+        assert sum(c["pois"] for c in per_city.values()) == \
+            len(dataset.pois)
+        assert sum(c["checkins"] for c in per_city.values()) == \
+            dataset.num_checkins()
+
+    def test_crossing_users_counted_in_both(self, tiny_dataset,
+                                            tiny_truth):
+        from repro.data.stats import city_statistics
+        dataset, _ = tiny_dataset
+        per_city = city_statistics(dataset)
+        total_city_users = sum(c["users"] for c in per_city.values())
+        assert total_city_users == (len(dataset.users)
+                                    + len(tiny_truth.crossing_user_ids))

@@ -1,0 +1,135 @@
+"""Synthetic generator tests: the four controlled dataset properties."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    CitySpec,
+    SyntheticConfig,
+    foursquare_like,
+    generate_dataset,
+    yelp_like,
+)
+
+from tests.conftest import tiny_config
+
+
+class TestConfigValidation:
+    def test_duplicate_city_names_rejected(self):
+        spec = CitySpec("x")
+        with pytest.raises(ValueError):
+            SyntheticConfig(cities=[spec, CitySpec("x")], target_city="x")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(cities=[CitySpec("a"), CitySpec("b")],
+                            target_city="zzz")
+
+    def test_single_city_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(cities=[CitySpec("a")], target_city="a")
+
+    def test_too_many_regions_rejected(self):
+        with pytest.raises(ValueError):
+            CitySpec("a", grid_shape=(2, 2), num_regions=5)
+
+    def test_source_cities_property(self):
+        cfg = tiny_config()
+        assert cfg.source_cities == ["springfield"]
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        ds1, _ = generate_dataset(tiny_config(seed=5))
+        ds2, _ = generate_dataset(tiny_config(seed=5))
+        assert ds1.num_checkins() == ds2.num_checkins()
+        assert [r.poi_id for r in ds1.checkins[:50]] == \
+               [r.poi_id for r in ds2.checkins[:50]]
+
+    def test_different_seeds_differ(self):
+        ds1, _ = generate_dataset(tiny_config(seed=5))
+        ds2, _ = generate_dataset(tiny_config(seed=6))
+        assert [r.poi_id for r in ds1.checkins[:100]] != \
+               [r.poi_id for r in ds2.checkins[:100]]
+
+    def test_poi_counts_match_specs(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        assert len(dataset.pois_in_city("springfield")) == 40
+        assert len(dataset.pois_in_city("shelbyville")) == 36
+
+    def test_city_dependent_words_do_not_cross_cities(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        for poi in dataset.pois.values():
+            for word in poi.words:
+                if "_topic" in word:  # city-specific token
+                    assert word.startswith(poi.city)
+
+    def test_shared_words_appear_in_both_cities(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        shared_by_city = {}
+        for poi in dataset.pois.values():
+            shared = {w for w in poi.words if w.startswith("topic")}
+            shared_by_city.setdefault(poi.city, set()).update(shared)
+        overlap = shared_by_city["springfield"] & shared_by_city["shelbyville"]
+        assert len(overlap) > 0
+
+    def test_crossing_users_visit_both_cities(self, tiny_dataset, tiny_truth):
+        dataset, _ = tiny_dataset
+        for user in tiny_truth.crossing_user_ids:
+            cities = dataset.cities_of_user(user)
+            assert "shelbyville" in cities
+            assert "springfield" in cities
+
+    def test_crossing_checkins_sparse(self, tiny_dataset, tiny_truth):
+        dataset, _ = tiny_dataset
+        for user in tiny_truth.crossing_user_ids:
+            profile = dataset.user_profile(user)
+            target = [r for r in profile if r.city == "shelbyville"]
+            assert len(target) < len(profile) / 2
+
+    def test_preferences_are_distributions(self, tiny_truth):
+        for pref in tiny_truth.user_preferences.values():
+            assert pref.shape == (4,)
+            np.testing.assert_allclose(pref.sum(), 1.0)
+            assert (pref >= 0).all()
+
+    def test_crowd_preferences_deterministic_peak(self, tiny_truth):
+        # Signature topic = city index; target shelbyville is city 1.
+        crowd = tiny_truth.city_crowd_preferences["shelbyville"]
+        assert crowd.argmax() == 1
+        np.testing.assert_allclose(crowd.sum(), 1.0)
+
+    def test_region_weights_sum_to_one(self, tiny_truth):
+        for weights in tiny_truth.region_weights.values():
+            np.testing.assert_allclose(weights.sum(), 1.0)
+
+    def test_imbalanced_region_checkins(self, tiny_dataset, tiny_truth):
+        """Accessibility skew concentrates check-ins in few regions."""
+        dataset, _ = tiny_dataset
+        counts = {}
+        for record in dataset.checkins_in_city("shelbyville"):
+            region = tiny_truth.poi_regions[record.poi_id]
+            counts[region] = counts.get(region, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] > 1.5 * values[-1]
+
+
+class TestPresets:
+    @pytest.mark.parametrize("builder", [foursquare_like, yelp_like])
+    def test_presets_validate_and_scale(self, builder):
+        small = builder(scale=0.2)
+        large = builder(scale=1.0)
+        assert sum(c.num_pois for c in small.cities) < \
+               sum(c.num_pois for c in large.cities)
+
+    def test_foursquare_target_is_la(self):
+        assert foursquare_like().target_city == "los_angeles"
+
+    def test_yelp_target_is_vegas(self):
+        assert yelp_like().target_city == "las_vegas"
+
+    def test_preset_generation_has_crossing_users(self):
+        ds, truth = generate_dataset(foursquare_like(scale=0.2))
+        assert len(truth.crossing_user_ids) > 0

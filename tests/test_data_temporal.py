@@ -1,0 +1,106 @@
+"""Temporal split tests."""
+
+import pytest
+
+from repro.data.temporal import leave_last_k_out, time_threshold_split
+
+
+class TestLeaveLastKOut:
+    def test_holds_out_latest_events(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        split = leave_last_k_out(dataset, "shelbyville", k=1)
+        for user in split.test_users:
+            target = [r for r in dataset.user_profile(user)
+                      if r.city == "shelbyville"]
+            last = target[-1]
+            assert last.poi_id in split.ground_truth[user]
+            # Earlier target check-ins may remain in training.
+            train_target = [r for r in split.train.user_profile(user)
+                            if r.city == "shelbyville"]
+            assert len(train_target) == len(target) - 1 or \
+                len(split.ground_truth[user]) >= 1
+
+    def test_k_larger_than_history_takes_all(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        split = leave_last_k_out(dataset, "shelbyville", k=10**6)
+        for user in split.test_users:
+            train_target = [r for r in split.train.user_profile(user)
+                            if r.city == "shelbyville"]
+            assert train_target == []
+
+    def test_train_shrinks(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        split = leave_last_k_out(dataset, "shelbyville", k=2)
+        assert split.train.num_checkins() < dataset.num_checkins()
+
+    def test_validation(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        with pytest.raises(ValueError):
+            leave_last_k_out(dataset, "atlantis")
+        with pytest.raises(ValueError):
+            leave_last_k_out(dataset, "shelbyville", k=0)
+
+    def test_compatible_with_evaluator(self, tiny_dataset):
+        from repro.eval.protocol import RankingEvaluator
+        dataset, _ = tiny_dataset
+        split = leave_last_k_out(dataset, "shelbyville", k=2)
+        evaluator = RankingEvaluator(split, seed=0)
+        assert evaluator.evaluable_users
+
+
+class TestLeaveLastKOutProperties:
+    def test_split_invariants_over_k(self, tiny_dataset):
+        """For every k: ground truth non-empty per user, all held-out
+        POIs are target-city, and train+held events partition the data."""
+        dataset, _ = tiny_dataset
+        for k in (1, 2, 3, 5, 8):
+            split = leave_last_k_out(dataset, "shelbyville", k=k)
+            assert split.test_users
+            for user, truth in split.ground_truth.items():
+                assert truth
+                for poi_id in truth:
+                    assert dataset.pois[poi_id].city == "shelbyville"
+            assert split.train.num_checkins() < dataset.num_checkins()
+
+    def test_larger_k_holds_out_more(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        small = leave_last_k_out(dataset, "shelbyville", k=1)
+        large = leave_last_k_out(dataset, "shelbyville", k=3)
+        assert large.train.num_checkins() <= small.train.num_checkins()
+
+
+class TestTimeThresholdSplit:
+    def test_cutoff_separates(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        # median timestamp of target-city events as cutoff
+        times = sorted(r.timestamp
+                       for r in dataset.checkins_in_city("shelbyville"))
+        cutoff = times[len(times) // 2]
+        split = time_threshold_split(dataset, "shelbyville", cutoff)
+        for user, truth in split.ground_truth.items():
+            assert truth
+            # every held-out event is after the cutoff
+            for record in dataset.user_profile(user):
+                if (record.city == "shelbyville"
+                        and record.timestamp > cutoff):
+                    assert record.poi_id in truth
+
+    def test_train_keeps_pre_cutoff_target_events(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        times = sorted(r.timestamp
+                       for r in dataset.checkins_in_city("shelbyville"))
+        cutoff = times[len(times) // 2]
+        split = time_threshold_split(dataset, "shelbyville", cutoff)
+        kept = [r for r in split.train.checkins_in_city("shelbyville")
+                if r.user_id in set(split.test_users)]
+        assert all(r.timestamp <= cutoff for r in kept)
+
+    def test_future_cutoff_rejected(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        with pytest.raises(ValueError):
+            time_threshold_split(dataset, "shelbyville", cutoff=1e12)
+
+    def test_unknown_city_rejected(self, tiny_dataset):
+        dataset, _ = tiny_dataset
+        with pytest.raises(ValueError):
+            time_threshold_split(dataset, "atlantis", cutoff=0.0)

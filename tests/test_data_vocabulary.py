@@ -1,0 +1,52 @@
+"""IndexMap / DatasetIndex tests."""
+
+import pytest
+
+from repro.data.vocabulary import DatasetIndex, IndexMap
+
+
+class TestIndexMap:
+    def test_first_seen_order(self):
+        m = IndexMap(["c", "a", "b"])
+        assert m.index_of("c") == 0
+        assert m.index_of("b") == 2
+
+    def test_add_idempotent(self):
+        m = IndexMap()
+        assert m.add("x") == 0
+        assert m.add("x") == 0
+        assert len(m) == 1
+
+    def test_key_of_inverse(self):
+        m = IndexMap(["a", "b"])
+        assert m.key_of(m.index_of("b")) == "b"
+
+    def test_get_default(self):
+        m = IndexMap(["a"])
+        assert m.get("missing") == -1
+        assert m.get("missing", -7) == -7
+
+    def test_missing_index_of_raises(self):
+        with pytest.raises(KeyError):
+            IndexMap().index_of("nope")
+
+    def test_contains_iter_keys(self):
+        m = IndexMap(["a", "b"])
+        assert "a" in m
+        assert list(m) == ["a", "b"]
+        keys = m.keys()
+        keys.append("c")  # copy, not a view
+        assert len(m) == 2
+
+
+class TestDatasetIndex:
+    def test_counts(self):
+        idx = DatasetIndex(user_ids=[5, 9], poi_ids=[1, 2, 3],
+                           words=["x"])
+        assert idx.num_users == 2
+        assert idx.num_pois == 3
+        assert idx.num_words == 1
+
+    def test_repr(self):
+        idx = DatasetIndex([], [], [])
+        assert "users=0" in repr(idx)

@@ -1,0 +1,63 @@
+"""Table 3 case study tests."""
+
+import pytest
+
+from repro.core.recommend import Recommender
+from repro.core.trainer import STTransRecTrainer
+from repro.eval.case_study import build_case_study
+
+from tests.test_core_trainer import fast_config
+
+
+@pytest.fixture(scope="module")
+def recommenders(tiny_split):
+    full = STTransRecTrainer(tiny_split, fast_config())
+    full.fit()
+    no_text = STTransRecTrainer(tiny_split, fast_config(use_text=False))
+    no_text.fit()
+    return {
+        "ST-TransRec": Recommender(full.model, full.index,
+                                   tiny_split.train, "shelbyville"),
+        "ST-TransRec-2": Recommender(no_text.model, no_text.index,
+                                     tiny_split.train, "shelbyville"),
+    }
+
+
+class TestCaseStudy:
+    def test_default_user_has_largest_truth(self, tiny_split, recommenders):
+        study = build_case_study(tiny_split, recommenders)
+        best = max(tiny_split.test_users,
+                   key=lambda u: len(tiny_split.ground_truth.get(u, ())))
+        assert study.user_id == best
+
+    def test_rank_lists_per_model(self, tiny_split, recommenders):
+        study = build_case_study(tiny_split, recommenders, top_k=3)
+        assert set(study.rank_lists) == set(recommenders)
+        for ranked in study.rank_lists.values():
+            assert len(ranked) == 3
+
+    def test_ground_truth_flags_consistent(self, tiny_split, recommenders):
+        study = build_case_study(tiny_split, recommenders)
+        truth = tiny_split.ground_truth[study.user_id]
+        for ranked in study.rank_lists.values():
+            for row in ranked:
+                assert row.is_ground_truth == (row.poi_id in truth)
+
+    def test_top_words_non_empty(self, tiny_split, recommenders):
+        study = build_case_study(tiny_split, recommenders)
+        assert study.top_words
+
+    def test_format_renders_table(self, tiny_split, recommenders):
+        study = build_case_study(tiny_split, recommenders)
+        text = study.format()
+        assert f"user #{study.user_id}" in text
+        assert "ST-TransRec-2" in text
+
+    def test_explicit_user(self, tiny_split, recommenders):
+        user = tiny_split.test_users[0]
+        study = build_case_study(tiny_split, recommenders, user_id=user)
+        assert study.user_id == user
+
+    def test_requires_recommenders(self, tiny_split):
+        with pytest.raises(ValueError):
+            build_case_study(tiny_split, {})

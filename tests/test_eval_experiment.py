@@ -1,0 +1,140 @@
+"""Experiment runner and reporting tests (fast, tiny budgets)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.eval.experiment as experiment
+from repro.baselines import MethodProfile
+from repro.data.split import make_crossing_city_split
+from repro.data.synthetic import generate_dataset
+from repro.eval.experiment import (
+    ExperimentContext,
+    build_context,
+    run_ablation,
+    run_depth_sweep,
+    run_dropout_sweep,
+    run_method_comparison,
+    run_resample_sweep,
+)
+from repro.eval.protocol import RankingEvaluator
+from repro.eval.reporting import (
+    format_all_metrics,
+    format_comparison,
+    format_hyper_table,
+    format_scalar_sweep,
+    format_sweep,
+)
+
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def tiny_context(tiny_split):
+    profile = MethodProfile(embedding_dim=8, epochs=1, pretrain_epochs=1,
+                            num_topics=4, mf_rank=4)
+    return ExperimentContext(
+        name="tiny",
+        config=tiny_config(),
+        split=tiny_split,
+        evaluator=RankingEvaluator(tiny_split, seed=0),
+        profile=profile,
+    )
+
+
+@pytest.fixture(autouse=True)
+def single_seed(monkeypatch):
+    """One model seed per method keeps experiment tests fast."""
+    monkeypatch.setattr(experiment, "BENCH_SEEDS", (0,))
+
+
+class TestBuildContext:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            build_context("netflix")
+
+    def test_builds_foursquare(self):
+        ctx = build_context("foursquare", scale=0.1)
+        assert ctx.target_city == "los_angeles"
+        assert ctx.evaluator.evaluable_users
+
+
+class TestRunners:
+    def test_method_comparison_structure(self, tiny_context):
+        results = run_method_comparison(tiny_context,
+                                        methods=["ItemPop", "CRCF"])
+        assert set(results) == {"ItemPop", "CRCF"}
+        assert 0 <= results["ItemPop"]["recall"][10] <= 1
+
+    def test_ablation_covers_variants(self, tiny_context):
+        results = run_ablation(tiny_context)
+        assert set(results) == {"ST-TransRec", "ST-TransRec-1",
+                                "ST-TransRec-2", "ST-TransRec-3"}
+
+    def test_resample_sweep_keys(self, tiny_context):
+        results = run_resample_sweep(tiny_context, alphas=(0.0, 0.1),
+                                     cutoffs=(2, 10))
+        assert set(results) == {0.0, 0.1}
+        assert set(results[0.0]["recall"]) == {2, 10}
+
+    def test_dropout_sweep_keys(self, tiny_context):
+        results = run_dropout_sweep(tiny_context, rates=(0.0, 0.3))
+        assert set(results) == {0.0, 0.3}
+        assert "ndcg" in results[0.0]
+
+    def test_depth_sweep_validates(self, tiny_context):
+        with pytest.raises(ValueError):
+            run_depth_sweep(tiny_context, depths=(9,))
+
+    def test_depth_sweep_runs(self, tiny_context):
+        results = run_depth_sweep(tiny_context, depths=(1,), cutoffs=(2,))
+        assert set(results) == {1}
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def fake_results(self):
+        table = {m: {k: 0.5 for k in (2, 4)} for m in
+                 ("recall", "precision", "ndcg", "map")}
+        return {"ItemPop": table, "ST-TransRec": table}
+
+    def test_format_comparison(self, fake_results):
+        text = format_comparison(fake_results, cutoffs=(2, 4))
+        assert "ItemPop" in text
+        assert "0.5000" in text
+
+    def test_format_comparison_unknown_metric(self, fake_results):
+        with pytest.raises(ValueError):
+            format_comparison(fake_results, metric="accuracy")
+
+    def test_format_all_metrics_has_four_blocks(self, fake_results):
+        text = format_all_metrics(fake_results, cutoffs=(2, 4))
+        assert text.count("ItemPop") == 4
+
+    def test_format_sweep(self):
+        results = {0.1: {"recall": {2: 0.3, 10: 0.4}},
+                   0.2: {"recall": {2: 0.35, 10: 0.45}}}
+        text = format_sweep(results, "alpha")
+        assert "alpha" in text
+        assert "0.4500" in text
+
+    def test_format_scalar_sweep(self):
+        results = {0.1: {m: 0.5 for m in ("recall", "precision",
+                                          "ndcg", "map")}}
+        assert "recall" in format_scalar_sweep(results, "dropout")
+
+    def test_format_hyper_table(self):
+        table = {m: {2: 0.1, 4: 0.2} for m in ("recall", "precision",
+                                               "ndcg", "map")}
+        text = format_hyper_table({16: table, 32: table}, "dim")
+        assert "16" in text and "32" in text
+
+    def test_markdown_comparison(self, fake_results):
+        from repro.eval.reporting import markdown_comparison
+        text = markdown_comparison(fake_results, metric="recall", k=2)
+        assert text.startswith("| Method | recall@2 |")
+        assert "| ItemPop | 0.5000 |" in text
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            markdown_comparison(fake_results, metric="accuracy")

@@ -1,0 +1,97 @@
+"""Ranking metric tests: hand-computed values and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    METRIC_NAMES,
+    all_metrics_at_k,
+    average_precision_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+RANKED = [10, 20, 30, 40, 50]
+RELEVANT = {20, 40, 99}
+
+
+class TestRecall:
+    def test_hand_computed(self):
+        # hits in top-4: {20, 40} of 3 relevant
+        np.testing.assert_allclose(recall_at_k(RANKED, RELEVANT, 4), 2 / 3)
+
+    def test_zero_when_no_hits(self):
+        assert recall_at_k(RANKED, {99}, 5) == 0.0
+
+    def test_one_when_all_found(self):
+        assert recall_at_k([1, 2], {1, 2}, 2) == 1.0
+
+    def test_monotone_in_k(self):
+        values = [recall_at_k(RANKED, RELEVANT, k) for k in range(1, 6)]
+        assert values == sorted(values)
+
+
+class TestPrecision:
+    def test_hand_computed(self):
+        np.testing.assert_allclose(precision_at_k(RANKED, RELEVANT, 4), 0.5)
+
+    def test_k_exceeding_list(self):
+        # top-10 of a 5-long list still divides by k
+        np.testing.assert_allclose(
+            precision_at_k(RANKED, RELEVANT, 10), 2 / 10
+        )
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_hand_computed(self):
+        # relevant at positions 2 and 4 (1-indexed)
+        dcg = 1 / np.log2(3) + 1 / np.log2(5)
+        idcg = 1 / np.log2(2) + 1 / np.log2(3) + 1 / np.log2(4)
+        np.testing.assert_allclose(ndcg_at_k(RANKED, RELEVANT, 5),
+                                   dcg / idcg)
+
+    def test_early_hit_beats_late_hit(self):
+        early = ndcg_at_k([1, 9, 9, 9], {1}, 4)
+        late = ndcg_at_k([9, 9, 9, 1], {1}, 4)
+        assert early > late
+
+
+class TestMAP:
+    def test_hand_computed(self):
+        # hits at ranks 2 (prec 1/2) and 4 (prec 2/4); denom min(3, 5)=3
+        expected = (0.5 + 0.5) / 3
+        np.testing.assert_allclose(
+            average_precision_at_k(RANKED, RELEVANT, 5), expected
+        )
+
+    def test_perfect_is_one(self):
+        assert average_precision_at_k([1, 2], {1, 2}, 2) == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", [recall_at_k, precision_at_k,
+                                    ndcg_at_k, average_precision_at_k])
+    def test_bad_k_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(RANKED, RELEVANT, 0)
+
+    @pytest.mark.parametrize("fn", [recall_at_k, precision_at_k,
+                                    ndcg_at_k, average_precision_at_k])
+    def test_empty_relevant_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(RANKED, set(), 3)
+
+
+class TestAllMetrics:
+    def test_contains_every_metric(self):
+        out = all_metrics_at_k(RANKED, RELEVANT, 3)
+        assert set(out) == set(METRIC_NAMES)
+
+    def test_all_in_unit_interval(self):
+        out = all_metrics_at_k(RANKED, RELEVANT, 3)
+        for value in out.values():
+            assert 0.0 <= value <= 1.0

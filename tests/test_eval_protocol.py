@@ -1,0 +1,133 @@
+"""Evaluation protocol tests (100-sampled-negative ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import RankingEvaluator
+
+
+class PerfectModel:
+    """Scores ground-truth POIs above everything else."""
+
+    def __init__(self, split):
+        self.split = split
+
+    def score_candidates(self, user_id, candidates):
+        truth = self.split.ground_truth[user_id]
+        return np.array([1.0 if c in truth else 0.0 for c in candidates])
+
+
+class WorstModel(PerfectModel):
+    def score_candidates(self, user_id, candidates):
+        return -super().score_candidates(user_id, candidates)
+
+
+class RandomModel:
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def score_candidates(self, user_id, candidates):
+        return self.rng.random(len(candidates))
+
+
+class AmnesiacModel:
+    """Knows nobody — every user raises KeyError."""
+
+    def score_candidates(self, user_id, candidates):
+        raise KeyError(user_id)
+
+
+@pytest.fixture(scope="module")
+def evaluator(tiny_split):
+    return RankingEvaluator(tiny_split, seed=0)
+
+
+class TestCandidates:
+    def test_candidates_contain_truth_plus_negatives(self, evaluator,
+                                                     tiny_split):
+        for user in evaluator.evaluable_users:
+            candidates = evaluator._candidates[user]
+            truth = tiny_split.ground_truth[user]
+            assert truth <= set(candidates)
+            negatives = set(candidates) - truth
+            # negatives never visited by this user anywhere in training
+            visited = {r.poi_id
+                       for r in tiny_split.train.user_profile(user)}
+            assert not (negatives & visited)
+
+    def test_candidates_all_target_city(self, evaluator, tiny_split):
+        target_pois = {p.poi_id
+                       for p in tiny_split.train.pois_in_city("shelbyville")}
+        for candidates in evaluator._candidates.values():
+            assert set(candidates) <= target_pois
+
+    def test_same_candidates_across_evaluations(self, tiny_split):
+        a = RankingEvaluator(tiny_split, seed=5)
+        b = RankingEvaluator(tiny_split, seed=5)
+        assert a._candidates == b._candidates
+
+
+class TestEvaluate:
+    def test_perfect_model_maximal_recall(self, evaluator, tiny_split):
+        result = evaluator.evaluate(PerfectModel(tiny_split))
+        # Every user's truth fits within the largest cutoff (10) in the
+        # tiny dataset, so recall@10 should be 1.
+        assert result.scores["recall"][10] == 1.0
+        assert result.scores["ndcg"][10] == 1.0
+
+    def test_worst_model_near_zero(self, evaluator, tiny_split):
+        result = evaluator.evaluate(WorstModel(tiny_split))
+        assert result.scores["recall"][2] < 0.1
+
+    def test_random_model_between(self, evaluator, tiny_split):
+        perfect = evaluator.evaluate(PerfectModel(tiny_split))
+        worst = evaluator.evaluate(WorstModel(tiny_split))
+        random_ = evaluator.evaluate(RandomModel())
+        assert (worst.scores["recall"][10]
+                <= random_.scores["recall"][10]
+                <= perfect.scores["recall"][10])
+
+    def test_per_user_detail_optional(self, evaluator, tiny_split):
+        without = evaluator.evaluate(PerfectModel(tiny_split))
+        with_detail = evaluator.evaluate(PerfectModel(tiny_split),
+                                         keep_per_user=True)
+        assert without.per_user == {}
+        assert set(with_detail.per_user) == set(evaluator.evaluable_users)
+
+    def test_unknown_users_skipped_and_counted(self, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, seed=0)
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate(AmnesiacModel())
+
+    def test_table_renders(self, evaluator, tiny_split):
+        result = evaluator.evaluate(PerfectModel(tiny_split))
+        table = result.table()
+        assert "recall" in table
+        assert "@2" in table
+
+
+class TestConstruction:
+    def test_empty_cutoffs_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            RankingEvaluator(tiny_split, cutoffs=())
+
+    def test_custom_cutoffs(self, tiny_split):
+        ev = RankingEvaluator(tiny_split, cutoffs=(1, 3), seed=0)
+        result = ev.evaluate(PerfectModel(tiny_split))
+        assert set(result.scores["recall"].keys()) == {1, 3}
+
+    def test_full_ranking_mode(self, tiny_split):
+        """num_negatives=None ranks against the whole target catalogue."""
+        ev = RankingEvaluator(tiny_split, num_negatives=None, seed=0)
+        target = {p.poi_id
+                  for p in tiny_split.train.pois_in_city("shelbyville")}
+        for user, candidates in ev._candidates.items():
+            visited = {r.poi_id
+                       for r in tiny_split.train.user_profile(user)}
+            expected = (target - visited) | tiny_split.ground_truth[user]
+            assert set(candidates) == expected
+        # Full ranking is harder than 100-negatives for the same model.
+        sampled = RankingEvaluator(tiny_split, seed=0)
+        full = ev.evaluate(RandomModel()).scores["recall"][10]
+        part = sampled.evaluate(RandomModel()).scores["recall"][10]
+        assert full <= part + 0.05

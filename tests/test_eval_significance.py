@@ -1,0 +1,60 @@
+"""Paired bootstrap / sign test tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import RankingEvaluator
+from repro.eval.significance import compare_methods, paired_bootstrap
+
+from tests.test_eval_protocol import PerfectModel, RandomModel, WorstModel
+
+
+@pytest.fixture(scope="module")
+def evaluator(tiny_split):
+    return RankingEvaluator(tiny_split, seed=0)
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self, evaluator, tiny_split):
+        comparison = compare_methods(
+            evaluator, PerfectModel(tiny_split), WorstModel(tiny_split),
+        )
+        assert comparison.mean_difference > 0.5
+        assert comparison.significant()
+        assert comparison.sign_test_p < 0.05
+
+    def test_identical_methods_not_significant(self, evaluator, tiny_split):
+        comparison = compare_methods(
+            evaluator, PerfectModel(tiny_split), PerfectModel(tiny_split),
+        )
+        assert comparison.mean_difference == 0.0
+        assert not comparison.significant()
+        assert comparison.sign_test_p == 1.0
+
+    def test_direction_symmetry(self, evaluator, tiny_split):
+        forward = compare_methods(
+            evaluator, PerfectModel(tiny_split), RandomModel(),
+        )
+        backward = compare_methods(
+            evaluator, RandomModel(), PerfectModel(tiny_split),
+        )
+        np.testing.assert_allclose(forward.mean_difference,
+                                   -backward.mean_difference)
+
+    def test_requires_per_user_detail(self, evaluator, tiny_split):
+        a = evaluator.evaluate(PerfectModel(tiny_split))  # no detail
+        b = evaluator.evaluate(WorstModel(tiny_split), keep_per_user=True)
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, b)
+
+    def test_reports_sample_size(self, evaluator, tiny_split):
+        comparison = compare_methods(
+            evaluator, PerfectModel(tiny_split), WorstModel(tiny_split),
+        )
+        assert comparison.num_users == len(evaluator.evaluable_users)
+
+    def test_invalid_num_samples(self, evaluator, tiny_split):
+        a = evaluator.evaluate(PerfectModel(tiny_split), keep_per_user=True)
+        b = evaluator.evaluate(WorstModel(tiny_split), keep_per_user=True)
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, b, num_samples=0)

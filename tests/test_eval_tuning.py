@@ -1,0 +1,63 @@
+"""Grid search helper tests."""
+
+import pytest
+
+from repro.core.config import STTransRecConfig
+from repro.eval.tuning import (
+    PAPER_LEARNING_RATES,
+    expand_grid,
+    grid_search,
+)
+
+
+def fast_base():
+    return STTransRecConfig(
+        embedding_dim=8, hidden_sizes=[8], epochs=1, pretrain_epochs=1,
+        mmd_batch_size=16, grid_shape=(4, 4), segmentation_threshold=0.2,
+        seed=0,
+    )
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        points = list(expand_grid({"a": [1, 2], "b": ["x", "y"]}))
+        assert len(points) == 4
+        assert {"a": 1, "b": "y"} in points
+
+    def test_empty_grid_single_point(self):
+        assert list(expand_grid({})) == [{}]
+
+    def test_deterministic_order(self):
+        a = list(expand_grid({"b": [1, 2], "a": [3]}))
+        b = list(expand_grid({"b": [1, 2], "a": [3]}))
+        assert a == b
+
+
+class TestGridSearch:
+    def test_unknown_field_rejected(self, tiny_split):
+        with pytest.raises(KeyError):
+            grid_search(tiny_split, fast_base(), {"warp_drive": [1]})
+
+    def test_runs_and_ranks(self, tiny_split):
+        result = grid_search(
+            tiny_split, fast_base(),
+            {"resample_alpha": [0.0, 0.2]},
+        )
+        assert len(result.points) == 2
+        scores = [p.score for p in result.points]
+        assert scores == sorted(scores, reverse=True)
+        assert result.best.overrides in (
+            {"resample_alpha": 0.0}, {"resample_alpha": 0.2},
+        )
+
+    def test_table_renders(self, tiny_split):
+        result = grid_search(
+            tiny_split, fast_base(), {"lambda_mmd": [0.5, 1.0]},
+        )
+        text = result.table()
+        assert "lambda_mmd" in text
+        assert "recall@10" in text
+
+    def test_paper_learning_rate_grid_defined(self):
+        assert 5e-3 in PAPER_LEARNING_RATES
+        assert len(PAPER_LEARNING_RATES) == 6

@@ -1,0 +1,65 @@
+"""Terminal visualization tests."""
+
+import pytest
+
+from repro.eval.viz import bar_chart, comparison_chart, sparkline, sweep_chart
+
+
+class TestSparkline:
+    def test_monotone_series_levels(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series_mid_height(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        chart = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"short": 1.0, "a-longer-label": 0.5})
+        lines = chart.splitlines()
+        bar_starts = [line.index("█") for line in lines]
+        assert len(set(bar_starts)) == 1
+
+    def test_zero_values_no_bar(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestSweepChart:
+    def test_sorted_by_key(self):
+        chart = sweep_chart({0.3: 0.2, 0.1: 0.4}, "alpha", "recall@10")
+        lines = chart.splitlines()
+        assert "alpha" in lines[0]
+        assert lines[1].startswith("0.1")
+        assert lines[2].startswith("0.3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_chart({}, "x", "y")
+
+
+class TestComparisonChart:
+    def test_renders_methods(self):
+        table = {"recall": {10: 0.4}}
+        chart = comparison_chart({"ItemPop": table, "ST-TransRec": table})
+        assert "recall@10" in chart
+        assert "ItemPop" in chart

@@ -1,0 +1,67 @@
+"""HitRate / MRR / AUC tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.extended_metrics import (
+    auc,
+    extended_metrics_at_k,
+    hit_rate_at_k,
+    mrr_at_k,
+)
+
+RANKED = [10, 20, 30, 40, 50]
+RELEVANT = {20, 40}
+
+
+class TestHitRate:
+    def test_hit(self):
+        assert hit_rate_at_k(RANKED, RELEVANT, 2) == 1.0
+
+    def test_miss(self):
+        assert hit_rate_at_k(RANKED, {99}, 5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k(RANKED, RELEVANT, 0)
+        with pytest.raises(ValueError):
+            hit_rate_at_k(RANKED, set(), 3)
+
+
+class TestMRR:
+    def test_first_hit_position(self):
+        # first relevant at rank 2 → 1/2
+        assert mrr_at_k(RANKED, RELEVANT, 5) == 0.5
+
+    def test_no_hit_in_window(self):
+        assert mrr_at_k(RANKED, {40}, 2) == 0.0
+
+    def test_top_hit_is_one(self):
+        assert mrr_at_k([20, 10], RELEVANT, 2) == 1.0
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc([20, 40, 10, 30], RELEVANT) == 1.0
+
+    def test_worst_ranking(self):
+        assert auc([10, 30, 50, 20, 40], RELEVANT) == 0.0
+
+    def test_hand_computed(self):
+        # positives at positions 1, 3; negatives at 0, 2, 4
+        # pairs won: pos1 beats neg2,neg4 (2); pos3 beats neg4 (1) → 3/6
+        assert auc(RANKED, RELEVANT) == 0.5
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            auc([1, 2], {1, 2})
+        with pytest.raises(ValueError):
+            auc([1, 2], set())
+
+
+class TestBundle:
+    def test_all_keys_present(self):
+        out = extended_metrics_at_k(RANKED, RELEVANT, 3)
+        assert set(out) == {"hit_rate", "mrr", "auc"}
+        for value in out.values():
+            assert 0.0 <= value <= 1.0

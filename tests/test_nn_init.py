@@ -1,0 +1,47 @@
+"""Weight initializer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestNormal:
+    def test_scale(self):
+        w = init.normal((2000,), std=0.05, rng=0)
+        assert abs(w.std() - 0.05) < 0.01
+        assert abs(w.mean()) < 0.01
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(init.normal((5,), rng=3),
+                                      init.normal((5,), rng=3))
+
+
+class TestHeNormal:
+    def test_std_matches_fan_in(self):
+        fan_in = 50
+        w = init.he_normal((fan_in, 4000), rng=0)
+        expected = np.sqrt(2.0 / fan_in)
+        assert abs(w.std() - expected) < 0.02
+
+    def test_scalar_shape(self):
+        assert init.he_normal((3,), rng=0).shape == (3,)
+
+
+class TestXavierUniform:
+    def test_bound(self):
+        w = init.xavier_uniform((30, 20), rng=0)
+        bound = np.sqrt(6.0 / 50)
+        assert w.max() <= bound
+        assert w.min() >= -bound
+
+    def test_roughly_uniform(self):
+        w = init.xavier_uniform((100, 100), rng=0)
+        bound = np.sqrt(6.0 / 200)
+        # Uniform std = bound / sqrt(3)
+        assert abs(w.std() - bound / np.sqrt(3)) < 0.01
+
+
+class TestZeros:
+    def test_all_zero(self):
+        np.testing.assert_array_equal(init.zeros((3, 2)), 0.0)

@@ -1,0 +1,76 @@
+"""Data-parallel trainer tests (Table 2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.data_parallel import DataParallelTrainer
+from repro.parallel.timing import format_timing_table, measure_training_time
+
+from tests.test_core_trainer import fast_config
+
+
+class TestSingleWorker:
+    def test_epoch_runs_and_times(self, tiny_split):
+        with DataParallelTrainer(tiny_split, fast_config(),
+                                 num_workers=1) as dp:
+            stats = dp.train_epoch()
+        assert stats.num_workers == 1
+        assert stats.steps > 0
+        assert stats.seconds > 0
+        assert np.isfinite(stats.mean_loss)
+
+    def test_loss_decreases_over_epochs(self, tiny_split):
+        with DataParallelTrainer(tiny_split, fast_config(),
+                                 num_workers=1) as dp:
+            first = dp.train_epoch().mean_loss
+            for _ in range(4):
+                last = dp.train_epoch().mean_loss
+        assert last < first
+
+
+class TestMultiWorker:
+    def test_two_workers_fewer_steps(self, tiny_split):
+        cfg = fast_config()
+        with DataParallelTrainer(tiny_split, cfg, num_workers=1) as single:
+            steps_1 = single.train_epoch().steps
+        with DataParallelTrainer(tiny_split, cfg, num_workers=2) as double:
+            stats = double.train_epoch()
+        assert stats.steps < steps_1
+        assert stats.steps == int(np.ceil(steps_1 / 2)) or \
+            abs(stats.steps - steps_1 / 2) <= 1
+
+    def test_two_workers_train_successfully(self, tiny_split):
+        with DataParallelTrainer(tiny_split, fast_config(),
+                                 num_workers=2) as dp:
+            first = dp.train_epoch().mean_loss
+            for _ in range(3):
+                last = dp.train_epoch().mean_loss
+        assert np.isfinite(last)
+        assert last < first
+
+    def test_close_idempotent(self, tiny_split):
+        dp = DataParallelTrainer(tiny_split, fast_config(), num_workers=2)
+        dp.train_epoch()
+        dp.close()
+        dp.close()
+
+    def test_invalid_worker_count(self, tiny_split):
+        with pytest.raises(ValueError):
+            DataParallelTrainer(tiny_split, fast_config(), num_workers=0)
+
+
+class TestTimingHarness:
+    def test_measure_training_time_rows(self, tiny_split):
+        rows = measure_training_time(tiny_split, fast_config(),
+                                     worker_counts=(1,), epochs=1,
+                                     warmup_epochs=0)
+        assert len(rows) == 1
+        assert rows[0].num_workers == 1
+        assert rows[0].mean_seconds > 0
+
+    def test_format_timing_table(self, tiny_split):
+        rows = measure_training_time(tiny_split, fast_config(),
+                                     worker_counts=(1,), epochs=1,
+                                     warmup_epochs=0)
+        text = format_timing_table({"tiny": rows})
+        assert "Single-worker" in text

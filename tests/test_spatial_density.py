@@ -1,0 +1,95 @@
+"""Density model tests: Eqs. 6, 7, 8."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.density import build_density_model
+from repro.spatial.grid import CityGrid
+from repro.spatial.segmentation import segment_city
+
+from tests.test_spatial_segmentation import two_cluster_city
+
+
+@pytest.fixture(scope="module")
+def model():
+    dataset, grid = two_cluster_city()
+    seg = segment_city(dataset, grid, threshold=0.5)
+    return build_density_model(dataset, seg)
+
+
+@pytest.fixture(scope="module")
+def skewed_model():
+    """Same structure but one region much denser than the other."""
+    from repro.data.dataset import CheckinDataset
+    from repro.data.records import POI, CheckinRecord
+    pois = [
+        POI(0, "c", (0.1, 0.1), ()),
+        POI(1, "c", (0.1, 1.1), ()),
+        POI(2, "c", (3.1, 2.1), ()),
+        POI(3, "c", (3.1, 3.1), ()),
+    ]
+    checkins = []
+    t = 0.0
+    for user in range(20):       # dense community: 40 check-ins
+        for poi in (0, 1):
+            t += 1
+            checkins.append(CheckinRecord(user, poi, "c", t))
+    for user in range(100, 102):  # sparse community: 4 check-ins
+        for poi in (2, 3):
+            t += 1
+            checkins.append(CheckinRecord(user, poi, "c", t))
+    dataset = CheckinDataset(pois, checkins)
+    grid = CityGrid(pois, (4, 4))
+    seg = segment_city(dataset, grid, threshold=0.5)
+    return build_density_model(dataset, seg)
+
+
+class TestDensities:
+    def test_density_values(self, model):
+        # Both regions: 10 check-ins over 2 cells = 5.0
+        np.testing.assert_allclose(model.region_densities, [5.0, 5.0])
+
+    def test_max_density(self, skewed_model):
+        assert skewed_model.max_density == 20.0  # 40 check-ins / 2 cells
+
+
+class TestEq7PoiDistribution:
+    def test_distributions_normalized(self, model):
+        for poi_ids, probs in model.poi_distributions.values():
+            assert len(poi_ids) == len(probs)
+            np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_proportional_to_checkins(self, skewed_model):
+        seg = skewed_model.segmentation
+        dense_region = seg.region_of_poi[0]
+        poi_ids, probs = skewed_model.poi_distributions[dense_region]
+        # POIs 0 and 1 have equal counts → equal probability.
+        np.testing.assert_allclose(probs, [0.5, 0.5])
+
+
+class TestEq8RegionDistribution:
+    def test_uniform_when_balanced(self, model):
+        np.testing.assert_allclose(model.region_distribution, [0.5, 0.5])
+
+    def test_sparse_region_favoured(self, skewed_model):
+        seg = skewed_model.segmentation
+        sparse_region = seg.region_of_poi[2]
+        probs = skewed_model.region_distribution
+        assert probs[sparse_region] > 0.5
+        np.testing.assert_allclose(probs.sum(), 1.0)
+        # Exact Eq. 8 value: inverse densities are (1, 10) → (1/11, 10/11)
+        np.testing.assert_allclose(sorted(probs), [1 / 11, 10 / 11])
+
+
+class TestEq6Deficit:
+    def test_balanced_city_no_deficit(self, model):
+        assert model.total_deficit() == 0
+
+    def test_sparse_region_deficit(self, skewed_model):
+        seg = skewed_model.segmentation
+        sparse_region = seg.region_of_poi[2]
+        dense_region = seg.region_of_poi[0]
+        # Sparse: needs 20*2 - 4 = 36 additional check-ins.
+        assert skewed_model.deficit(sparse_region) == 36
+        assert skewed_model.deficit(dense_region) == 0
+        assert skewed_model.total_deficit() == 36

@@ -1,0 +1,43 @@
+"""Geometry helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import centroid, euclidean, pairwise_distances
+
+
+class TestEuclidean:
+    def test_pythagorean(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_symmetric(self):
+        assert euclidean((1, 2), (4, 6)) == euclidean((4, 6), (1, 2))
+
+    def test_zero_for_same_point(self):
+        assert euclidean((2.5, -1.0), (2.5, -1.0)) == 0.0
+
+
+class TestCentroid:
+    def test_mean_point(self):
+        assert centroid([(0, 0), (2, 4)]) == (1.0, 2.0)
+
+    def test_single_point(self):
+        assert centroid([(3, 7)]) == (3.0, 7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestPairwiseDistances:
+    def test_matches_euclidean(self):
+        points = [(0, 0), (3, 4), (1, 1)]
+        matrix = pairwise_distances(points)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        np.testing.assert_allclose(matrix[0, 1], 5.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_distances([(1, 2, 3)])

@@ -1,0 +1,77 @@
+"""CityGrid geometry tests."""
+
+import pytest
+
+from repro.data.records import POI
+from repro.spatial.grid import BoundingBox, CityGrid
+
+
+def grid_world():
+    pois = [
+        POI(0, "a", (0.0, 0.0), ()),
+        POI(1, "a", (10.0, 10.0), ()),
+        POI(2, "a", (5.0, 5.0), ()),
+        POI(3, "a", (0.1, 9.9), ()),
+    ]
+    return CityGrid(pois, shape=(4, 4))
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points([(0, 0), (2, 3)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 2, 3)
+
+    def test_degenerate_padded(self):
+        box = BoundingBox.of_points([(1, 1), (1, 1)])
+        assert box.max_x > box.min_x
+        assert box.max_y > box.min_y
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points([])
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+
+class TestCityGrid:
+    def test_requires_pois(self):
+        with pytest.raises(ValueError):
+            CityGrid([], (2, 2))
+
+    def test_rejects_mixed_cities(self):
+        pois = [POI(0, "a", (0, 0), ()), POI(1, "b", (1, 1), ())]
+        with pytest.raises(ValueError):
+            CityGrid(pois, (2, 2))
+
+    def test_corner_cells(self):
+        grid = grid_world()
+        assert grid.cell_of_poi(0) == (0, 0)
+        assert grid.cell_of_poi(1) == (3, 3)
+
+    def test_boundary_location_clamped(self):
+        grid = grid_world()
+        cell = grid.cell_of_location((10.0, 10.0))
+        assert cell == (3, 3)
+        cell = grid.cell_of_location((-99.0, 99.0))
+        assert cell == (0, 3)
+
+    def test_pois_in_cell(self):
+        grid = grid_world()
+        assert [p.poi_id for p in grid.pois_in_cell((0, 0))] == [0]
+        assert grid.pois_in_cell((1, 0)) == []
+
+    def test_occupied_cells_sorted(self):
+        cells = grid_world().occupied_cells()
+        assert cells == sorted(cells)
+        assert len(cells) == 4
+
+    def test_neighbors_interior_and_corner(self):
+        grid = grid_world()
+        assert len(grid.neighbors((1, 1))) == 4
+        assert len(grid.neighbors((0, 0))) == 2
+
+    def test_all_cells_count(self):
+        grid = grid_world()
+        assert len(list(grid.all_cells())) == grid.num_cells == 16

@@ -1,0 +1,94 @@
+"""Property-based tests for the spatial substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import CheckinDataset
+from repro.data.records import POI, CheckinRecord
+from repro.spatial.density import build_density_model
+from repro.spatial.grid import CityGrid
+from repro.spatial.resampling import DensityResampler
+from repro.spatial.segmentation import segment_city
+
+
+@st.composite
+def random_city(draw):
+    """A random small city with random check-ins."""
+    num_pois = draw(st.integers(3, 15))
+    pois = []
+    for i in range(num_pois):
+        x = draw(st.floats(0, 10, allow_nan=False))
+        y = draw(st.floats(0, 10, allow_nan=False))
+        pois.append(POI(i, "c", (x, y), ()))
+    num_checkins = draw(st.integers(1, 40))
+    checkins = []
+    for t in range(num_checkins):
+        user = draw(st.integers(0, 8))
+        poi = draw(st.integers(0, num_pois - 1))
+        checkins.append(CheckinRecord(user, poi, "c", float(t)))
+    return CheckinDataset(pois, checkins)
+
+
+class TestSegmentationProperties:
+    @given(random_city(), st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_covers_all_pois(self, dataset, threshold):
+        grid = CityGrid(list(dataset.pois.values()), (3, 3))
+        seg = segment_city(dataset, grid, threshold)
+        assert set(seg.region_of_poi) == set(dataset.pois)
+        # Regions partition the assigned cells: disjoint, non-empty.
+        seen_cells = set()
+        for region in seg.regions:
+            assert region.cells
+            assert not (region.cells & seen_cells)
+            seen_cells |= region.cells
+
+    @given(random_city(), st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_checkins_conserved(self, dataset, threshold):
+        grid = CityGrid(list(dataset.pois.values()), (3, 3))
+        seg = segment_city(dataset, grid, threshold)
+        assert sum(r.num_checkins for r in seg.regions) == \
+            dataset.num_checkins()
+
+
+class TestDensityProperties:
+    @given(random_city(), st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_distributions_are_distributions(self, dataset, threshold):
+        grid = CityGrid(list(dataset.pois.values()), (3, 3))
+        seg = segment_city(dataset, grid, threshold)
+        model = build_density_model(dataset, seg)
+        np.testing.assert_allclose(model.region_distribution.sum(), 1.0)
+        assert (model.region_distribution >= 0).all()
+        for poi_ids, probs in model.poi_distributions.values():
+            if len(probs):
+                np.testing.assert_allclose(probs.sum(), 1.0)
+
+    @given(random_city())
+    @settings(max_examples=60, deadline=None)
+    def test_deficit_nonnegative_and_zero_for_max(self, dataset):
+        grid = CityGrid(list(dataset.pois.values()), (3, 3))
+        seg = segment_city(dataset, grid, 0.3)
+        model = build_density_model(dataset, seg)
+        densities = model.region_densities
+        for region in seg.regions:
+            deficit = model.deficit(region.region_id)
+            assert deficit >= 0
+        if len(densities):
+            assert model.deficit(int(densities.argmax())) == 0
+
+
+class TestResamplerProperties:
+    @given(random_city(),
+           st.floats(0.0, 1.0, allow_nan=False),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_size_is_alpha_times_deficit(self, dataset, alpha, seed):
+        grid = CityGrid(list(dataset.pois.values()), (3, 3))
+        seg = segment_city(dataset, grid, 0.3)
+        model = build_density_model(dataset, seg)
+        plan = DensityResampler(model, alpha=alpha, rng=seed).plan()
+        assert plan.num_draws == int(round(alpha * model.total_deficit()))
+        assert all(int(p) in dataset.pois for p in plan.poi_ids)

@@ -1,0 +1,83 @@
+"""Density-based resampling tests (Eqs. 6 & 9, punishment α)."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.resampling import DensityResampler, empirical_poi_sample
+
+from tests.test_spatial_density import skewed_model, model  # fixtures
+
+
+class TestPlan:
+    def test_alpha_zero_draws_nothing(self, skewed_model):
+        plan = DensityResampler(skewed_model, alpha=0.0, rng=0).plan()
+        assert plan.num_draws == 0
+        assert len(plan.poi_ids) == 0
+        assert plan.total_deficit == 36
+
+    def test_alpha_scales_draws(self, skewed_model):
+        plan_half = DensityResampler(skewed_model, alpha=0.5, rng=0).plan()
+        plan_full = DensityResampler(skewed_model, alpha=1.0, rng=0).plan()
+        assert plan_half.num_draws == 18
+        assert plan_full.num_draws == 36
+
+    def test_draws_favor_sparse_region(self, skewed_model):
+        plan = DensityResampler(skewed_model, alpha=1.0, rng=0).plan()
+        seg = skewed_model.segmentation
+        sparse_region = seg.region_of_poi[2]
+        regions = [seg.region_of_poi[int(p)] for p in plan.poi_ids]
+        sparse_share = np.mean([r == sparse_region for r in regions])
+        assert sparse_share > 0.7
+
+    def test_no_deficit_no_draws(self, model):
+        plan = DensityResampler(model, alpha=1.0, rng=0).plan()
+        assert plan.num_draws == 0
+
+    def test_invalid_alpha(self, skewed_model):
+        with pytest.raises(ValueError):
+            DensityResampler(skewed_model, alpha=1.5)
+
+
+class TestBalancedSample:
+    def test_shape_and_membership(self, skewed_model):
+        sample = DensityResampler(skewed_model, rng=0).balanced_poi_sample(200)
+        assert sample.shape == (200,)
+        assert set(sample.tolist()) <= {0, 1, 2, 3}
+
+    def test_balances_region_frequencies(self, skewed_model):
+        sample = DensityResampler(skewed_model, rng=0).balanced_poi_sample(2000)
+        seg = skewed_model.segmentation
+        sparse_region = seg.region_of_poi[2]
+        share = np.mean([seg.region_of_poi[int(p)] == sparse_region
+                         for p in sample])
+        # Eq. 8 gives the sparse region 10/11 of draws.
+        assert 0.85 < share < 0.97
+
+    def test_invalid_size(self, skewed_model):
+        with pytest.raises(ValueError):
+            DensityResampler(skewed_model, rng=0).balanced_poi_sample(0)
+
+    def test_deterministic_per_seed(self, skewed_model):
+        a = DensityResampler(skewed_model, rng=9).balanced_poi_sample(50)
+        b = DensityResampler(skewed_model, rng=9).balanced_poi_sample(50)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEmpiricalSample:
+    def test_follows_raw_counts(self, skewed_model):
+        sample = empirical_poi_sample(skewed_model, 2000, rng=0)
+        # Dense POIs 0/1 hold 40 of 44 check-ins ≈ 91%.
+        dense_share = np.mean([int(p) in (0, 1) for p in sample])
+        assert 0.85 < dense_share < 0.96
+
+    def test_contrast_with_balanced(self, skewed_model):
+        """The two samplers must produce opposite spatial skews."""
+        raw = empirical_poi_sample(skewed_model, 1000, rng=0)
+        balanced = DensityResampler(skewed_model,
+                                    rng=0).balanced_poi_sample(1000)
+        seg = skewed_model.segmentation
+        sparse = seg.region_of_poi[2]
+        raw_share = np.mean([seg.region_of_poi[int(p)] == sparse for p in raw])
+        bal_share = np.mean([seg.region_of_poi[int(p)] == sparse
+                             for p in balanced])
+        assert bal_share > 0.5 > raw_share

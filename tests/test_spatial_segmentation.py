@@ -1,0 +1,104 @@
+"""Algorithm 1 (region segmentation) tests."""
+
+import pytest
+
+from repro.data.dataset import CheckinDataset
+from repro.data.records import POI, CheckinRecord
+from repro.spatial.grid import CityGrid
+from repro.spatial.segmentation import common_user_distance, segment_city
+
+
+def two_cluster_city():
+    """A 4x4 city with two user communities on opposite corners.
+
+    Users 0-4 roam cells (0,0)/(0,1); users 10-14 roam (3,2)/(3,3).
+    No user crosses, so Algorithm 1 should find two regions.
+    """
+    pois = [
+        POI(0, "c", (0.1, 0.1), ()),
+        POI(1, "c", (0.1, 1.1), ()),
+        POI(2, "c", (3.1, 2.1), ()),
+        POI(3, "c", (3.1, 3.1), ()),
+    ]
+    checkins = []
+    t = 0.0
+    for user in range(5):
+        for poi in (0, 1):
+            t += 1
+            checkins.append(CheckinRecord(user, poi, "c", t))
+    for user in range(10, 15):
+        for poi in (2, 3):
+            t += 1
+            checkins.append(CheckinRecord(user, poi, "c", t))
+    dataset = CheckinDataset(pois, checkins)
+    grid = CityGrid(pois, (4, 4))
+    return dataset, grid
+
+
+class TestCommonUserDistance:
+    def test_identical_sets(self):
+        assert common_user_distance({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert common_user_distance({1}, {2}) == 0.0
+
+    def test_min_normalization(self):
+        # overlap 1, min size 1 → 1.0
+        assert common_user_distance({1}, {1, 2, 3}) == 1.0
+
+    def test_empty_sets(self):
+        assert common_user_distance(set(), {1}) == 0.0
+
+
+class TestSegmentCity:
+    def test_two_communities_two_regions(self):
+        dataset, grid = two_cluster_city()
+        seg = segment_city(dataset, grid, threshold=0.5)
+        assert seg.num_regions == 2
+        # POIs 0,1 together; POIs 2,3 together; pairs apart.
+        assert seg.region_of_poi[0] == seg.region_of_poi[1]
+        assert seg.region_of_poi[2] == seg.region_of_poi[3]
+        assert seg.region_of_poi[0] != seg.region_of_poi[2]
+
+    def test_every_poi_assigned(self, tiny_split):
+        pois = tiny_split.train.pois_in_city("shelbyville")
+        grid = CityGrid(pois, (4, 4))
+        seg = segment_city(tiny_split.train, grid, threshold=0.2)
+        assert set(seg.region_of_poi) == {p.poi_id for p in pois}
+
+    def test_region_bookkeeping_consistent(self, tiny_split):
+        pois = tiny_split.train.pois_in_city("shelbyville")
+        grid = CityGrid(pois, (4, 4))
+        seg = segment_city(tiny_split.train, grid, threshold=0.2)
+        total_checkins = sum(r.num_checkins for r in seg.regions)
+        assert total_checkins == len(
+            tiny_split.train.checkins_in_city("shelbyville")
+        )
+        for region in seg.regions:
+            for poi_id in region.poi_ids:
+                assert seg.region_of_poi[poi_id] == region.region_id
+
+    def test_threshold_one_fragments_more(self):
+        dataset, grid = two_cluster_city()
+        loose = segment_city(dataset, grid, threshold=0.0)
+        strict = segment_city(dataset, grid, threshold=1.0)
+        assert strict.num_regions >= loose.num_regions
+
+    def test_deterministic(self, tiny_split):
+        pois = tiny_split.train.pois_in_city("shelbyville")
+        grid = CityGrid(pois, (4, 4))
+        a = segment_city(tiny_split.train, grid, threshold=0.2)
+        b = segment_city(tiny_split.train, grid, threshold=0.2)
+        assert a.region_of_poi == b.region_of_poi
+
+    def test_invalid_threshold(self, tiny_split):
+        pois = tiny_split.train.pois_in_city("shelbyville")
+        grid = CityGrid(pois, (4, 4))
+        with pytest.raises(ValueError):
+            segment_city(tiny_split.train, grid, threshold=1.5)
+
+    def test_density_is_checkins_per_cell(self):
+        dataset, grid = two_cluster_city()
+        seg = segment_city(dataset, grid, threshold=0.5)
+        for region in seg.regions:
+            assert region.density() == region.num_checkins / region.num_cells

@@ -1,0 +1,102 @@
+"""End-to-end mechanism tests: the generator creates the statistical
+properties the model's components are designed to exploit, and the
+trained model demonstrably exploits them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EmbeddingSpace, embedding_mmd
+from repro.baselines.features import common_words, words_by_city
+from repro.core.trainer import STTransRecTrainer
+
+from tests.test_core_trainer import fast_config
+
+
+class TestGeneratorCreatesTheFourProperties:
+    def test_city_dependent_vocabulary_gap(self, tiny_dataset):
+        """Property 2: each city has words no other city uses."""
+        dataset, _ = tiny_dataset
+        per_city = words_by_city(dataset)
+        shared = common_words(dataset)
+        for city, words in per_city.items():
+            exclusive = words - shared
+            assert exclusive, f"{city} has no city-specific vocabulary"
+
+    def test_spatial_imbalance(self, tiny_dataset, tiny_truth):
+        """Property 3: check-ins concentrate in accessible regions
+        (measured against the generator's true region assignment)."""
+        dataset, _ = tiny_dataset
+        counts = {}
+        for record in dataset.checkins_in_city("shelbyville"):
+            region = tiny_truth.poi_regions[record.poi_id]
+            counts[region] = counts.get(region, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        assert len(values) > 1
+        assert values[0] > 1.5 * values[-1]
+
+    def test_crossing_sparsity(self, tiny_dataset, tiny_truth):
+        """Property 4: crossing users' target check-ins are sparse."""
+        dataset, _ = tiny_dataset
+        for user in tiny_truth.crossing_user_ids:
+            profile = dataset.user_profile(user)
+            target = [r for r in profile if r.city == "shelbyville"]
+            assert 0 < len(target) <= len(profile) * 0.5
+
+    def test_shared_interests_across_cities(self, tiny_dataset):
+        """Property 1: every topic has POIs in both cities."""
+        dataset, _ = tiny_dataset
+        by_city_topic = {}
+        for poi in dataset.pois.values():
+            by_city_topic.setdefault(poi.city, set()).add(poi.topic)
+        topic_sets = list(by_city_topic.values())
+        assert topic_sets[0] & topic_sets[1]
+
+
+class TestModelExploitsTheProperties:
+    @pytest.fixture(scope="class")
+    def spaces(self, tiny_split):
+        """Embedding spaces of the full model and the no-MMD variant."""
+        out = {}
+        for label, overrides in (("full", {}),
+                                 ("no_mmd", {"use_mmd": False})):
+            trainer = STTransRecTrainer(
+                tiny_split, fast_config(epochs=4, pretrain_epochs=8,
+                                        **overrides))
+            trainer.fit()
+            out[label] = EmbeddingSpace(
+                vectors=trainer.model.poi_vectors(),
+                index=trainer.index,
+                dataset=tiny_split.train,
+            )
+        return out
+
+    def test_mmd_training_shrinks_city_gap(self, spaces):
+        gap_full = embedding_mmd(spaces["full"], "springfield",
+                                 "shelbyville")
+        gap_ablated = embedding_mmd(spaces["no_mmd"], "springfield",
+                                    "shelbyville")
+        assert gap_full < gap_ablated
+
+    def test_embeddings_encode_topics(self, spaces, tiny_dataset):
+        """Same-topic POIs sit closer than different-topic POIs."""
+        dataset, _ = tiny_dataset
+        space = spaces["full"]
+        normalized = space.normalized()
+        rows_by_topic = {}
+        for poi in dataset.pois.values():
+            rows_by_topic.setdefault(poi.topic, []).append(
+                space.index.pois.index_of(poi.poi_id))
+        same, different = [], []
+        topics = sorted(rows_by_topic)
+        for t in topics:
+            block = normalized[rows_by_topic[t]]
+            centroid = block.mean(axis=0)
+            same.append(float(block @ centroid).__abs__()
+                        if block.ndim == 1 else float(
+                            (block @ centroid).mean()))
+            for other in topics:
+                if other != t:
+                    other_c = normalized[rows_by_topic[other]].mean(axis=0)
+                    different.append(float(centroid @ other_c))
+        assert np.mean(same) > np.mean(different)

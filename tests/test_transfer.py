@@ -1,0 +1,127 @@
+"""Kernel and MMD estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.transfer.kernels import (
+    GaussianKernel,
+    MultiGaussianKernel,
+    median_heuristic_bandwidth,
+)
+from repro.transfer.mmd import (
+    mmd_between_embeddings,
+    mmd_linear,
+    mmd_quadratic,
+    mmd_unbiased,
+)
+
+
+class TestGaussianKernel:
+    def test_self_similarity_is_one(self):
+        k = GaussianKernel(1.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        gram = k(x, x).data
+        np.testing.assert_allclose(np.diag(gram), 1.0, atol=1e-9)
+
+    def test_decreases_with_distance(self):
+        k = GaussianKernel(1.0)
+        near = k(Tensor([[0.0]]), Tensor([[0.1]])).item()
+        far = k(Tensor([[0.0]]), Tensor([[3.0]])).item()
+        assert near > far
+
+    def test_known_value(self):
+        k = GaussianKernel(2.0)
+        value = k(Tensor([[0.0]]), Tensor([[2.0]])).item()
+        np.testing.assert_allclose(value, np.exp(-4.0 / 8.0))
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            GaussianKernel(0.0)
+
+
+class TestMultiGaussianKernel:
+    def test_geometric_bandwidths(self):
+        k = MultiGaussianKernel(base_bandwidth=1.0, num_kernels=5, factor=2.0)
+        np.testing.assert_allclose(k.bandwidths, [0.25, 0.5, 1.0, 2.0, 4.0])
+
+    def test_average_of_components(self):
+        multi = MultiGaussianKernel(1.0, num_kernels=3, factor=2.0)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 2)))
+        y = Tensor(np.random.default_rng(2).normal(size=(4, 2)))
+        expected = sum(
+            GaussianKernel(bw)(x, y).data for bw in multi.bandwidths
+        ) / 3
+        np.testing.assert_allclose(multi(x, y).data, expected)
+
+
+class TestMedianHeuristic:
+    def test_positive_scale(self):
+        rng = np.random.default_rng(0)
+        bw = median_heuristic_bandwidth(rng.normal(size=(30, 4)),
+                                        rng.normal(size=(30, 4)))
+        assert 1.0 < bw < 6.0
+
+    def test_degenerate_fallback(self):
+        assert median_heuristic_bandwidth(np.zeros((2, 2)),
+                                          np.zeros((2, 2))) == 1.0
+
+
+class TestMMDEstimators:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        rng = np.random.default_rng(0)
+        same_a = rng.normal(size=(150, 6))
+        same_b = rng.normal(size=(150, 6))
+        shifted = rng.normal(loc=1.5, size=(150, 6))
+        return same_a, same_b, shifted
+
+    def test_quadratic_separates(self, samples):
+        a, b, shifted = samples
+        k = GaussianKernel(2.0)
+        assert mmd_quadratic(a, b, k).item() < 0.05
+        assert mmd_quadratic(a, shifted, k).item() > 0.1
+
+    def test_unbiased_near_zero_for_same(self, samples):
+        a, b, _ = samples
+        value = mmd_unbiased(a, b, GaussianKernel(2.0)).item()
+        assert abs(value) < 0.02  # can be slightly negative
+
+    def test_linear_tracks_quadratic(self, samples):
+        a, _, shifted = samples
+        k = GaussianKernel(2.0)
+        lin = mmd_linear(a, shifted, k).item()
+        quad = mmd_quadratic(a, shifted, k).item()
+        assert abs(lin - quad) < 0.15
+        assert lin > 0.1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mmd_quadratic(np.zeros((3, 2)), np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            mmd_linear(np.zeros((1, 2)), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            mmd_unbiased(np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_dispatch(self, samples):
+        a, b, _ = samples
+        for est in ("quadratic", "unbiased", "linear"):
+            value = mmd_between_embeddings(Tensor(a), Tensor(b),
+                                           estimator=est)
+            assert np.isfinite(value.item())
+        with pytest.raises(ValueError):
+            mmd_between_embeddings(Tensor(a), Tensor(b), estimator="bogus")
+
+    def test_minimizing_mmd_aligns_distributions(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(loc=2.0, size=(60, 3)), requires_grad=True)
+        y = Tensor(rng.normal(size=(60, 3)))
+        k = GaussianKernel(2.0)
+        opt = Adam([x], lr=0.05)
+        start = mmd_quadratic(x, y, k).item()
+        for _ in range(80):
+            opt.zero_grad()
+            mmd_quadratic(x, y, k).backward()
+            opt.step()
+        assert mmd_quadratic(x, y, k).item() < start * 0.3

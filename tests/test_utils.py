@@ -1,0 +1,75 @@
+"""Utility tests: RNG plumbing and validation helpers."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import enable_console, get_logger
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        a = as_rng(42).integers(0, 1000, size=5)
+        b = as_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3  # streams differ from each other
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1) == 1
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.5)
+        with pytest.raises(ValueError):
+            check_fraction("x", -0.1)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("foo").name == "repro.foo"
+        assert get_logger("repro.bar").name == "repro.bar"
+
+    def test_enable_console_idempotent(self):
+        enable_console()
+        handlers_before = len(logging.getLogger("repro").handlers)
+        enable_console()
+        assert len(logging.getLogger("repro").handlers) == handlers_before
