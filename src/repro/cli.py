@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli compare --preset yelp --methods ItemPop CTLM \
         ST-TransRec
     python -m repro.cli case-study --preset foursquare
+    python -m repro.cli serve-bench --tiny
 
 Every command accepts ``--scale`` and ``--seed`` so results are
 reproducible from the shell.
@@ -173,6 +174,28 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Benchmark the serving subsystem (engine vs naive recommender)."""
+    from repro.serving.bench import format_report, run_serving_benchmark
+
+    if args.tiny:
+        scale, batch_size, repeats = 0.15, 64, 2
+    else:
+        scale, batch_size, repeats = args.scale, args.batch_size, args.repeats
+    result = run_serving_benchmark(scale=scale, batch_size=batch_size,
+                                   k=args.k, repeats=repeats,
+                                   seed=args.seed,
+                                   embedding_dim=args.embedding_dim)
+    report = format_report(result)
+    print(report)
+    if args.out and args.out != "-":
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n", encoding="utf-8")
+        print(f"\nwrote {out}")
+    return 0
+
+
 def cmd_case_study(args) -> int:
     config, _dataset, split = _build_preset_split(args)
     profile = dataclasses.replace(PROFILES[args.preset], seed=args.seed)
@@ -238,6 +261,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "dropout-sweep"])
     _add_common(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("serve-bench",
+                       help="benchmark batched serving vs the naive "
+                            "per-user recommender")
+    p.add_argument("--tiny", action="store_true",
+                   help="CI smoke configuration (small world, 2 repeats)")
+    p.add_argument("--batch-size", type=int, default=128,
+                   help="users per measured request batch (default 128)")
+    p.add_argument("--k", type=int, default=10,
+                   help="top-k list length (default 10)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of-N timing repeats (default 3)")
+    p.add_argument("--embedding-dim", type=int, default=32)
+    p.add_argument("--out",
+                   default="benchmarks/results/serving_throughput.txt",
+                   help="report path ('-' to skip writing)")
+    _add_common(p)
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("case-study", help="Table 3-style case study")
     p.add_argument("--preset", choices=sorted(PRESETS), required=True)

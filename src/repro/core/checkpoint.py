@@ -55,9 +55,11 @@ def load_checkpoint(path: PathLike) -> Tuple[STTransRec, DatasetIndex]:
         if _MANIFEST_KEY not in archive:
             raise ValueError(f"{path} is not a repro checkpoint")
         manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
-        if manifest.get("format") != _FORMAT:
+        found = manifest.get("format")
+        if found != _FORMAT:
             raise ValueError(
-                f"unknown checkpoint format {manifest.get('format')!r}"
+                f"unsupported checkpoint format in {path}: "
+                f"found {found!r}, expected {_FORMAT!r}"
             )
         state = {name: archive[name] for name in archive.files
                  if name != _MANIFEST_KEY}

@@ -1,0 +1,38 @@
+"""``repro.serving`` — batched low-latency recommendation serving.
+
+The serving layer turns a trained ST-TransRec into a servable artifact:
+
+* :class:`InferenceEngine` — frozen numpy buffers, batched vectorized
+  scoring of users against the target-city catalogue;
+* :class:`TopKCache` — LRU+TTL per-user result cache with explicit
+  invalidation;
+* :class:`MicroBatcher` — dynamic coalescing of concurrent single-user
+  requests;
+* :class:`RecommendationService` — the façade tying them together with
+  visited-POI filtering and online fold-in.
+
+See ``docs/serving.md`` for the architecture and latency model.
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.bench import (
+    ServingBenchResult,
+    format_report,
+    run_and_report,
+    run_serving_benchmark,
+)
+from repro.serving.cache import TopKCache
+from repro.serving.engine import InferenceEngine
+from repro.serving.service import LatencyTracker, RecommendationService
+
+__all__ = [
+    "InferenceEngine",
+    "TopKCache",
+    "MicroBatcher",
+    "RecommendationService",
+    "LatencyTracker",
+    "ServingBenchResult",
+    "run_serving_benchmark",
+    "run_and_report",
+    "format_report",
+]

@@ -1,0 +1,175 @@
+"""Dynamic micro-batching for concurrent single-user requests.
+
+The :class:`~repro.serving.engine.InferenceEngine` is fastest when it
+scores many users per call, but serving traffic arrives as independent
+single-user requests.  :class:`MicroBatcher` bridges the two: requests
+enter a queue, a worker thread drains it, and requests that arrive
+within the same ``max_wait_ms`` window (up to ``max_batch_size``) are
+coalesced into one handler call.
+
+The latency contract is the standard one for dynamic batching: a lone
+request waits at most ``max_wait_ms`` before being scored alone, while
+a burst of concurrent requests is amortized into one engine pass.
+
+The handler receives a *list* of requests and must return a list of
+results of the same length (or raise — the exception is then propagated
+to every caller in the batch via its future).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["MicroBatcher"]
+
+BatchHandler = Callable[[Sequence[Any]], Sequence[Any]]
+
+
+class MicroBatcher:
+    """Queue + worker thread that coalesces requests into batches.
+
+    Parameters
+    ----------
+    handler:
+        Called with a list of requests; returns one result per request.
+    max_batch_size:
+        Hard cap on requests per handler call.
+    max_wait_ms:
+        How long the worker waits for more requests after the first one
+        of a batch arrives.
+    """
+
+    def __init__(self, handler: BatchHandler, max_batch_size: int = 64,
+                 max_wait_ms: float = 2.0,
+                 name: str = "repro-serving-batcher") -> None:
+        if max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        self.handler = handler
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = threading.Event()
+        self.num_batches = 0
+        self.num_requests = 0
+        self.max_observed_batch = 0
+        self._worker = threading.Thread(target=self._run, name=name,
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Any) -> "Future":
+        """Enqueue a request; the future resolves to its result."""
+        if self._closed.is_set():
+            raise RuntimeError("batcher is closed")
+        future: Future = Future()
+        self._queue.put((request, future))
+        return future
+
+    def __call__(self, request: Any, timeout: Optional[float] = None) -> Any:
+        """Submit and block for the result (convenience)."""
+        return self.submit(request).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> List:
+        """Block for one request, then sweep the arrival window."""
+        try:
+            first = self._queue.get(timeout=0.05)
+        except queue.Empty:
+            return []
+        if first is None:          # close sentinel
+            return [None]
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                # Once the window closes, still sweep whatever is
+                # already queued (get_nowait) before dispatching.
+                item = (self._queue.get(timeout=remaining)
+                        if remaining > 0 else self._queue.get_nowait())
+            except queue.Empty:
+                break
+            if item is None:
+                batch.append(None)
+                break
+            batch.append(item)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                if self._closed.is_set():
+                    return
+                continue
+            stop = batch and batch[-1] is None
+            if stop:
+                batch = batch[:-1]
+            if batch:
+                self._dispatch(batch)
+            if stop:
+                return
+
+    def _dispatch(self, batch: List) -> None:
+        requests = [request for request, _future in batch]
+        self.num_batches += 1
+        self.num_requests += len(batch)
+        self.max_observed_batch = max(self.max_observed_batch, len(batch))
+        try:
+            results = self.handler(requests)
+            if len(results) != len(requests):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results "
+                    f"for {len(requests)} requests")
+        except BaseException as exc:  # propagate to every waiter
+            for _request, future in batch:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        for (_request, future), result in zip(batch, results):
+            if not future.cancelled():
+                future.set_result(result)
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Drain pending requests and stop the worker thread."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(None)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.num_requests / self.num_batches if self.num_batches \
+            else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "num_batches": self.num_batches,
+            "num_requests": self.num_requests,
+            "mean_batch_size": self.mean_batch_size,
+            "max_observed_batch": self.max_observed_batch,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (f"MicroBatcher(max_batch_size={self.max_batch_size}, "
+                f"max_wait_ms={self.max_wait_ms}, "
+                f"batches={self.num_batches}, "
+                f"mean_batch={self.mean_batch_size:.2f})")

@@ -1,0 +1,165 @@
+"""LRU + TTL cache for per-user top-k recommendation results.
+
+Serving traffic is heavily repeat-skewed: the same users refresh the
+same top-k lists far more often than the underlying model changes.  The
+cache sits in front of the :class:`~repro.serving.engine.InferenceEngine`
+and is invalidated explicitly whenever a user's state changes (online
+fold-in, model refresh).
+
+Entries are keyed by ``(user_id, k, exclude_visited)`` so different
+request shapes never alias each other, but invalidation works at user
+granularity: :meth:`TopKCache.invalidate` drops *every* entry of a user
+regardless of ``k``.
+
+The clock is injectable so TTL behaviour is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Set, Tuple
+
+__all__ = ["TopKCache"]
+
+CacheKey = Tuple[Hashable, ...]
+
+
+class TopKCache:
+    """Thread-safe LRU cache with optional per-entry TTL.
+
+    Parameters
+    ----------
+    max_size:
+        Maximum number of cached entries; the least recently *used*
+        entry is evicted on overflow.
+    ttl_seconds:
+        Entries older than this are treated as absent (and dropped on
+        access).  ``None`` disables expiry.
+    clock:
+        Monotonic time source; override in tests to control expiry.
+    """
+
+    def __init__(self, max_size: int = 4096,
+                 ttl_seconds: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_size <= 0:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}")
+        self.max_size = max_size
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.RLock()
+        # key -> (inserted_at, value); OrderedDict keeps LRU order.
+        self._entries: "OrderedDict[CacheKey, Tuple[float, Any]]" = \
+            OrderedDict()
+        # user -> keys, for O(user's entries) invalidation.
+        self._user_keys: Dict[Hashable, Set[CacheKey]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(user_id: Hashable, k: int, exclude_visited: bool) -> CacheKey:
+        return (user_id, k, exclude_visited)
+
+    def _drop(self, key: CacheKey) -> None:
+        self._entries.pop(key, None)
+        user_id = key[0]
+        keys = self._user_keys.get(user_id)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._user_keys[user_id]
+
+    # ------------------------------------------------------------------
+    def get(self, user_id: Hashable, k: int,
+            exclude_visited: bool = True) -> Optional[Any]:
+        """Cached value, or ``None`` on miss/expiry."""
+        key = self._key(user_id, k, exclude_visited)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            inserted_at, value = entry
+            if (self.ttl_seconds is not None
+                    and self._clock() - inserted_at > self.ttl_seconds):
+                self._drop(key)
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, user_id: Hashable, k: int, value: Any,
+            exclude_visited: bool = True) -> None:
+        """Insert/replace an entry, evicting LRU entries on overflow."""
+        key = self._key(user_id, k, exclude_visited)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (self._clock(), value)
+            self._user_keys.setdefault(user_id, set()).add(key)
+            while len(self._entries) > self.max_size:
+                oldest = next(iter(self._entries))
+                self._drop(oldest)
+                self.evictions += 1
+
+    def invalidate(self, user_id: Hashable) -> int:
+        """Drop every entry of ``user_id``; returns how many were dropped."""
+        with self._lock:
+            keys = list(self._user_keys.get(user_id, ()))
+            for key in keys:
+                self._drop(key)
+            self.invalidations += len(keys)
+            return len(keys)
+
+    def invalidate_all(self) -> int:
+        """Empty the cache (e.g. after a full engine refresh)."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._user_keys.clear()
+            self.invalidations += count
+            return count
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, user_id: Hashable) -> bool:
+        with self._lock:
+            return user_id in self._user_keys
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "ttl_seconds": self.ttl_seconds,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:
+        return (f"TopKCache(size={len(self)}/{self.max_size}, "
+                f"ttl={self.ttl_seconds}, hit_rate={self.hit_rate:.3f})")

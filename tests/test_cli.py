@@ -92,6 +92,32 @@ class TestCommands:
         assert "ST-TransRec-1" in out
         assert "recall@10" in out  # the bar chart footer
 
+    def test_serve_bench_parses_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.tiny is False
+        assert args.batch_size == 128
+        assert args.out == "benchmarks/results/serving_throughput.txt"
+
+    def test_serve_bench_runs_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "serving.txt"
+        code = main(["serve-bench", "--scale", "0.1", "--batch-size", "8",
+                     "--k", "3", "--repeats", "1", "--embedding-dim", "8",
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "speedup" in printed
+        assert out.exists()
+        assert "batched engine" in out.read_text()
+
+    def test_serve_bench_dash_out_skips_writing(self, capsys,
+                                                monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        code = main(["serve-bench", "--scale", "0.1", "--batch-size", "4",
+                     "--k", "3", "--repeats", "1", "--embedding-dim", "8",
+                     "--out", "-"])
+        assert code == 0
+        assert not (tmp_path / "benchmarks").exists()
+
     def test_compare_subset(self, capsys):
         code = main(["compare", "--preset", "foursquare",
                      "--methods", "ItemPop", "CRCF",

@@ -74,3 +74,40 @@ class TestErrors:
         np.savez(path, junk=np.zeros(3))
         with pytest.raises(ValueError):
             load_checkpoint(path)
+
+    def test_tampered_format_named_in_error(self, trained, tmp_path):
+        """A manifest with the wrong format version is rejected with a
+        message naming both the found and the expected format."""
+        import json
+
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        manifest = json.loads(bytes(arrays["__manifest__"]).decode("utf-8"))
+        manifest["format"] = "repro.checkpoint.v999"
+        arrays["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **arrays)
+
+        with pytest.raises(ValueError) as excinfo:
+            load_checkpoint(path)
+        message = str(excinfo.value)
+        assert "repro.checkpoint.v999" in message
+        assert "repro.checkpoint.v1" in message
+
+    def test_missing_format_field_rejected(self, trained, tmp_path):
+        import json
+
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        manifest = json.loads(bytes(arrays["__manifest__"]).decode("utf-8"))
+        del manifest["format"]
+        arrays["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **arrays)
+
+        with pytest.raises(ValueError, match="expected"):
+            load_checkpoint(path)

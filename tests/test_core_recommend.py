@@ -82,6 +82,75 @@ class TestBatchAndExport:
         assert {"poi_id", "score"} == set(first["recommendations"][0])
 
 
+class TestRecommendBatch:
+    """recommend_batch: engine-backed batching with identical semantics."""
+
+    def test_matches_per_user_recommend(self, recommender, tiny_split):
+        users = tiny_split.test_users[:4]
+        batched = recommender.recommend_batch(users, k=5)
+        assert set(batched) == set(users)
+        for user_id in users:
+            expected = recommender.recommend(user_id, k=5)
+            assert [p for p, _ in batched[user_id]] == \
+                [p for p, _ in expected]
+            np.testing.assert_allclose(
+                [s for _, s in batched[user_id]],
+                [s for _, s in expected], atol=1e-9)
+
+    def test_uses_serving_engine(self, recommender, tiny_split):
+        recommender.recommend_batch(tiny_split.test_users[:2], k=3)
+        from repro.serving.engine import InferenceEngine
+        assert isinstance(recommender._engine, InferenceEngine)
+
+    def test_exclusion_semantics_identical(self, recommender, tiny_split):
+        local = next(u for u in tiny_split.train.users_in_city("shelbyville")
+                     if u not in tiny_split.test_users)
+        batched = recommender.recommend_batch([local], k=100)[local]
+        looped = recommender.recommend(local, k=100)
+        assert [p for p, _ in batched] == [p for p, _ in looped]
+        raw = recommender.recommend_batch([local], k=100,
+                                          exclude_visited=False)[local]
+        assert len(raw) > len(batched)
+
+    def test_skips_unknown_users(self, recommender, tiny_split):
+        users = tiny_split.test_users[:2] + [10**9]
+        batched = recommender.recommend_batch(users, k=3)
+        assert set(batched) == set(tiny_split.test_users[:2])
+
+    def test_invalid_k(self, recommender, tiny_split):
+        with pytest.raises(ValueError):
+            recommender.recommend_batch(tiny_split.test_users[:1], k=0)
+
+    def test_falls_back_without_engine_support(self, recommender,
+                                               tiny_split):
+        """A model exposing only score_pois_for_user still works."""
+
+        class OpaqueModel:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def score_pois_for_user(self, user_index, poi_indices):
+                return self._inner.score_pois_for_user(user_index,
+                                                       poi_indices)
+
+        plain = Recommender(OpaqueModel(recommender.model),
+                            recommender.index, tiny_split.train,
+                            "shelbyville")
+        users = tiny_split.test_users[:2]
+        batched = plain.recommend_batch(users, k=3)
+        assert plain._engine is False  # engine build failed, remembered
+        for user_id in users:
+            assert batched[user_id] == recommender.recommend(user_id, k=3)
+
+    def test_attach_engine_catalogue_mismatch_rejected(self, recommender,
+                                                       tiny_split):
+        class FakeEngine:
+            catalogue_poi_ids = np.array([1, 2, 3])
+
+        with pytest.raises(ValueError):
+            recommender.attach_engine(FakeEngine())
+
+
 class TestCaseStudyHelpers:
     def test_describe_recommendations(self, recommender, tiny_split):
         user = tiny_split.test_users[0]

@@ -1,0 +1,142 @@
+"""MicroBatcher tests: coalescing, ordering, errors, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.batcher import MicroBatcher
+
+
+def echo_handler(batch):
+    return [("done", request) for request in batch]
+
+
+class TestBasics:
+    def test_single_request_roundtrip(self):
+        with MicroBatcher(echo_handler, max_wait_ms=1.0) as batcher:
+            assert batcher.submit(42).result(timeout=5) == ("done", 42)
+
+    def test_results_matched_to_requests(self):
+        with MicroBatcher(lambda batch: [r * 2 for r in batch],
+                          max_wait_ms=20.0) as batcher:
+            futures = [batcher.submit(i) for i in range(10)]
+            assert [f.result(timeout=5) for f in futures] == \
+                [i * 2 for i in range(10)]
+
+    def test_call_convenience(self):
+        with MicroBatcher(echo_handler, max_wait_ms=1.0) as batcher:
+            assert batcher(7, timeout=5) == ("done", 7)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_handler, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_handler, max_wait_ms=-1)
+
+
+class TestCoalescing:
+    def test_concurrent_burst_coalesces(self):
+        sizes = []
+
+        def handler(batch):
+            sizes.append(len(batch))
+            return list(batch)
+
+        n = 8
+        with MicroBatcher(handler, max_batch_size=n,
+                          max_wait_ms=200.0) as batcher:
+            barrier = threading.Barrier(n)
+            results = [None] * n
+
+            def fire(i):
+                barrier.wait()
+                results[i] = batcher.submit(i).result(timeout=10)
+
+            threads = [threading.Thread(target=fire, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == list(range(n))
+        # The burst must not have been served one request at a time.
+        assert len(sizes) < n
+        assert max(sizes) > 1
+
+    def test_max_batch_size_respected(self):
+        sizes = []
+
+        def handler(batch):
+            sizes.append(len(batch))
+            time.sleep(0.01)  # let the queue fill behind the worker
+            return list(batch)
+
+        with MicroBatcher(handler, max_batch_size=3,
+                          max_wait_ms=50.0) as batcher:
+            futures = [batcher.submit(i) for i in range(10)]
+            for f in futures:
+                f.result(timeout=10)
+        assert max(sizes) <= 3
+
+    def test_stats(self):
+        with MicroBatcher(echo_handler, max_wait_ms=1.0) as batcher:
+            batcher.submit(1).result(timeout=5)
+            stats = batcher.stats()
+        assert stats["num_requests"] == 1
+        assert stats["num_batches"] >= 1
+        assert stats["mean_batch_size"] > 0
+
+
+class TestErrors:
+    def test_handler_exception_propagates_to_all_waiters(self):
+        def broken(batch):
+            raise RuntimeError("engine exploded")
+
+        with MicroBatcher(broken, max_wait_ms=20.0) as batcher:
+            futures = [batcher.submit(i) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="engine exploded"):
+                    future.result(timeout=5)
+
+    def test_wrong_result_count_is_an_error(self):
+        with MicroBatcher(lambda batch: [], max_wait_ms=1.0) as batcher:
+            with pytest.raises(RuntimeError, match="results"):
+                batcher.submit(1).result(timeout=5)
+
+    def test_error_batch_does_not_kill_worker(self):
+        calls = []
+
+        def flaky(batch):
+            calls.append(list(batch))
+            if len(calls) == 1:
+                raise ValueError("first batch fails")
+            return list(batch)
+
+        with MicroBatcher(flaky, max_wait_ms=1.0) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit("a").result(timeout=5)
+            assert batcher.submit("b").result(timeout=5) == "b"
+
+
+class TestLifecycle:
+    def test_close_drains_pending(self):
+        def slow(batch):
+            time.sleep(0.02)
+            return list(batch)
+
+        batcher = MicroBatcher(slow, max_batch_size=2, max_wait_ms=1.0)
+        futures = [batcher.submit(i) for i in range(5)]
+        batcher.close()
+        assert [f.result(timeout=5) for f in futures] == list(range(5))
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(echo_handler)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(1)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(echo_handler)
+        batcher.close()
+        batcher.close()

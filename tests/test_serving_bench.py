@@ -1,0 +1,56 @@
+"""Serving benchmark tests: runs end-to-end at a tiny scale."""
+
+import pytest
+
+from repro.serving.bench import (
+    format_report,
+    run_and_report,
+    run_serving_benchmark,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_serving_benchmark(scale=0.1, batch_size=16, k=5, repeats=1,
+                                 seed=0, embedding_dim=8)
+
+
+class TestBenchmark:
+    def test_measurements_are_positive(self, result):
+        assert result.naive_seconds > 0
+        assert result.engine64_seconds > 0
+        assert result.engine32_seconds > 0
+        assert result.cold_ms > 0
+        assert result.warm_ms > 0
+        assert result.catalogue_size > 0
+        assert result.num_users > 0
+
+    def test_batched_engine_is_faster(self, result):
+        # The acceptance target (≥5× at batch ≥64) is asserted by the
+        # real `repro serve-bench` run; at this micro scale we only
+        # require a clear win so the test stays robust on loaded CI.
+        assert result.speedup > 1.5
+
+    def test_cache_hit_is_faster_than_miss(self, result):
+        assert result.warm_ms < result.cold_ms
+
+    def test_burst_coalesced(self, result):
+        assert result.mean_coalesced_batch > 1.0
+
+    def test_report_contains_headline_numbers(self, result):
+        report = format_report(result)
+        assert "speedup" in report
+        assert "naive per-user loop" in report
+        assert "batched engine" in report
+        assert "micro-batching" in report
+        assert f"top-{result.k}" in report
+
+
+class TestRunAndReport:
+    def test_writes_report_file(self, tmp_path):
+        out = tmp_path / "results" / "serving_throughput.txt"
+        report = run_and_report(scale=0.1, batch_size=8, k=3, repeats=1,
+                                embedding_dim=8, out_path=out)
+        assert out.exists()
+        assert out.read_text().strip() == report.strip()
+        assert "speedup" in report

@@ -1,0 +1,144 @@
+"""TopKCache tests: LRU eviction, TTL expiry, user invalidation."""
+
+import pytest
+
+from repro.serving.cache import TopKCache
+
+
+class FakeClock:
+    """Deterministic time source for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = TopKCache(max_size=4)
+        assert cache.get(1, 10) is None
+        cache.put(1, 10, ["a"])
+        assert cache.get(1, 10) == ["a"]
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_keys_distinguish_k_and_exclusion(self):
+        cache = TopKCache(max_size=8)
+        cache.put(1, 10, "k10")
+        cache.put(1, 5, "k5")
+        cache.put(1, 10, "raw", exclude_visited=False)
+        assert cache.get(1, 10) == "k10"
+        assert cache.get(1, 5) == "k5"
+        assert cache.get(1, 10, exclude_visited=False) == "raw"
+
+    def test_put_replaces(self):
+        cache = TopKCache(max_size=4)
+        cache.put(1, 10, "old")
+        cache.put(1, 10, "new")
+        assert cache.get(1, 10) == "new"
+        assert len(cache) == 1
+
+    def test_contains_by_user(self):
+        cache = TopKCache()
+        cache.put(7, 10, "x")
+        assert 7 in cache
+        assert 8 not in cache
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TopKCache(max_size=0)
+        with pytest.raises(ValueError):
+            TopKCache(ttl_seconds=0)
+
+
+class TestLRU:
+    def test_least_recently_used_evicted(self):
+        cache = TopKCache(max_size=2)
+        cache.put(1, 10, "one")
+        cache.put(2, 10, "two")
+        cache.get(1, 10)           # 1 is now most recent
+        cache.put(3, 10, "three")  # evicts 2
+        assert cache.get(2, 10) is None
+        assert cache.get(1, 10) == "one"
+        assert cache.get(3, 10) == "three"
+        assert cache.evictions == 1
+
+    def test_eviction_cleans_user_index(self):
+        cache = TopKCache(max_size=1)
+        cache.put(1, 10, "one")
+        cache.put(2, 10, "two")
+        assert 1 not in cache
+        assert cache.invalidate(1) == 0
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = TopKCache(max_size=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 10, "fresh")
+        clock.advance(9.0)
+        assert cache.get(1, 10) == "fresh"
+        clock.advance(2.0)
+        assert cache.get(1, 10) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = TopKCache(max_size=4, ttl_seconds=None, clock=clock)
+        cache.put(1, 10, "forever")
+        clock.advance(1e9)
+        assert cache.get(1, 10) == "forever"
+
+    def test_reinsert_resets_age(self):
+        clock = FakeClock()
+        cache = TopKCache(max_size=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 10, "v1")
+        clock.advance(8.0)
+        cache.put(1, 10, "v2")
+        clock.advance(8.0)
+        assert cache.get(1, 10) == "v2"
+
+
+class TestInvalidation:
+    def test_invalidate_drops_all_entries_of_user(self):
+        cache = TopKCache(max_size=8)
+        cache.put(1, 10, "a")
+        cache.put(1, 5, "b")
+        cache.put(2, 10, "c")
+        assert cache.invalidate(1) == 2
+        assert cache.get(1, 10) is None
+        assert cache.get(1, 5) is None
+        assert cache.get(2, 10) == "c"
+
+    def test_invalidate_unknown_user_is_noop(self):
+        cache = TopKCache()
+        assert cache.invalidate(42) == 0
+
+    def test_invalidate_all(self):
+        cache = TopKCache(max_size=8)
+        cache.put(1, 10, "a")
+        cache.put(2, 10, "b")
+        assert cache.invalidate_all() == 2
+        assert len(cache) == 0
+        assert cache.get(1, 10) is None
+
+
+class TestStats:
+    def test_stats_shape(self):
+        cache = TopKCache(max_size=3, ttl_seconds=60.0)
+        cache.put(1, 10, "a")
+        cache.get(1, 10)
+        cache.get(2, 10)
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["max_size"] == 3
+        assert stats["ttl_seconds"] == 60.0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
