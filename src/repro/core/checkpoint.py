@@ -3,13 +3,33 @@
 A checkpoint is a single ``.npz`` holding the model's parameter arrays
 plus a JSON-encoded config and entity-index manifest, so a restored
 recommender is guaranteed to interpret embedding rows identically.
+
+Two format versions coexist:
+
+* **v1** (``repro.checkpoint.v1``) — parameters + config + index.
+  Enough to serve a model; written when no training state is supplied.
+* **v2** (``repro.checkpoint.v2``) — v1 plus a *training state*: the
+  optimizer's moment arrays (``__opt_m__<i>`` / ``__opt_v__<i>`` in
+  parameter order), epoch/step counters, and the master RNG state.
+  Enough to *resume* an interrupted run bit-exactly (see
+  :meth:`repro.parallel.DataParallelTrainer.train`).
+
+Both versions load through the same functions: v1 files simply carry no
+training state.  Paths are normalized to the ``.npz`` suffix on save
+*and* load, so ``save_checkpoint(..., "ckpt")`` and
+``load_checkpoint("ckpt")`` agree on ``ckpt.npz`` (``np.savez`` appends
+the suffix on write, which previously made suffixless round trips
+fail).  Writes go through a temporary file and an atomic rename, so a
+crash mid-save never corrupts the last good checkpoint.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -20,50 +40,98 @@ from repro.data.vocabulary import DatasetIndex
 PathLike = Union[str, Path]
 
 _MANIFEST_KEY = "__manifest__"
-_FORMAT = "repro.checkpoint.v1"
+_FORMAT_V1 = "repro.checkpoint.v1"
+_FORMAT_V2 = "repro.checkpoint.v2"
+_FORMATS = (_FORMAT_V1, _FORMAT_V2)
+_OPT_M_PREFIX = "__opt_m__"
+_OPT_V_PREFIX = "__opt_v__"
+
+
+@dataclass
+class TrainingState:
+    """Resume information carried by a v2 checkpoint.
+
+    ``optimizer_state`` follows the optimizer's ``state_dict()``
+    convention (for Adam: ``step_count`` plus per-parameter ``m``/``v``
+    moment arrays in registration order).  ``rng_state`` is the master
+    trainer's ``bit_generator.state`` dict at save time; resume replays
+    the batch stream and verifies it lands on exactly this state.
+    """
+
+    epochs_completed: int = 0
+    global_step: int = 0
+    optimizer_state: Dict[str, object] = field(default_factory=dict)
+    rng_state: Optional[dict] = None
+
+
+def normalize_checkpoint_path(path: PathLike) -> Path:
+    """Append ``.npz`` when missing, mirroring ``np.savez``'s behaviour."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
 
 
 def save_checkpoint(model: STTransRec, index: DatasetIndex,
-                    path: PathLike) -> None:
-    """Write model parameters + config + index manifest to ``path``."""
-    path = Path(path)
+                    path: PathLike,
+                    training_state: Optional[TrainingState] = None) -> None:
+    """Write model parameters + config + index manifest to ``path``.
+
+    With ``training_state`` the file is format v2 and additionally
+    carries optimizer moments, counters, and RNG state; without it the
+    file stays format v1, byte-compatible with older readers.
+    """
+    path = normalize_checkpoint_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     manifest = {
-        "format": _FORMAT,
+        "format": _FORMAT_V1 if training_state is None else _FORMAT_V2,
         "config": model.config.__dict__,
         "users": index.users.keys(),
         "pois": index.pois.keys(),
         "words": index.words.keys(),
     }
     arrays = {name: value for name, value in model.state_dict().items()}
+    if training_state is not None:
+        opt = dict(training_state.optimizer_state)
+        for i, m in enumerate(opt.pop("m", [])):
+            arrays[f"{_OPT_M_PREFIX}{i}"] = m
+        for i, v in enumerate(opt.pop("v", [])):
+            arrays[f"{_OPT_V_PREFIX}{i}"] = v
+        manifest["training"] = {
+            "epochs_completed": int(training_state.epochs_completed),
+            "global_step": int(training_state.global_step),
+            "optimizer": opt,        # scalars only (e.g. step_count)
+            "rng_state": training_state.rng_state,
+        }
     arrays[_MANIFEST_KEY] = np.frombuffer(
         json.dumps(manifest, default=list).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **arrays)
+    # Atomic replace: a crash mid-write must never clobber the previous
+    # checkpoint, or an interrupted run would lose its resume point.
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez(tmp, **arrays)
+    os.replace(tmp, path)
 
 
-def load_checkpoint(path: PathLike) -> Tuple[STTransRec, DatasetIndex]:
-    """Restore the model and entity index saved by :func:`save_checkpoint`.
-
-    Raises
-    ------
-    ValueError:
-        If the file lacks the manifest or has an unknown format version.
-    """
-    path = Path(path)
+def _read_archive(path: PathLike):
+    path = normalize_checkpoint_path(path)
     with np.load(path) as archive:
         if _MANIFEST_KEY not in archive:
             raise ValueError(f"{path} is not a repro checkpoint")
         manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
         found = manifest.get("format")
-        if found != _FORMAT:
+        if found not in _FORMATS:
             raise ValueError(
                 f"unsupported checkpoint format in {path}: "
-                f"found {found!r}, expected {_FORMAT!r}"
+                f"found {found!r}, expected one of "
+                f"({_FORMAT_V1!r}, {_FORMAT_V2!r})"
             )
-        state = {name: archive[name] for name in archive.files
-                 if name != _MANIFEST_KEY}
+        arrays = {name: archive[name] for name in archive.files
+                  if name != _MANIFEST_KEY}
+    return manifest, arrays
 
+
+def _build_model(manifest, state) -> Tuple[STTransRec, DatasetIndex]:
     config_dict = dict(manifest["config"])
     # Tuples serialize as lists; restore the fields that need tuples.
     if config_dict.get("grid_shape") is not None:
@@ -83,3 +151,60 @@ def load_checkpoint(path: PathLike) -> Tuple[STTransRec, DatasetIndex]:
     model.load_state_dict(state)
     model.eval()
     return model, index
+
+
+def _split_arrays(arrays):
+    """Separate parameter arrays from optimizer moment arrays."""
+    params, m_arrays, v_arrays = {}, {}, {}
+    for name, value in arrays.items():
+        if name.startswith(_OPT_M_PREFIX):
+            m_arrays[int(name[len(_OPT_M_PREFIX):])] = value
+        elif name.startswith(_OPT_V_PREFIX):
+            v_arrays[int(name[len(_OPT_V_PREFIX):])] = value
+        else:
+            params[name] = value
+    m = [m_arrays[i] for i in sorted(m_arrays)]
+    v = [v_arrays[i] for i in sorted(v_arrays)]
+    return params, m, v
+
+
+def load_checkpoint(path: PathLike) -> Tuple[STTransRec, DatasetIndex]:
+    """Restore the model and entity index saved by :func:`save_checkpoint`.
+
+    Accepts both v1 and v2 files (training state, if present, is simply
+    ignored — use :func:`load_training_checkpoint` to get it too).
+
+    Raises
+    ------
+    ValueError:
+        If the file lacks the manifest or has an unknown format version.
+    """
+    manifest, arrays = _read_archive(path)
+    params, _m, _v = _split_arrays(arrays)
+    return _build_model(manifest, params)
+
+
+def load_training_checkpoint(
+        path: PathLike) -> Tuple[STTransRec, DatasetIndex,
+                                 Optional[TrainingState]]:
+    """Like :func:`load_checkpoint`, plus the v2 training state.
+
+    Returns ``(model, index, state)`` where ``state`` is ``None`` for
+    v1 files.
+    """
+    manifest, arrays = _read_archive(path)
+    params, m, v = _split_arrays(arrays)
+    model, index = _build_model(manifest, params)
+    training = manifest.get("training")
+    if training is None:
+        return model, index, None
+    optimizer_state = dict(training.get("optimizer", {}))
+    optimizer_state["m"] = m
+    optimizer_state["v"] = v
+    state = TrainingState(
+        epochs_completed=int(training["epochs_completed"]),
+        global_step=int(training["global_step"]),
+        optimizer_state=optimizer_state,
+        rng_state=training.get("rng_state"),
+    )
+    return model, index, state

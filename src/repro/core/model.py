@@ -56,6 +56,18 @@ class STTransRec(Module):
         # free to encode topical structure (see DESIGN.md).
         self.poi_bias = Embedding(num_pois, 1, std=0.0 + 1e-8, rng=rng)
 
+    @property
+    def training_rng(self) -> "np.random.Generator":
+        """The one generator behind every dropout layer.
+
+        Construction threads a single shared generator through all
+        layers, so resetting this object's state redirects every
+        dropout mask — the data-parallel trainer uses it to make masks
+        a pure function of the global step (see
+        :mod:`repro.parallel.data_parallel`).
+        """
+        return self.embedding_dropout._rng
+
     # ------------------------------------------------------------------
     # Interaction path
     # ------------------------------------------------------------------

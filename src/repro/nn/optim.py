@@ -35,6 +35,30 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Snapshot of the optimizer's mutable state (copied arrays)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` in place."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: "
+                             f"{sorted(state)}")
+
+    def _check_state_arrays(self, label: str, arrays) -> list:
+        """Validate a per-parameter array list against the param shapes."""
+        arrays = list(arrays)
+        if len(arrays) != len(self.params):
+            raise ValueError(
+                f"{label}: expected {len(self.params)} arrays, "
+                f"got {len(arrays)}")
+        for i, (p, a) in enumerate(zip(self.params, arrays)):
+            if np.shape(a) != p.data.shape:
+                raise ValueError(
+                    f"{label}[{i}]: shape {np.shape(a)} does not match "
+                    f"parameter shape {p.data.shape}")
+        return arrays
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -64,6 +88,14 @@ class SGD(Optimizer):
             else:
                 update = grad
             p.data -= self.lr * update
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = self._check_state_arrays("velocity", state["velocity"])
+        for own, saved in zip(self._velocity, velocity):
+            own[...] = saved
 
 
 class Adam(Optimizer):
@@ -109,3 +141,21 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Moment arrays + step count — everything resume needs for
+        bit-identical continuation of the update sequence."""
+        return {
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        m = self._check_state_arrays("m", state["m"])
+        v = self._check_state_arrays("v", state["v"])
+        for own, saved in zip(self._m, m):
+            own[...] = saved
+        for own, saved in zip(self._v, v):
+            own[...] = saved
+        self._step_count = int(state["step_count"])

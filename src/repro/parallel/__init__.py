@@ -1,8 +1,14 @@
-"""``repro.parallel`` — synchronous data-parallel training (Table 2)."""
+"""``repro.parallel`` — supervised data-parallel training (Table 2)."""
 
 from repro.parallel.data_parallel import (
     DataParallelTrainer,
     ParallelEpochStats,
+)
+from repro.parallel.supervisor import (
+    FaultStats,
+    SupervisionConfig,
+    WorkerFailure,
+    WorkerSupervisor,
 )
 from repro.parallel.timing import (
     TimingRow,
@@ -13,6 +19,10 @@ from repro.parallel.timing import (
 __all__ = [
     "DataParallelTrainer",
     "ParallelEpochStats",
+    "FaultStats",
+    "SupervisionConfig",
+    "WorkerFailure",
+    "WorkerSupervisor",
     "TimingRow",
     "measure_training_time",
     "format_timing_table",

@@ -16,48 +16,108 @@ With W workers an epoch covers the same number of examples in ~1/W the
 steps, so wall time drops roughly linearly while the update rule stays
 mathematically identical to large-batch single-process training —
 exactly the property Table 2 demonstrates.
+
+Fault tolerance
+---------------
+Worker replicas are owned by a :class:`~repro.parallel.supervisor.
+WorkerSupervisor`: gathers have deadlines, dead or hung replicas are
+respawned under a bounded budget (then dropped, rescaling the gradient
+average), and the per-epoch :class:`~repro.parallel.supervisor.
+FaultStats` records every event.  Batch selection is a pure function of
+the *master* step counter — each worker fast-forwards its deterministic
+batch stream to the step index carried by every broadcast — so a
+respawned (or resumed) replica consumes exactly the batches its
+predecessor would have.  Combined with checkpoint format v2 (optimizer
+moments + step counters + RNG state, see :mod:`repro.core.checkpoint`),
+an interrupted run resumed via :meth:`DataParallelTrainer.train`'s
+``resume_from`` finishes with bit-identical parameters.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    TrainingState,
+    load_training_checkpoint,
+    save_checkpoint,
+)
 from repro.core.config import STTransRecConfig
 from repro.core.trainer import STTransRecTrainer
 from repro.data.split import CrossingCitySplit
 from repro.nn.losses import bce_with_logits
 from repro.nn.optim import Adam
+from repro.parallel.supervisor import (
+    FaultStats,
+    SupervisionConfig,
+    WorkerFailure,
+    WorkerSupervisor,
+)
+from repro.reliability.faults import FaultPlan
+from repro.reliability.guards import GradientGuard, TrainingDiverged
 from repro.utils.validation import check_positive
+
+_WORKER_SEED_BASE = 1000
 
 
 @dataclass
 class ParallelEpochStats:
-    """Timing result of one data-parallel epoch."""
+    """Timing and reliability result of one data-parallel epoch."""
 
     num_workers: int
     steps: int
     seconds: float
     mean_loss: float
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def seconds_per_step(self) -> float:
         return self.seconds / self.steps if self.steps else 0.0
 
 
+def _reseed_dropout(model, stream_id: int, step: int) -> None:
+    """Make dropout masks a pure function of ``(stream_id, step)``.
+
+    Sequentially-drawn dropout masks are hidden state: a respawned or
+    resumed replica cannot cheaply replay the forward passes it missed,
+    so its mask stream would silently diverge from the uninterrupted
+    run.  Reseeding the model's shared dropout generator per step
+    removes that state entirely — recovery stays bit-exact with
+    dropout enabled.
+    """
+    fresh = np.random.default_rng((stream_id or 0, step))
+    model.training_rng.bit_generator.state = fresh.bit_generator.state
+
+
 def _interaction_batch_stream(trainer: STTransRecTrainer):
-    """Endless stream of (users, pois, labels) batches."""
+    """Endless stream of (users, pois, labels) batches.
+
+    Pure function of ``(split, config, seed)``: batch *i* of the stream
+    is identical across processes and across restarts, which is what
+    makes step-aligned respawn and resume loss-neutral.
+    """
     while True:
         for _name, batch in trainer._interaction_batches():
             yield batch
 
 
-def _worker_loop(pipe, split, config, worker_seed: int) -> None:
-    """Worker process: recompute gradients for each parameter broadcast."""
+def _worker_loop(pipe, split, config, worker_seed: int,
+                 worker_id: int = 0,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
+    """Worker process: recompute gradients for each parameter broadcast.
+
+    Protocol: the master sends ``(step, state_dict)`` per training step
+    and ``None`` to shut down; the worker replies ``(grads, loss)``.
+    The worker advances its batch stream to exactly ``step`` before
+    drawing, so batch selection depends only on the master's counter —
+    a replacement worker spawned mid-run replays the skipped prefix and
+    lands on the same batch its predecessor would have used.
+    """
     worker_config = STTransRecConfig(**{
         **config.__dict__, "seed": worker_seed,
     })
@@ -66,14 +126,26 @@ def _worker_loop(pipe, split, config, worker_seed: int) -> None:
     model.train()
     params = dict(model.named_parameters())
     stream = _interaction_batch_stream(trainer)
+    consumed = 0
     while True:
-        message = pipe.recv()
+        try:
+            message = pipe.recv()
+        except (EOFError, OSError):
+            return                      # master went away
         if message is None:
             pipe.close()
             return
-        for name, value in message.items():
+        step, state = message
+        for name, value in state.items():
             params[name].data[...] = value
+        while consumed < step:          # fast-forward after respawn/resume
+            next(stream)
+            consumed += 1
         users, pois, labels = next(stream)
+        consumed = step + 1
+        if fault_plan is not None:
+            fault_plan.execute_pre_step(worker_id, step)
+        _reseed_dropout(model, worker_seed, step)
         model.zero_grad()
         loss = bce_with_logits(model.interaction_logits(users, pois), labels)
         loss.backward()
@@ -81,11 +153,18 @@ def _worker_loop(pipe, split, config, worker_seed: int) -> None:
             name: (p.grad if p.grad is not None else np.zeros_like(p.data))
             for name, p in params.items()
         }
-        pipe.send((grads, loss.item()))
+        if fault_plan is not None and \
+                fault_plan.wants_nan_gradients(worker_id, step):
+            grads = {name: np.full_like(g, np.nan)
+                     for name, g in grads.items()}
+        try:
+            pipe.send((grads, loss.item()))
+        except (BrokenPipeError, OSError):
+            return
 
 
 class DataParallelTrainer:
-    """Trains the interaction objective with W synchronous replicas.
+    """Trains the interaction objective with W supervised replicas.
 
     The timing benchmark isolates the interaction loss (the dominant
     cost term: O(D) examples per epoch through the MLP tower); the text
@@ -100,14 +179,24 @@ class DataParallelTrainer:
     num_workers:
         Replica count; 1 runs in-process with no IPC (the single-GPU
         row of Table 2).
+    fault_plan:
+        Optional deterministic fault injection (testing only).  Crash
+        and hang faults need worker processes; in-process mode applies
+        only delay and NaN-gradient faults.
+    supervision:
+        Timeout / respawn-budget / backoff policy for worker replicas.
     """
 
     def __init__(self, split: CrossingCitySplit, config: STTransRecConfig,
-                 num_workers: int = 1) -> None:
+                 num_workers: int = 1,
+                 fault_plan: Optional[FaultPlan] = None,
+                 supervision: Optional[SupervisionConfig] = None) -> None:
         check_positive("num_workers", num_workers)
         self.split = split
         self.config = config
         self.num_workers = num_workers
+        self.fault_plan = fault_plan
+        self.supervision = supervision or SupervisionConfig()
         self._master = STTransRecTrainer(split, config)
         self.model = self._master.model
         self._params = dict(self.model.named_parameters())
@@ -115,11 +204,16 @@ class DataParallelTrainer:
                               lr=config.learning_rate,
                               weight_decay=config.weight_decay)
         self._examples_per_epoch = self._count_epoch_examples()
-        self._pipes: List = []
-        self._processes: List[mp.Process] = []
+        self._guard = GradientGuard()
+        self._global_step = 0
+        self._epochs_completed = 0
+        self.last_fault_stats: Optional[FaultStats] = None
+        self._supervisor: Optional[WorkerSupervisor] = None
         self._local_stream = None
         if num_workers > 1:
-            self._start_workers()
+            self._supervisor = WorkerSupervisor(
+                self._spawn_worker, num_workers, self.supervision)
+            self._supervisor.start()
         else:
             self.model.train()
             self._local_stream = _interaction_batch_stream(self._master)
@@ -130,87 +224,266 @@ class DataParallelTrainer:
             total += len(sampler)
         return total * (1 + self.config.num_negatives)
 
-    def _start_workers(self) -> None:
+    def _spawn_worker(self, worker_id: int, incarnation: int):
+        """Start one replica; respawns (incarnation > 0) carry no faults."""
         ctx = mp.get_context("fork")
-        seeds = list(range(1000, 1000 + self.num_workers))
-        for seed in seeds:
-            parent, child = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_loop,
-                args=(child, self.split, self.config, seed),
-                daemon=True,
-            )
-            process.start()
-            self._pipes.append(parent)
-            self._processes.append(process)
+        parent, child = ctx.Pipe()
+        plan = self.fault_plan if incarnation == 0 else None
+        process = ctx.Process(
+            target=_worker_loop,
+            args=(child, self.split, self.config,
+                  _WORKER_SEED_BASE + worker_id, worker_id, plan),
+            daemon=True,
+        )
+        process.start()
+        # The master must not hold the child end open, or a dead worker
+        # never produces EOF and liveness detection degrades to timeouts.
+        child.close()
+        return parent, process
 
     # ------------------------------------------------------------------
-    def _broadcast_state(self) -> None:
-        state = {name: p.data for name, p in self._params.items()}
-        for pipe in self._pipes:
-            pipe.send(state)
+    def _parallel_step(self, faults: FaultStats) -> Optional[float]:
+        """Broadcast → gather → guard → averaged Adam step.
 
-    def _gather_and_apply(self) -> float:
-        grads_list = []
+        Returns the mean replica loss, or None when every contribution
+        this step was lost (dead/hung/NaN) and the step was skipped.
+        The average runs over however many finite contributions arrived,
+        so a degraded replica set still yields an unbiased update.
+        """
+        step = self._global_step
+        state = {name: p.data for name, p in self._params.items()}
+        expected = self._supervisor.broadcast((step, state), step)
+        replies = self._supervisor.gather(expected, step)
+        usable = []
         losses = []
-        for pipe in self._pipes:
-            grads, loss = pipe.recv()
-            grads_list.append(grads)
-            losses.append(loss)
+        for grads, loss in replies:
+            if np.isfinite(loss) and self._guard.check(grads, loss):
+                usable.append(grads)
+                losses.append(loss)
+            else:
+                faults.nonfinite_contributions += 1
+                faults.record(
+                    f"non-finite gradient contribution dropped "
+                    f"(step {step}: {self._guard.last_bad_names[:3]})")
+        if not usable:
+            faults.skipped_steps += 1
+            faults.record(f"step {step} skipped: no usable gradients")
+            return None
         for name, param in self._params.items():
-            stacked = np.stack([g[name] for g in grads_list])
+            stacked = np.stack([g[name] for g in usable])
             param.grad = stacked.mean(axis=0)
         self.optimizer.step()
         self.optimizer.zero_grad()
         return float(np.mean(losses))
 
-    def _single_step(self) -> float:
+    def _single_step(self, faults: FaultStats) -> Optional[float]:
+        step = self._global_step
+        if self.fault_plan is not None:
+            for fault in self.fault_plan.lookup(0, step):
+                if fault.kind == "delay":
+                    time.sleep(fault.seconds)
         users, pois, labels = next(self._local_stream)
+        _reseed_dropout(self.model, self.config.seed, step)
         self.optimizer.zero_grad()
         loss = bce_with_logits(
             self.model.interaction_logits(users, pois), labels
         )
         loss.backward()
+        if self.fault_plan is not None and \
+                self.fault_plan.wants_nan_gradients(0, step):
+            for param in self._params.values():
+                if param.grad is not None:
+                    param.grad = np.full_like(param.grad, np.nan)
+        grads = {name: p.grad for name, p in self._params.items()
+                 if p.grad is not None}
+        if not self._guard.check(grads, loss.item()):
+            faults.nonfinite_contributions += 1
+            faults.skipped_steps += 1
+            faults.record(
+                f"step {step} skipped: non-finite "
+                f"{self._guard.last_bad_names[:3]}")
+            self.optimizer.zero_grad()
+            return None
         self.optimizer.step()
         return loss.item()
 
     def train_epoch(self) -> ParallelEpochStats:
-        """One epoch over the training examples, timed.
+        """One epoch over the training examples, timed and supervised.
 
         With W workers each step consumes W batches, so the epoch takes
-        ``ceil(examples / (W · batch))`` synchronized steps.
+        ``ceil(examples / (W · batch))`` synchronized steps.  The step
+        count is honoured even under faults: a lost contribution drops
+        out of that step's average (or skips the step entirely when
+        nothing arrives), and the epoch still completes.  Raw pipe
+        errors never escape — unrecoverable replica loss surfaces as
+        :class:`~repro.parallel.supervisor.WorkerFailure` naming the
+        worker and step, with every worker process reaped.
         """
+        faults = FaultStats()
+        self.last_fault_stats = faults
+        if self._supervisor is not None:
+            self._supervisor.stats = faults
         per_step = self.config.batch_size * self.num_workers
         steps = max(1, int(np.ceil(self._examples_per_epoch / per_step)))
         losses = []
         started = time.perf_counter()
-        for _ in range(steps):
-            if self.num_workers == 1:
-                losses.append(self._single_step())
-            else:
-                self._broadcast_state()
-                losses.append(self._gather_and_apply())
+        try:
+            for _ in range(steps):
+                if self._supervisor is None:
+                    loss = self._single_step(faults)
+                else:
+                    loss = self._parallel_step(faults)
+                self._global_step += 1
+                if loss is not None:
+                    losses.append(loss)
+        except WorkerFailure:
+            self.close()
+            raise
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            step = self._global_step
+            self.close()
+            raise WorkerFailure(
+                step, reason=f"unexpected pipe failure: {exc!r}") from exc
         seconds = time.perf_counter() - started
         return ParallelEpochStats(
             num_workers=self.num_workers,
             steps=steps,
             seconds=seconds,
-            mean_loss=float(np.mean(losses)),
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            faults=faults,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing and resume
+    # ------------------------------------------------------------------
+    @property
+    def index(self):
+        """Entity index mapping users/POIs/words to embedding rows."""
+        return self._master.index
+
+    def save(self, path) -> None:
+        """Write a resumable (format v2) checkpoint: parameters, Adam
+        moments, epoch/step counters, and the master RNG state."""
+        state = TrainingState(
+            epochs_completed=self._epochs_completed,
+            global_step=self._global_step,
+            optimizer_state=self.optimizer.state_dict(),
+            rng_state=self._master._rng.bit_generator.state,
+        )
+        save_checkpoint(self.model, self._master.index, path,
+                        training_state=state)
+
+    def resume(self, path) -> int:
+        """Restore a v2 checkpoint and fast-forward the batch streams.
+
+        Returns the number of epochs already completed.  Restoring is
+        provably loss-neutral: after replaying ``global_step`` batches
+        from a freshly-seeded stream, the master RNG must land exactly
+        on the state recorded at save time — a mismatch (wrong seed,
+        wrong data, wrong config) raises instead of silently training
+        on a different trajectory.
+        """
+        model, index, tstate = load_training_checkpoint(path)
+        if tstate is None:
+            raise ValueError(
+                f"{path} is a v1 checkpoint with no training state; "
+                f"it can be served but not resumed")
+        # Schedule fields (epoch budgets, early-stop policy) may change
+        # between the interrupted and the resuming invocation — e.g.
+        # "resume with a larger budget" — without affecting the per-step
+        # trajectory.  Everything else must match exactly.
+        schedule_only = {"epochs", "pretrain_epochs", "patience",
+                         "min_loss_delta"}
+        saved = {k: v for k, v in model.config.__dict__.items()
+                 if k not in schedule_only}
+        own_cfg = {k: v for k, v in self.config.__dict__.items()
+                   if k not in schedule_only}
+        if saved != own_cfg:
+            differing = sorted(k for k in saved
+                               if saved.get(k) != own_cfg.get(k))
+            raise ValueError(
+                f"checkpoint config does not match trainer config "
+                f"(fields: {differing}); resume requires identical "
+                f"hyper-parameters")
+        own = self._master.index
+        if (index.num_users, index.num_pois, index.num_words) != \
+                (own.num_users, own.num_pois, own.num_words):
+            raise ValueError(
+                "checkpoint entity index does not match the training "
+                "split; resume requires the same dataset")
+        for name, value in model.state_dict().items():
+            self._params[name].data[...] = value
+        self.optimizer.load_state_dict(tstate.optimizer_state)
+        self._global_step = tstate.global_step
+        self._epochs_completed = tstate.epochs_completed
+        if self._local_stream is not None:
+            for _ in range(tstate.global_step):
+                next(self._local_stream)
+        if tstate.rng_state is not None and \
+                self._master._rng.bit_generator.state != tstate.rng_state:
+            raise ValueError(
+                "resume is not loss-neutral: master RNG state after "
+                "replay does not match the checkpoint (different seed, "
+                "dataset, or config?)")
+        return tstate.epochs_completed
+
+    def train(self, epochs: int,
+              checkpoint_every: Optional[int] = None,
+              checkpoint_path=None,
+              resume_from=None,
+              divergence_detector=None) -> List[ParallelEpochStats]:
+        """Run (or continue) training for ``epochs`` total epochs.
+
+        Parameters
+        ----------
+        epochs:
+            Total epoch budget — a resumed run trains only the
+            remaining ``epochs - completed`` epochs.
+        checkpoint_every:
+            Write a resumable checkpoint after every N-th epoch
+            (requires ``checkpoint_path``).  The file is replaced
+            atomically, so a crash mid-write cannot corrupt the last
+            good checkpoint.
+        checkpoint_path:
+            Where checkpoints go (``.npz`` appended if missing).
+        resume_from:
+            Restore this v2 checkpoint before training; the run then
+            finishes bit-identically to one that was never interrupted.
+        divergence_detector:
+            Optional :class:`~repro.reliability.guards.
+            DivergenceDetector`; fed each epoch's mean loss, raises
+            :class:`~repro.reliability.guards.TrainingDiverged` when it
+            trips.
+        """
+        check_positive("epochs", epochs)
+        if checkpoint_every is not None:
+            check_positive("checkpoint_every", checkpoint_every)
+            if checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_every requires checkpoint_path")
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch = self.resume(resume_from)
+        history: List[ParallelEpochStats] = []
+        for epoch in range(start_epoch, epochs):
+            stats = self.train_epoch()
+            history.append(stats)
+            self._epochs_completed = epoch + 1
+            if divergence_detector is not None and \
+                    divergence_detector.update(stats.mean_loss):
+                self.close()
+                raise TrainingDiverged(
+                    epoch, stats.mean_loss,
+                    getattr(divergence_detector, "best", float("nan")))
+            if checkpoint_every is not None and \
+                    (epoch + 1) % checkpoint_every == 0:
+                self.save(checkpoint_path)
+        return history
 
     def close(self) -> None:
         """Shut down worker processes (idempotent)."""
-        for pipe in self._pipes:
-            try:
-                pipe.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self._processes:
-            process.join(timeout=5)
-            if process.is_alive():
-                process.terminate()
-        self._pipes = []
-        self._processes = []
+        if self._supervisor is not None:
+            self._supervisor.shutdown()
 
     def __enter__(self) -> "DataParallelTrainer":
         return self

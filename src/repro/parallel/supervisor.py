@@ -1,0 +1,295 @@
+"""Worker supervision for the data-parallel trainer.
+
+The original gather loop did a blind ``pipe.recv()`` per worker: one
+killed or hung replica deadlocked training forever.  The supervisor
+replaces it with a liveness protocol:
+
+* **gather with a deadline** — each worker's pipe is polled against a
+  shared per-step deadline instead of blocking indefinitely;
+* **death detection** — EOF/closed-pipe on recv, or a send failure on
+  broadcast, marks the replica dead (crash);
+* **hang detection** — a replica that is alive but silent past the
+  deadline is SIGKILLed and treated like a crash;
+* **bounded respawn** — each worker slot gets ``max_respawns``
+  replacements with linear backoff; replacements join at the *next*
+  step (the failed step simply loses their contribution, and the
+  master rescales the gradient average over the replies it did get);
+* **graceful degradation** — a slot whose budget is exhausted is
+  removed permanently and training continues on fewer replicas;
+* **total loss** — when the last slot dies, :class:`WorkerFailure`
+  names the worker and step instead of leaking a raw pipe exception.
+
+Every event is recorded in the per-epoch :class:`FaultStats` that the
+trainer attaches to its epoch stats.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.supervisor")
+
+# (worker_id, incarnation) -> (master_pipe_end, process)
+SpawnFn = Callable[[int, int], Tuple[object, object]]
+
+
+class WorkerFailure(RuntimeError):
+    """Unrecoverable replica loss, naming the worker and step."""
+
+    def __init__(self, step: int, worker_id: Optional[int] = None,
+                 reason: str = "worker failed") -> None:
+        who = f"worker {worker_id}" if worker_id is not None else "workers"
+        super().__init__(f"{reason} ({who}, step {step})")
+        self.step = step
+        self.worker_id = worker_id
+        self.reason = reason
+
+
+@dataclass
+class FaultStats:
+    """Counts of supervision and guard events over one epoch."""
+
+    crashes: int = 0
+    hangs: int = 0
+    respawns: int = 0
+    removals: int = 0
+    nonfinite_contributions: int = 0
+    skipped_steps: int = 0
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        return (self.crashes + self.hangs
+                + self.nonfinite_contributions + self.skipped_steps)
+
+    def record(self, message: str) -> None:
+        self.events.append(message)
+        logger.warning(message)
+
+    def merged_with(self, other: "FaultStats") -> "FaultStats":
+        """Element-wise sum (for aggregating across epochs)."""
+        return FaultStats(
+            crashes=self.crashes + other.crashes,
+            hangs=self.hangs + other.hangs,
+            respawns=self.respawns + other.respawns,
+            removals=self.removals + other.removals,
+            nonfinite_contributions=(self.nonfinite_contributions
+                                     + other.nonfinite_contributions),
+            skipped_steps=self.skipped_steps + other.skipped_steps,
+            events=self.events + other.events,
+        )
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Supervision policy knobs.
+
+    Parameters
+    ----------
+    step_timeout:
+        Seconds the master waits for all replies to one step before
+        declaring the silent replicas hung.
+    max_respawns:
+        Replacement budget per worker slot; once exhausted the slot is
+        removed and training degrades to fewer replicas.
+    respawn_backoff:
+        Base seconds slept before the n-th respawn of a slot (linear:
+        ``n * respawn_backoff``), so a systematically-crashing slot
+        does not busy-loop through its budget.
+    """
+
+    step_timeout: float = 30.0
+    max_respawns: int = 2
+    respawn_backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.step_timeout <= 0:
+            raise ValueError(
+                f"step_timeout must be positive, got {self.step_timeout}")
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}")
+        if self.respawn_backoff < 0:
+            raise ValueError(
+                f"respawn_backoff must be >= 0, got {self.respawn_backoff}")
+
+
+@dataclass
+class _Handle:
+    worker_id: int
+    incarnation: int
+    pipe: object
+    process: object
+
+
+class WorkerSupervisor:
+    """Owns the worker processes and the failure-handling policy.
+
+    Parameters
+    ----------
+    spawn:
+        ``spawn(worker_id, incarnation)`` returning the master-side
+        pipe end and the started process.  Incarnation 0 is the
+        original replica; respawns count up from 1 (and, by contract
+        with :class:`repro.reliability.faults.FaultPlan`, carry no
+        fault plan).
+    num_workers:
+        Number of worker slots.
+    supervision:
+        Policy knobs (timeouts, respawn budget, backoff).
+    """
+
+    def __init__(self, spawn: SpawnFn, num_workers: int,
+                 supervision: Optional[SupervisionConfig] = None) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._spawn = spawn
+        self.num_workers = num_workers
+        self.supervision = supervision or SupervisionConfig()
+        self.stats = FaultStats()
+        self._handles: Dict[int, _Handle] = {}
+        self._respawns_used: Dict[int, int] = {w: 0 for w in
+                                               range(num_workers)}
+        self._removed: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_live(self) -> int:
+        return len(self._handles)
+
+    @property
+    def live_worker_ids(self) -> List[int]:
+        return sorted(self._handles)
+
+    def start(self) -> None:
+        for worker_id in range(self.num_workers):
+            pipe, process = self._spawn(worker_id, 0)
+            self._handles[worker_id] = _Handle(worker_id, 0, pipe, process)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, payload, step: int) -> List[int]:
+        """Send ``payload`` to every live worker.
+
+        Returns the worker ids a reply is expected from this step; a
+        slot whose pipe breaks on send is handled (respawned or
+        removed) and excluded — its replacement joins at the next
+        broadcast.
+        """
+        expected: List[int] = []
+        for worker_id in list(self._handles):
+            handle = self._handles[worker_id]
+            try:
+                handle.pipe.send(payload)
+                expected.append(worker_id)
+            except (BrokenPipeError, OSError):
+                self.stats.crashes += 1
+                self.stats.record(
+                    f"worker {worker_id} dead at send (step {step})")
+                self._dispose(handle)
+                self._respawn_or_remove(worker_id, step)
+        if not self._handles:
+            raise WorkerFailure(step, reason="all replicas lost")
+        return expected
+
+    def gather(self, expected: List[int], step: int) -> List[object]:
+        """Collect one reply per expected worker, against a shared deadline.
+
+        Silent-but-alive replicas past the deadline are killed as hung;
+        dead pipes are recorded as crashes.  Either way the slot is
+        respawned (or removed once its budget is spent) and the step
+        proceeds with the replies that did arrive.
+        """
+        deadline = time.monotonic() + self.supervision.step_timeout
+        replies: List[object] = []
+        for worker_id in expected:
+            handle = self._handles.get(worker_id)
+            if handle is None:          # removed while we were gathering
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                ready = handle.pipe.poll(remaining)
+            except (BrokenPipeError, OSError):
+                ready = False
+            if ready:
+                try:
+                    replies.append(handle.pipe.recv())
+                    continue
+                except (EOFError, OSError):
+                    self.stats.crashes += 1
+                    self.stats.record(
+                        f"worker {worker_id} crashed (step {step})")
+            elif handle.process.is_alive():
+                self.stats.hangs += 1
+                self.stats.record(
+                    f"worker {worker_id} hung past "
+                    f"{self.supervision.step_timeout:.2f}s (step {step}); "
+                    f"killing")
+                handle.process.kill()
+            else:
+                self.stats.crashes += 1
+                self.stats.record(
+                    f"worker {worker_id} found dead (step {step})")
+            self._dispose(handle)
+            self._respawn_or_remove(worker_id, step)
+        if not self._handles:
+            raise WorkerFailure(step, reason="all replicas lost")
+        return replies
+
+    # ------------------------------------------------------------------
+    def _dispose(self, handle: _Handle) -> None:
+        self._handles.pop(handle.worker_id, None)
+        try:
+            handle.pipe.close()
+        except OSError:
+            pass
+        handle.process.join(timeout=1.0)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=1.0)
+
+    def _respawn_or_remove(self, worker_id: int, step: int) -> None:
+        used = self._respawns_used[worker_id]
+        if used >= self.supervision.max_respawns:
+            self._removed.add(worker_id)
+            self.stats.removals += 1
+            self.stats.record(
+                f"worker {worker_id} removed after {used} respawns "
+                f"(step {step}); degrading to {self.num_live} replicas")
+            if not self._handles:
+                raise WorkerFailure(
+                    step, worker_id, "all replicas lost (budget exhausted)")
+            return
+        self._respawns_used[worker_id] = used + 1
+        if self.supervision.respawn_backoff:
+            time.sleep(self.supervision.respawn_backoff * (used + 1))
+        incarnation = used + 1
+        pipe, process = self._spawn(worker_id, incarnation)
+        self._handles[worker_id] = _Handle(worker_id, incarnation, pipe,
+                                           process)
+        self.stats.respawns += 1
+        self.stats.record(
+            f"worker {worker_id} respawned (incarnation {incarnation}, "
+            f"step {step})")
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop all workers (idempotent); never raises on broken pipes."""
+        for handle in list(self._handles.values()):
+            try:
+                handle.pipe.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in list(self._handles.values()):
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.pipe.close()
+            except OSError:
+                pass
+        self._handles = {}

@@ -1,0 +1,132 @@
+"""Deterministic fault injection for multi-process training.
+
+Testing a supervisor against *real* infrastructure failures (OOM kills,
+hung nodes, NaN-producing batches) is inherently flaky, so every failure
+mode is modelled as a :class:`Fault` pinned to an exact ``(worker,
+step)`` coordinate.  A :class:`FaultPlan` is handed to each worker
+replica, which consults it once per training step:
+
+* ``crash`` — the worker SIGKILLs itself (the abrupt-death case: no
+  goodbye message, the master sees EOF on the pipe);
+* ``hang``  — the worker sleeps past the supervisor's step timeout
+  (the stuck-replica case: the process is alive but silent);
+* ``delay`` — the worker sleeps *within* the timeout (a slow replica
+  that must not be treated as dead);
+* ``nan_grad`` — the worker reports all-NaN gradients (a poisoned
+  batch that the master's gradient guard must reject).
+
+Faults fire only in a worker's **first incarnation**: the supervisor
+spawns replacements without a plan, so an injected crash cannot put a
+respawned worker into a crash loop.  Because the trigger is an exact
+step coordinate, every fault-handling path is unit-testable with zero
+nondeterminism.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+FAULT_KINDS = ("crash", "hang", "delay", "nan_grad")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure at an exact ``(worker, step)`` coordinate.
+
+    Parameters
+    ----------
+    kind:
+        One of ``crash``, ``hang``, ``delay``, ``nan_grad``.
+    worker:
+        Replica index the fault targets (0-based).
+    step:
+        Global training step (master step counter) at which it fires.
+    seconds:
+        Sleep duration for ``hang``/``delay`` faults.
+    """
+
+    kind: str
+    worker: int
+    step: int
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.kind in ("hang", "delay") and self.seconds <= 0:
+            raise ValueError(
+                f"{self.kind} fault needs seconds > 0, got {self.seconds}")
+
+    # Convenience constructors ----------------------------------------
+    @classmethod
+    def crash(cls, worker: int, step: int) -> "Fault":
+        return cls("crash", worker, step)
+
+    @classmethod
+    def hang(cls, worker: int, step: int, seconds: float) -> "Fault":
+        return cls("hang", worker, step, seconds)
+
+    @classmethod
+    def delay(cls, worker: int, step: int, seconds: float) -> "Fault":
+        return cls("delay", worker, step, seconds)
+
+    @classmethod
+    def nan_grad(cls, worker: int, step: int) -> "Fault":
+        return cls("nan_grad", worker, step)
+
+
+class FaultPlan:
+    """An immutable schedule of faults, indexed by ``(worker, step)``.
+
+    The plan is picklable (it rides into worker processes) and purely
+    declarative; execution happens in :meth:`execute_pre_step` and via
+    :meth:`wants_nan_gradients` inside the worker loop.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._faults: List[Fault] = list(faults)
+        self._by_coord: Dict[Tuple[int, int], List[Fault]] = {}
+        for fault in self._faults:
+            self._by_coord.setdefault((fault.worker, fault.step),
+                                      []).append(fault)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self._faults)
+
+    def lookup(self, worker: int, step: int) -> List[Fault]:
+        """All faults scheduled for this worker at this global step."""
+        return list(self._by_coord.get((worker, step), ()))
+
+    def execute_pre_step(self, worker: int, step: int) -> None:
+        """Run crash/hang/delay faults due at ``(worker, step)``.
+
+        ``crash`` delivers SIGKILL to the calling process — the hardest
+        possible death, indistinguishable from an OOM kill.  ``hang``
+        and ``delay`` both sleep; the difference is only in intent (a
+        hang is sized to exceed the supervisor's timeout).
+        """
+        for fault in self.lookup(worker, step):
+            if fault.kind == "crash":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif fault.kind in ("hang", "delay"):
+                time.sleep(fault.seconds)
+
+    def wants_nan_gradients(self, worker: int, step: int) -> bool:
+        """True if a ``nan_grad`` fault is due at ``(worker, step)``."""
+        return any(f.kind == "nan_grad" for f in self.lookup(worker, step))
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self._faults!r})"

@@ -71,6 +71,11 @@ class MicroBatcher:
             raise RuntimeError("batcher is closed")
         future: Future = Future()
         self._queue.put((request, future))
+        # close() may have won the race between the check above and the
+        # put: if the worker is already gone, its own drain may have run
+        # before our item landed, so fail the leftovers here.
+        if self._closed.is_set() and not self._worker.is_alive():
+            self._fail_pending()
         return future
 
     def __call__(self, request: Any, timeout: Optional[float] = None) -> Any:
@@ -104,19 +109,37 @@ class MicroBatcher:
         return batch
 
     def _run(self) -> None:
-        while True:
-            batch = self._collect()
-            if not batch:
-                if self._closed.is_set():
+        try:
+            while True:
+                batch = self._collect()
+                if not batch:
+                    if self._closed.is_set():
+                        return
+                    continue
+                stop = batch and batch[-1] is None
+                if stop:
+                    batch = batch[:-1]
+                if batch:
+                    self._dispatch(batch)
+                if stop:
                     return
-                continue
-            stop = batch and batch[-1] is None
-            if stop:
-                batch = batch[:-1]
-            if batch:
-                self._dispatch(batch)
-            if stop:
+        finally:
+            # Requests enqueued after the close sentinel would otherwise
+            # hold unresolved futures forever.
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        """Drain the queue and fail every stranded future (thread-safe)."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
                 return
+            if item is None:
+                continue
+            _request, future = item
+            if not future.cancelled():
+                future.set_exception(RuntimeError("batcher is closed"))
 
     def _dispatch(self, batch: List) -> None:
         requests = [request for request, _future in batch]
@@ -140,12 +163,18 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Drain pending requests and stop the worker thread."""
-        if self._closed.is_set():
-            return
-        self._closed.set()
-        self._queue.put(None)
+        """Drain pending requests and stop the worker thread.
+
+        Requests already queued when the sentinel lands are still
+        served; anything that slips in afterwards has its future failed
+        with ``RuntimeError("batcher is closed")`` rather than left
+        unresolved.
+        """
+        if not self._closed.is_set():
+            self._closed.set()
+            self._queue.put(None)
         self._worker.join(timeout=timeout)
+        self._fail_pending()
 
     def __enter__(self) -> "MicroBatcher":
         return self

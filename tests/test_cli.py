@@ -126,3 +126,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ItemPop" in out
         assert "CRCF" in out
+
+
+class TestResumableTraining:
+    def test_checkpoint_and_resume_flags(self, tmp_path, capsys):
+        data = tmp_path / "data.jsonl"
+        ckpt = tmp_path / "run.npz"
+        main(["generate", "--preset", "foursquare", "--out", str(data),
+              "--scale", "0.15"])
+        base = ["train", "--data", str(data), "--target", "los_angeles",
+                "--embedding-dim", "8", "--epochs", "2",
+                "--pretrain-epochs", "1"]
+        code = main(base + ["--checkpoint-every", "1",
+                            "--checkpoint-path", str(ckpt)])
+        assert code == 0
+        assert ckpt.exists()
+        out = capsys.readouterr().out
+        assert "trained 2 epochs" in out
+
+        code = main(["train", "--data", str(data),
+                     "--target", "los_angeles",
+                     "--embedding-dim", "8", "--epochs", "3",
+                     "--pretrain-epochs", "1",
+                     "--resume-from", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained 1 epochs" in out    # only the remaining epoch
+
+    def test_fault_smoke_parses(self):
+        args = build_parser().parse_args(["fault-smoke", "--seed", "5"])
+        assert args.seed == 5
+        assert args.func.__name__ == "cmd_fault_smoke"

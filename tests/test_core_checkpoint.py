@@ -111,3 +111,96 @@ class TestErrors:
 
         with pytest.raises(ValueError, match="expected"):
             load_checkpoint(path)
+
+
+class TestSuffixNormalization:
+    def test_suffixless_path_round_trips(self, trained, tmp_path):
+        """save_checkpoint("ckpt") writes ckpt.npz (np.savez appends the
+        suffix); load_checkpoint("ckpt") must open the same file."""
+        path = tmp_path / "ckpt"
+        save_checkpoint(trained.model, trained.index, path)
+        assert (tmp_path / "ckpt.npz").exists()
+        model, _index = load_checkpoint(path)
+        for (name, original), (_n2, restored) in zip(
+                trained.model.named_parameters(),
+                model.named_parameters()):
+            np.testing.assert_array_equal(original.data, restored.data)
+
+    def test_foreign_suffix_normalized(self, trained, tmp_path):
+        path = tmp_path / "model.ckpt"
+        save_checkpoint(trained.model, trained.index, path)
+        assert (tmp_path / "model.ckpt.npz").exists()
+        load_checkpoint(path)
+
+    def test_explicit_npz_still_works(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        assert path.exists()
+        load_checkpoint(path)
+
+
+class TestFormatV2:
+    def _training_state(self, trained):
+        from repro.core.checkpoint import TrainingState
+
+        params = list(trained.model.parameters())
+        return TrainingState(
+            epochs_completed=3,
+            global_step=41,
+            optimizer_state={
+                "step_count": 41,
+                "m": [np.full_like(p.data, 0.5) for p in params],
+                "v": [np.full_like(p.data, 0.25) for p in params],
+            },
+            rng_state=np.random.default_rng(9).bit_generator.state,
+        )
+
+    def test_v2_round_trips_training_state(self, trained, tmp_path):
+        from repro.core.checkpoint import load_training_checkpoint
+
+        path = tmp_path / "v2.npz"
+        state = self._training_state(trained)
+        save_checkpoint(trained.model, trained.index, path,
+                        training_state=state)
+        _model, _index, restored = load_training_checkpoint(path)
+        assert restored.epochs_completed == 3
+        assert restored.global_step == 41
+        assert restored.optimizer_state["step_count"] == 41
+        for saved, loaded in zip(state.optimizer_state["m"],
+                                 restored.optimizer_state["m"]):
+            np.testing.assert_array_equal(saved, loaded)
+        assert restored.rng_state == state.rng_state
+
+    def test_v2_loads_through_plain_load_checkpoint(self, trained,
+                                                    tmp_path):
+        """A serving-only reader ignores the training state cleanly."""
+        path = tmp_path / "v2.npz"
+        save_checkpoint(trained.model, trained.index, path,
+                        training_state=self._training_state(trained))
+        model, _index = load_checkpoint(path)
+        for (name, original), (_n2, restored) in zip(
+                trained.model.named_parameters(),
+                model.named_parameters()):
+            np.testing.assert_array_equal(original.data, restored.data)
+
+    def test_v1_file_has_no_training_state(self, trained, tmp_path):
+        from repro.core.checkpoint import load_training_checkpoint
+
+        path = tmp_path / "v1.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        _model, _index, state = load_training_checkpoint(path)
+        assert state is None
+
+    def test_save_replaces_atomically(self, trained, tmp_path):
+        """No .tmp leftovers, and the second save fully replaces the
+        first."""
+        path = tmp_path / "atomic.npz"
+        save_checkpoint(trained.model, trained.index, path)
+        save_checkpoint(trained.model, trained.index, path,
+                        training_state=self._training_state(trained))
+        leftovers = list(tmp_path.glob("*.tmp*"))
+        assert leftovers == []
+        from repro.core.checkpoint import load_training_checkpoint
+
+        _m, _i, state = load_training_checkpoint(path)
+        assert state is not None

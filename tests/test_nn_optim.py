@@ -102,3 +102,65 @@ class TestAdam:
         quadratic_loss(p).backward()
         opt.zero_grad()
         assert p.grad is None
+
+
+def quadratic_step(opt, p):
+    opt.zero_grad()
+    quadratic_loss(p).backward()
+    opt.step()
+
+
+class TestStateDict:
+    def test_adam_round_trip_bit_identical(self):
+        p1 = Tensor(np.array([3.0, -2.0]), requires_grad=True)
+        opt1 = Adam([p1], lr=0.1)
+        for _ in range(5):
+            quadratic_step(opt1, p1)
+        saved_state = opt1.state_dict()
+        saved_params = p1.data.copy()
+        quadratic_step(opt1, p1)
+        expected = p1.data.copy()
+
+        p2 = Tensor(saved_params.copy(), requires_grad=True)
+        opt2 = Adam([p2], lr=0.1)
+        opt2.load_state_dict(saved_state)
+        quadratic_step(opt2, p2)
+        np.testing.assert_array_equal(p2.data, expected)
+
+    def test_adam_state_dict_copies(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([p])
+        quadratic_step(opt, p)
+        state = opt.state_dict()
+        state["m"][0][...] = 99.0
+        assert not np.any(opt._m[0] == 99.0)
+
+    def test_adam_shape_mismatch_rejected(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([p])
+        bad = {"step_count": 1, "m": [np.zeros(3)], "v": [np.zeros(2)]}
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(bad)
+
+    def test_adam_count_mismatch_rejected(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([p])
+        bad = {"step_count": 1, "m": [], "v": []}
+        with pytest.raises(ValueError, match="expected 1 arrays"):
+            opt.load_state_dict(bad)
+
+    def test_sgd_velocity_round_trip(self):
+        p1 = Tensor(np.array([2.0]), requires_grad=True)
+        opt1 = SGD([p1], lr=0.1, momentum=0.9)
+        for _ in range(3):
+            quadratic_step(opt1, p1)
+        saved_state = opt1.state_dict()
+        saved_params = p1.data.copy()
+        quadratic_step(opt1, p1)
+        expected = p1.data.copy()
+
+        p2 = Tensor(saved_params.copy(), requires_grad=True)
+        opt2 = SGD([p2], lr=0.1, momentum=0.9)
+        opt2.load_state_dict(saved_state)
+        quadratic_step(opt2, p2)
+        np.testing.assert_array_equal(p2.data, expected)

@@ -1,0 +1,209 @@
+"""Failure-path tests: supervised replicas, fault injection, resume.
+
+Every fault is injected deterministically via a FaultPlan pinned to an
+exact (worker, step) coordinate, so these tests exercise real process
+death and hangs without flakiness.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_training_checkpoint, save_checkpoint
+from repro.parallel import (
+    DataParallelTrainer,
+    SupervisionConfig,
+    WorkerFailure,
+)
+from repro.reliability import Fault, FaultPlan, TrainingDiverged
+
+from tests.test_core_trainer import fast_config
+
+FAST_SUPERVISION = SupervisionConfig(step_timeout=30.0, max_respawns=2,
+                                     respawn_backoff=0.01)
+
+
+def _no_leaked_children(before):
+    new = [p for p in mp.active_children() if p not in before]
+    return all(not p.is_alive() for p in new)
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_is_respawned_and_epoch_completes(
+            self, tiny_split):
+        plan = FaultPlan([Fault.crash(worker=1, step=1)])
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 fault_plan=plan,
+                                 supervision=FAST_SUPERVISION) as dp:
+            baseline = DataParallelTrainer(tiny_split, fast_config(),
+                                           num_workers=2)
+            expected_steps = baseline.train_epoch().steps
+            baseline.close()
+            stats = dp.train_epoch()
+        assert stats.steps == expected_steps     # full example count
+        assert stats.faults.crashes == 1
+        assert stats.faults.respawns == 1
+        assert np.isfinite(stats.mean_loss)
+
+    def test_replica_count_restored_after_respawn(self, tiny_split):
+        plan = FaultPlan([Fault.crash(worker=0, step=0)])
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 fault_plan=plan,
+                                 supervision=FAST_SUPERVISION) as dp:
+            dp.train_epoch()
+            assert dp._supervisor.num_live == 2
+
+    def test_budget_exhaustion_degrades_to_fewer_replicas(self, tiny_split):
+        plan = FaultPlan([Fault.crash(worker=1, step=1)])
+        supervision = SupervisionConfig(step_timeout=30.0, max_respawns=0,
+                                        respawn_backoff=0.0)
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 fault_plan=plan,
+                                 supervision=supervision) as dp:
+            stats = dp.train_epoch()
+            assert dp._supervisor.num_live == 1
+        assert stats.faults.removals == 1
+        assert stats.faults.respawns == 0
+        assert np.isfinite(stats.mean_loss)
+
+    def test_total_replica_loss_raises_worker_failure(self, tiny_split):
+        before = mp.active_children()
+        plan = FaultPlan([Fault.crash(worker=0, step=0),
+                          Fault.crash(worker=1, step=0)])
+        supervision = SupervisionConfig(step_timeout=30.0, max_respawns=0)
+        dp = DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 fault_plan=plan, supervision=supervision)
+        with pytest.raises(WorkerFailure) as excinfo:
+            dp.train_epoch()
+        assert "step 0" in str(excinfo.value)
+        assert dp._supervisor.num_live == 0
+        assert _no_leaked_children(before)
+
+
+class TestHangRecovery:
+    def test_hung_worker_is_killed_and_respawned(self, tiny_split):
+        plan = FaultPlan([Fault.hang(worker=1, step=1, seconds=15.0)])
+        supervision = SupervisionConfig(step_timeout=0.75, max_respawns=2,
+                                        respawn_backoff=0.01)
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 fault_plan=plan,
+                                 supervision=supervision) as dp:
+            stats = dp.train_epoch()
+            assert dp._supervisor.num_live == 2
+        assert stats.faults.hangs == 1
+        assert stats.faults.respawns == 1
+        assert np.isfinite(stats.mean_loss)
+
+    def test_slow_worker_within_timeout_is_not_killed(self, tiny_split):
+        plan = FaultPlan([Fault.delay(worker=1, step=1, seconds=0.2)])
+        supervision = SupervisionConfig(step_timeout=10.0, max_respawns=2)
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 fault_plan=plan,
+                                 supervision=supervision) as dp:
+            stats = dp.train_epoch()
+        assert stats.faults.total_faults == 0
+
+
+class TestNaNGuard:
+    def test_multi_worker_nan_contribution_dropped(self, tiny_split):
+        plan = FaultPlan([Fault.nan_grad(worker=0, step=1)])
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 fault_plan=plan,
+                                 supervision=FAST_SUPERVISION) as dp:
+            stats = dp.train_epoch()
+        assert stats.faults.nonfinite_contributions == 1
+        assert stats.faults.skipped_steps == 0   # the other replica carried
+        assert np.isfinite(stats.mean_loss)
+        for param in dp.model.parameters():
+            assert np.all(np.isfinite(param.data))
+
+    def test_single_worker_nan_step_skipped_and_counted(self, tiny_split):
+        plan = FaultPlan([Fault.nan_grad(worker=0, step=2)])
+        with DataParallelTrainer(tiny_split, fast_config(),
+                                 num_workers=1, fault_plan=plan) as dp:
+            stats = dp.train_epoch()
+        assert stats.faults.skipped_steps == 1
+        assert stats.faults.nonfinite_contributions == 1
+        assert np.isfinite(stats.mean_loss)
+        for param in dp.model.parameters():
+            assert np.all(np.isfinite(param.data))
+
+
+class TestResume:
+    def test_resume_is_bit_identical_single_worker(self, tiny_split,
+                                                   tmp_path):
+        config = fast_config(dropout=0.3)   # dropout must also be neutral
+        ckpt = tmp_path / "resume.npz"
+
+        with DataParallelTrainer(tiny_split, config) as reference:
+            reference.train(epochs=4)
+        with DataParallelTrainer(tiny_split, config) as interrupted:
+            interrupted.train(epochs=2, checkpoint_every=2,
+                              checkpoint_path=ckpt)
+        with DataParallelTrainer(tiny_split, config) as resumed:
+            history = resumed.train(epochs=4, resume_from=ckpt)
+
+        assert len(history) == 2            # only the remaining epochs
+        for (name, a), (_n, b) in zip(
+                reference.model.named_parameters(),
+                resumed.model.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    def test_resume_multi_worker_continues(self, tiny_split, tmp_path):
+        ckpt = tmp_path / "mw.npz"
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 supervision=FAST_SUPERVISION) as first:
+            first.train(epochs=1, checkpoint_every=1, checkpoint_path=ckpt)
+        with DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                 supervision=FAST_SUPERVISION) as second:
+            history = second.train(epochs=2, resume_from=ckpt)
+        assert len(history) == 1
+        assert np.isfinite(history[0].mean_loss)
+
+    def test_checkpoint_carries_training_state(self, tiny_split, tmp_path):
+        ckpt = tmp_path / "state.npz"
+        with DataParallelTrainer(tiny_split, fast_config()) as dp:
+            dp.train(epochs=2, checkpoint_every=2, checkpoint_path=ckpt)
+            expected_step = dp._global_step
+        _model, _index, state = load_training_checkpoint(ckpt)
+        assert state is not None
+        assert state.epochs_completed == 2
+        assert state.global_step == expected_step
+        assert state.optimizer_state["step_count"] > 0
+        assert len(state.optimizer_state["m"]) == \
+            len(state.optimizer_state["v"]) > 0
+        assert state.rng_state is not None
+
+    def test_v1_checkpoint_refuses_resume(self, tiny_split, tmp_path):
+        ckpt = tmp_path / "v1.npz"
+        with DataParallelTrainer(tiny_split, fast_config()) as dp:
+            save_checkpoint(dp.model, dp._master.index, ckpt)  # v1: no state
+            with pytest.raises(ValueError, match="v1 checkpoint"):
+                dp.train(epochs=1, resume_from=ckpt)
+
+    def test_config_mismatch_refuses_resume(self, tiny_split, tmp_path):
+        ckpt = tmp_path / "cfg.npz"
+        with DataParallelTrainer(tiny_split, fast_config(seed=0)) as dp:
+            dp.train(epochs=1, checkpoint_every=1, checkpoint_path=ckpt)
+        with DataParallelTrainer(tiny_split, fast_config(seed=7)) as other:
+            with pytest.raises(ValueError, match="does not match"):
+                other.train(epochs=2, resume_from=ckpt)
+
+    def test_checkpoint_every_requires_path(self, tiny_split):
+        with DataParallelTrainer(tiny_split, fast_config()) as dp:
+            with pytest.raises(ValueError, match="checkpoint_path"):
+                dp.train(epochs=1, checkpoint_every=1)
+
+
+class TestDivergenceHook:
+    def test_tripped_detector_raises_and_closes(self, tiny_split):
+        class AlwaysDiverged:
+            best = 0.0
+
+            def update(self, loss):
+                return True
+
+        dp = DataParallelTrainer(tiny_split, fast_config())
+        with pytest.raises(TrainingDiverged):
+            dp.train(epochs=2, divergence_detector=AlwaysDiverged())

@@ -1,0 +1,67 @@
+"""Fault-plan tests: deterministic lookup and in-process execution."""
+
+import multiprocessing as mp
+import signal
+import time
+
+import pytest
+
+from repro.reliability import Fault, FaultPlan
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("explode", worker=0, step=0)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            Fault.crash(worker=-1, step=0)
+        with pytest.raises(ValueError):
+            Fault.crash(worker=0, step=-2)
+
+    def test_hang_needs_duration(self):
+        with pytest.raises(ValueError, match="seconds"):
+            Fault("hang", worker=0, step=0, seconds=0.0)
+
+
+class TestFaultPlan:
+    def test_lookup_by_coordinate(self):
+        plan = FaultPlan([Fault.crash(1, 5), Fault.nan_grad(1, 5),
+                          Fault.delay(0, 2, 0.01)])
+        assert len(plan.lookup(1, 5)) == 2
+        assert len(plan.lookup(0, 2)) == 1
+        assert plan.lookup(0, 5) == []
+        assert len(plan) == 3
+
+    def test_wants_nan_gradients(self):
+        plan = FaultPlan([Fault.nan_grad(2, 7)])
+        assert plan.wants_nan_gradients(2, 7)
+        assert not plan.wants_nan_gradients(2, 8)
+        assert not plan.wants_nan_gradients(1, 7)
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan([Fault.delay(0, 3, 0.05)])
+        started = time.perf_counter()
+        plan.execute_pre_step(0, 3)
+        assert time.perf_counter() - started >= 0.04
+        # Off-coordinate execution is a no-op.
+        started = time.perf_counter()
+        plan.execute_pre_step(0, 4)
+        assert time.perf_counter() - started < 0.04
+
+    def test_crash_sigkills_the_process(self):
+        plan = FaultPlan([Fault.crash(0, 0)])
+        ctx = mp.get_context("fork")
+        process = ctx.Process(target=plan.execute_pre_step, args=(0, 0))
+        process.start()
+        process.join(timeout=10)
+        assert process.exitcode == -signal.SIGKILL
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = FaultPlan([Fault.hang(1, 2, 0.5), Fault.nan_grad(0, 1)])
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.wants_nan_gradients(0, 1)
+        assert clone.lookup(1, 2)[0].seconds == 0.5

@@ -140,3 +140,47 @@ class TestLifecycle:
         batcher = MicroBatcher(echo_handler)
         batcher.close()
         batcher.close()
+
+
+class TestCloseRace:
+    def test_request_stranded_behind_sentinel_is_failed(self):
+        """A request that lands in the queue after the close sentinel was
+        consumed must have its future failed, not left pending forever."""
+        from concurrent.futures import Future
+
+        batcher = MicroBatcher(echo_handler)
+        batcher.close()
+        stranded: Future = Future()
+        batcher._queue.put(("late", stranded))   # simulate the lost race
+        batcher.close()                          # re-close drains leftovers
+        with pytest.raises(RuntimeError, match="batcher is closed"):
+            stranded.result(timeout=5)
+
+    def test_submit_racing_close_never_hangs(self):
+        """Stress the submit/close race: every future must resolve, either
+        with a result or with the closed error."""
+        import threading
+
+        for _ in range(20):
+            batcher = MicroBatcher(echo_handler, max_wait_ms=0.5)
+            futures = []
+            errors = []
+
+            def submitter():
+                for i in range(50):
+                    try:
+                        futures.append(batcher.submit(i))
+                    except RuntimeError:
+                        errors.append(i)
+                        return
+
+            thread = threading.Thread(target=submitter)
+            thread.start()
+            batcher.close()
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+            for future in futures:
+                try:
+                    future.result(timeout=5)     # must not time out
+                except RuntimeError:
+                    pass                          # closed: also resolved
