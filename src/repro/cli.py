@@ -11,9 +11,14 @@ Usage (after ``pip install -e .``)::
         ST-TransRec
     python -m repro.cli case-study --preset foursquare
     python -m repro.cli serve-bench --tiny
+    python -m repro.cli train --data data.jsonl --target los_angeles \
+        --workers 2 --telemetry-dir telemetry/
+    python -m repro.cli metrics-report --telemetry-dir telemetry/
 
 Every command accepts ``--scale`` and ``--seed`` so results are
-reproducible from the shell.
+reproducible from the shell.  Output is split into two channels:
+*report* output (tables, metrics, benchmark results) goes to stdout;
+*progress* chatter goes to stderr and is silenced by ``--quiet``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import logging
 import sys
 from pathlib import Path
 
@@ -39,8 +45,33 @@ from repro.data import (
 from repro.data.stats import dataset_statistics
 from repro.eval import RankingEvaluator, build_case_study
 from repro.eval.reporting import format_comparison
+from repro.utils.logging import REPORT_LOGGER_NAME, setup_cli_logging
 
 PRESETS = {"foursquare": foursquare_like, "yelp": yelp_like}
+
+_report_logger = logging.getLogger(REPORT_LOGGER_NAME)
+_progress_logger = logging.getLogger("repro.cli")
+
+
+def _report(message: str = "") -> None:
+    """Command output (stdout): the thing the user ran the command for."""
+    _report_logger.info(message)
+
+
+def _progress(message: str) -> None:
+    """Status chatter (stderr): suppressed by ``--quiet``."""
+    _progress_logger.info(message)
+
+
+def _make_telemetry(args, run_name: str):
+    """A :class:`~repro.obs.telemetry.Telemetry` when ``--telemetry-dir``
+    was given, else ``None`` (instrumentation disabled)."""
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    if not telemetry_dir:
+        return None
+    from repro.obs.telemetry import Telemetry
+
+    return Telemetry(telemetry_dir, run_name=run_name)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -62,13 +93,13 @@ def cmd_generate(args) -> int:
     dataset, _ = generate_dataset(config)
     save_dataset(dataset, args.out)
     stats = dataset_statistics(dataset, config.target_city)
-    print(f"wrote {args.out} (target city: {config.target_city})")
+    _progress(f"wrote {args.out} (target city: {config.target_city})")
     for label, value in stats.rows():
-        print(f"  {label:<22}{value}")
+        _report(f"  {label:<22}{value}")
     return 0
 
 
-def _train_resumable(args, split, config) -> int:
+def _train_resumable(args, split, config, telemetry=None) -> int:
     """Fault-tolerant path: supervised replicas + resumable checkpoints."""
     from repro.parallel import DataParallelTrainer
 
@@ -77,8 +108,8 @@ def _train_resumable(args, split, config) -> int:
                                     args.resume_from):
         checkpoint_path = (str(args.model_out) + ".ckpt"
                            if args.model_out else "checkpoint.npz")
-    with DataParallelTrainer(split, config,
-                             num_workers=args.workers) as trainer:
+    with DataParallelTrainer(split, config, num_workers=args.workers,
+                             telemetry=telemetry) as trainer:
         history = trainer.train(
             epochs=args.epochs,
             checkpoint_every=args.checkpoint_every,
@@ -89,16 +120,19 @@ def _train_resumable(args, split, config) -> int:
             faults = stats.faults
             note = (f"  [{faults.total_faults} fault events]"
                     if faults and faults.total_faults else "")
-            print(f"epoch: loss {stats.mean_loss:.4f} "
-                  f"({stats.steps} steps, {stats.seconds:.2f}s){note}")
+            _report(f"epoch: loss {stats.mean_loss:.4f} "
+                    f"({stats.steps} steps, {stats.seconds:.2f}s){note}")
         final = history[-1].mean_loss if history else float("nan")
-        print(f"trained {len(history)} epochs "
-              f"({trainer.num_workers} workers), final loss {final:.4f}")
+        _report(f"trained {len(history)} epochs "
+                f"({trainer.num_workers} workers), final loss {final:.4f}")
         if args.model_out:
             from repro.core.checkpoint import save_checkpoint
 
             save_checkpoint(trainer.model, trainer.index, args.model_out)
-            print(f"saved model to {args.model_out}")
+            _progress(f"saved model to {args.model_out}")
+        if telemetry is not None:
+            telemetry.save(extra=trainer.worker_registries())
+            _progress(f"telemetry written to {telemetry.dir}")
     return 0
 
 
@@ -112,12 +146,29 @@ def cmd_train(args) -> int:
         pretrain_epochs=args.pretrain_epochs,
         seed=args.seed,
     )
+    telemetry = _make_telemetry(args, "train")
     if args.workers > 1 or args.checkpoint_every or args.resume_from:
-        return _train_resumable(args, split, config)
-    trainer = STTransRecTrainer(split, config)
-    result = trainer.fit()
-    print(f"trained {result.epochs} epochs, final loss "
-          f"{result.final_loss:.4f}")
+        if args.profile_ops:
+            _progress("--profile-ops instruments in-process tensor ops "
+                      "only; worker replicas run unprofiled")
+        return _train_resumable(args, split, config, telemetry)
+    trainer = STTransRecTrainer(split, config, telemetry=telemetry)
+    if args.profile_ops:
+        from repro.nn.profile import profile_ops
+
+        with profile_ops() as profile:
+            result = trainer.fit()
+        if telemetry is not None:
+            profile.to_registry(telemetry.registry)
+        _report(profile.report(top=15))
+        if telemetry is not None and telemetry.dir is not None:
+            telemetry.dir.mkdir(parents=True, exist_ok=True)
+            (telemetry.dir / "op_profile.txt").write_text(
+                profile.report() + "\n", encoding="utf-8")
+    else:
+        result = trainer.fit()
+    _report(f"trained {result.epochs} epochs, final loss "
+            f"{result.final_loss:.4f}")
     if args.model_out:
         state = trainer.model.state_dict()
         np.savez(args.model_out, **state)
@@ -129,7 +180,10 @@ def cmd_train(args) -> int:
             "seed": args.seed,
         }
         Path(str(args.model_out) + ".json").write_text(json.dumps(meta))
-        print(f"saved model to {args.model_out}")
+        _progress(f"saved model to {args.model_out}")
+    if telemetry is not None:
+        telemetry.save()
+        _progress(f"telemetry written to {telemetry.dir}")
     return 0
 
 
@@ -157,14 +211,14 @@ def cmd_evaluate(args) -> int:
             # legacy raw state-dict archive
             trainer.model.load_state_dict(dict(raw))
         model.eval()
-        print(f"loaded parameters from {args.model}")
+        _progress(f"loaded parameters from {args.model}")
     else:
         trainer.fit()
     recommender = Recommender(model, index, split.train,
                               args.target)
     result = RankingEvaluator(split, seed=42).evaluate(recommender)
-    print(f"evaluated {result.num_users} crossing-city users:")
-    print(result.table())
+    _report(f"evaluated {result.num_users} crossing-city users:")
+    _report(result.table())
     return 0
 
 
@@ -176,10 +230,10 @@ def cmd_compare(args) -> int:
     for name in args.methods:
         method = make_method(name, profile).fit(split)
         results[name] = evaluator.evaluate(method).scores
-        print(f"fitted {name}: recall@10 = "
-              f"{results[name]['recall'][10]:.4f}")
-    print()
-    print(format_comparison(results, metric=args.metric))
+        _report(f"fitted {name}: recall@10 = "
+                f"{results[name]['recall'][10]:.4f}")
+    _report()
+    _report(format_comparison(results, metric=args.metric))
     return 0
 
 
@@ -202,18 +256,18 @@ def cmd_bench(args) -> int:
     context = build_context(args.preset, scale=args.scale)
     if args.experiment == "comparison":
         results = run_method_comparison(context)
-        print(format_all_metrics(results))
-        print()
-        print(comparison_chart(results))
+        _report(format_all_metrics(results))
+        _report()
+        _report(comparison_chart(results))
     elif args.experiment == "ablation":
         results = run_ablation(context)
-        print(format_all_metrics(results))
-        print()
-        print(comparison_chart(results))
+        _report(format_all_metrics(results))
+        _report()
+        _report(comparison_chart(results))
     elif args.experiment == "resample-sweep":
-        print(format_sweep(run_resample_sweep(context), "alpha"))
+        _report(format_sweep(run_resample_sweep(context), "alpha"))
     elif args.experiment == "dropout-sweep":
-        print(format_scalar_sweep(run_dropout_sweep(context), "dropout"))
+        _report(format_scalar_sweep(run_dropout_sweep(context), "dropout"))
     else:  # pragma: no cover — argparse restricts choices
         raise ValueError(args.experiment)
     return 0
@@ -227,17 +281,37 @@ def cmd_serve_bench(args) -> int:
         scale, batch_size, repeats = 0.15, 64, 2
     else:
         scale, batch_size, repeats = args.scale, args.batch_size, args.repeats
-    result = run_serving_benchmark(scale=scale, batch_size=batch_size,
-                                   k=args.k, repeats=repeats,
-                                   seed=args.seed,
-                                   embedding_dim=args.embedding_dim)
+    telemetry = _make_telemetry(args, "serve-bench")
+    result = run_serving_benchmark(
+        scale=scale, batch_size=batch_size, k=args.k, repeats=repeats,
+        seed=args.seed, embedding_dim=args.embedding_dim,
+        registry=telemetry.registry if telemetry is not None else None)
     report = format_report(result)
-    print(report)
+    _report(report)
     if args.out and args.out != "-":
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(report + "\n", encoding="utf-8")
-        print(f"\nwrote {out}")
+        _progress(f"wrote {out}")
+    if telemetry is not None:
+        telemetry.save()
+        _progress(f"telemetry written to {telemetry.dir}")
+    return 0
+
+
+def cmd_metrics_report(args) -> int:
+    """Render the aggregated telemetry of a ``--telemetry-dir``."""
+    from repro.obs.export import load_run_state, render_console_summary
+    from repro.obs.telemetry import EVENTS_FILE
+
+    events = Path(args.telemetry_dir) / EVENTS_FILE
+    if not events.exists():
+        _progress(f"no telemetry found: {events} does not exist")
+        return 1
+    registry, tracer, num_runs = load_run_state(events)
+    title = (f"telemetry report: {args.telemetry_dir} "
+             f"({num_runs} run{'s' if num_runs != 1 else ''})")
+    _report(render_console_summary(registry, tracer, title=title))
     return 0
 
 
@@ -288,12 +362,12 @@ def cmd_fault_smoke(args) -> int:
         faults = history[0].faults
         for stats in history[1:]:
             faults = faults.merged_with(stats.faults)
-        print(f"faulted run: {len(history)} epochs, "
-              f"crashes={faults.crashes} respawns={faults.respawns} "
-              f"nan_contributions={faults.nonfinite_contributions}")
+        _report(f"faulted run: {len(history)} epochs, "
+                f"crashes={faults.crashes} respawns={faults.respawns} "
+                f"nan_contributions={faults.nonfinite_contributions}")
         if faults.crashes < 1 or faults.respawns < 1 \
                 or faults.nonfinite_contributions < 1:
-            print("FAIL: injected faults were not observed")
+            _report("FAIL: injected faults were not observed")
             return 1
 
         # 2) Resuming the faulted run's checkpoint must train onwards.
@@ -301,9 +375,9 @@ def cmd_fault_smoke(args) -> int:
                                  supervision=supervision) as resumed:
             more = resumed.train(epochs=3, resume_from=ckpt)
         if len(more) != 1 or not np.isfinite(more[0].mean_loss):
-            print("FAIL: resume from the faulted run did not continue")
+            _report("FAIL: resume from the faulted run did not continue")
             return 1
-        print(f"resume after faults: epoch 3 loss {more[0].mean_loss:.4f}")
+        _report(f"resume after faults: epoch 3 loss {more[0].mean_loss:.4f}")
 
         # 3) Loss-neutrality proof: interrupt + resume must finish
         #    bit-identical to the uninterrupted run.
@@ -317,10 +391,10 @@ def cmd_fault_smoke(args) -> int:
         for name, param in reference.model.named_parameters():
             restored = dict(continued.model.named_parameters())[name]
             if not np.array_equal(param.data, restored.data):
-                print(f"FAIL: parameter {name} differs after resume")
+                _report(f"FAIL: parameter {name} differs after resume")
                 return 1
-        print("resume is bit-identical to the uninterrupted run")
-    print("fault smoke OK")
+        _report("resume is bit-identical to the uninterrupted run")
+    _report("fault smoke OK")
     return 0
 
 
@@ -339,7 +413,7 @@ def cmd_case_study(args) -> int:
          "ST-TransRec-2": no_text.recommender},
         user_id=args.user,
     )
-    print(study.format())
+    _report(study.format())
     return 0
 
 
@@ -348,6 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output on stderr "
+                             "(report output still goes to stdout)")
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="stderr progress/diagnostics level "
+                             "(default info)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="synthesize a dataset to JSONL")
@@ -381,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 "<model-out>.ckpt or checkpoint.npz)")
             p.add_argument("--resume-from", default=None, metavar="CKPT",
                            help="resume bit-exactly from a v2 checkpoint")
+            p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                           help="write metrics/spans telemetry "
+                                "(events.jsonl, metrics.prom, "
+                                "summary.txt) under DIR")
+            p.add_argument("--profile-ops", action="store_true",
+                           help="profile per-op autograd time and "
+                                "allocations (single-process path)")
         _add_common(p)
         p.set_defaults(func=func)
 
@@ -418,8 +506,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out",
                    default="benchmarks/results/serving_throughput.txt",
                    help="report path ('-' to skip writing)")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="export serving.* metrics under DIR (merges "
+                        "with telemetry from other runs in the same "
+                        "directory)")
     _add_common(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser("metrics-report",
+                       help="print the aggregated telemetry of a "
+                            "--telemetry-dir")
+    p.add_argument("--telemetry-dir", required=True, metavar="DIR",
+                   help="directory a previous run wrote telemetry into")
+    p.set_defaults(func=cmd_metrics_report)
 
     p = sub.add_parser("fault-smoke",
                        help="fault-injection smoke test: survive an "
@@ -441,6 +540,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    setup_cli_logging(level=getattr(logging, args.log_level.upper()),
+                      quiet=args.quiet)
     return args.func(args)
 
 

@@ -46,10 +46,14 @@ from repro.transfer.kernels import (
     median_heuristic_bandwidth,
 )
 from repro.transfer.mmd import mmd_between_embeddings
+from repro.obs.telemetry import Telemetry, span as _span
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_rng
 
 logger = get_logger("core.trainer")
+
+# Epoch durations: 10 ms .. ~1.5 h, then +Inf.
+_EPOCH_SECONDS_BUCKETS = [0.01 * 2.0 ** i for i in range(20)]
 
 
 class _OptimizerGroup:
@@ -108,12 +112,19 @@ class STTransRecTrainer:
     index:
         Optional pre-built entity index (shared across models when
         comparing methods); built from the training data otherwise.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; when set, the
+        trainer emits per-loss-component metrics and an
+        ``epoch``/``step`` span tree.  ``None`` (the default) disables
+        instrumentation entirely.
     """
 
     def __init__(self, split: CrossingCitySplit, config: STTransRecConfig,
-                 index: Optional[DatasetIndex] = None) -> None:
+                 index: Optional[DatasetIndex] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.split = split
         self.config = config
+        self.telemetry = telemetry
         self.train_data = split.train
         self.target_city = split.target_city
         self.source_cities = [c for c in self.train_data.cities
@@ -309,6 +320,7 @@ class STTransRecTrainer:
     def train_epoch(self, epoch: int = 0) -> EpochStats:
         """Run one epoch of joint optimization and return its stats."""
         cfg = self.config
+        tel = self.telemetry
         self.model.train()
         sums = {"is": 0.0, "it": 0.0, "cs": 0.0, "ct": 0.0, "mmd": 0.0,
                 "total": 0.0}
@@ -318,59 +330,84 @@ class STTransRecTrainer:
                        if cfg.use_text else iter(()))
         context_tgt = (self._cycling_context(self.target_contexts)
                        if cfg.use_text else iter(()))
+        if tel is not None:
+            loss_hist = tel.histogram("train.loss.total")
+            step_counters = {
+                key: tel.counter("train.steps", component=component)
+                for key, component in (
+                    ("is", "interaction_source"),
+                    ("it", "interaction_target"),
+                    ("cs", "context_source"),
+                    ("ct", "context_target"),
+                    ("mmd", "mmd"))
+            }
         started = time.perf_counter()
 
         if cfg.user_anchor > 0 and self._anchors is None:
             self._refresh_anchors()
 
-        for name, (users, pois, labels) in self._interaction_batches():
-            self.optimizer.zero_grad()
-            logits = self.model.interaction_logits(users, pois)
-            loss = bce_with_logits(logits, labels)
-            key = "it" if name == "target" else "is"
-            sums[key] += loss.item()
-            counts[key] += 1
+        with _span(tel, "epoch"):
+            for name, (users, pois, labels) in self._interaction_batches():
+                self.optimizer.zero_grad()
+                with _span(tel, "interaction"):
+                    logits = self.model.interaction_logits(users, pois)
+                    loss = bce_with_logits(logits, labels)
+                key = "it" if name == "target" else "is"
+                sums[key] += loss.item()
+                counts[key] += 1
+                if tel is not None:
+                    step_counters[key].inc()
 
-            if cfg.user_anchor > 0:
-                unique_users = np.unique(users)
-                x_u = self.model.user_embeddings(unique_users)
-                diff = x_u - Tensor(self._anchors[unique_users])
-                loss = loss + (diff * diff).mean() * cfg.user_anchor
+                if cfg.user_anchor > 0:
+                    unique_users = np.unique(users)
+                    x_u = self.model.user_embeddings(unique_users)
+                    diff = x_u - Tensor(self._anchors[unique_users])
+                    loss = loss + (diff * diff).mean() * cfg.user_anchor
 
-            if cfg.use_text:
-                ctx = next(context_src if name == "source" else context_tgt,
-                           None)
-                if ctx is not None:
-                    poi_idx, word_idx, neg_idx = ctx
-                    ctx_loss = skipgram_batch_loss(
-                        self.model.poi_embeddings,
-                        self.model.word_embeddings,
-                        poi_idx, word_idx, neg_idx,
-                    )
-                    ckey = "ct" if name == "target" else "cs"
-                    sums[ckey] += ctx_loss.item()
-                    counts[ckey] += 1
-                    loss = loss + ctx_loss * cfg.lambda_text
+                if cfg.use_text:
+                    ctx = next(context_src if name == "source"
+                               else context_tgt, None)
+                    if ctx is not None:
+                        poi_idx, word_idx, neg_idx = ctx
+                        with _span(tel, "context"):
+                            ctx_loss = skipgram_batch_loss(
+                                self.model.poi_embeddings,
+                                self.model.word_embeddings,
+                                poi_idx, word_idx, neg_idx,
+                            )
+                        ckey = "ct" if name == "target" else "cs"
+                        sums[ckey] += ctx_loss.item()
+                        counts[ckey] += 1
+                        if tel is not None:
+                            step_counters[ckey].inc()
+                        loss = loss + ctx_loss * cfg.lambda_text
 
-            if cfg.use_mmd and cfg.lambda_mmd > 0:
-                src_idx = self._sample_pool(self.source_mmd_pool,
-                                            cfg.mmd_batch_size)
-                tgt_idx = self._sample_pool(self.target_mmd_pool,
-                                            cfg.mmd_batch_size)
-                mmd = mmd_between_embeddings(
-                    self.model.poi_embedding_batch(src_idx),
-                    self.model.poi_embedding_batch(tgt_idx),
-                    kernel=self._kernel,
-                    estimator=cfg.mmd_estimator,
-                )
-                sums["mmd"] += mmd.item()
-                counts["mmd"] += 1
-                loss = loss + mmd * cfg.lambda_mmd
+                if cfg.use_mmd and cfg.lambda_mmd > 0:
+                    with _span(tel, "mmd_batch"):
+                        src_idx = self._sample_pool(self.source_mmd_pool,
+                                                    cfg.mmd_batch_size)
+                        tgt_idx = self._sample_pool(self.target_mmd_pool,
+                                                    cfg.mmd_batch_size)
+                        mmd = mmd_between_embeddings(
+                            self.model.poi_embedding_batch(src_idx),
+                            self.model.poi_embedding_batch(tgt_idx),
+                            kernel=self._kernel,
+                            estimator=cfg.mmd_estimator,
+                        )
+                    sums["mmd"] += mmd.item()
+                    counts["mmd"] += 1
+                    if tel is not None:
+                        step_counters["mmd"].inc()
+                    loss = loss + mmd * cfg.lambda_mmd
 
-            sums["total"] += loss.item()
-            counts["steps"] += 1
-            loss.backward()
-            self.optimizer.step()
+                sums["total"] += loss.item()
+                counts["steps"] += 1
+                with _span(tel, "backward"):
+                    loss.backward()
+                with _span(tel, "optimizer"):
+                    self.optimizer.step()
+                if tel is not None:
+                    loss_hist.observe(loss.item())
 
         seconds = time.perf_counter() - started
 
@@ -387,8 +424,25 @@ class STTransRecTrainer:
             mmd=avg("mmd", "mmd"),
             seconds=seconds,
         )
+        if tel is not None:
+            self._record_epoch_metrics(stats)
         logger.debug("epoch %d: %s", epoch, stats)
         return stats
+
+    def _record_epoch_metrics(self, stats: EpochStats) -> None:
+        """Mirror one epoch's loss components into the telemetry registry."""
+        tel = self.telemetry
+        for component, value in (
+                ("total", stats.total),
+                ("interaction_source", stats.interaction_source),
+                ("interaction_target", stats.interaction_target),
+                ("context_source", stats.context_source),
+                ("context_target", stats.context_target),
+                ("mmd", stats.mmd)):
+            tel.gauge("train.epoch.loss", component=component).set(value)
+        tel.counter("train.epochs").inc()
+        tel.histogram("train.epoch.seconds",
+                      bounds=_EPOCH_SECONDS_BUCKETS).observe(stats.seconds)
 
     def pretrain(self, epochs: Optional[int] = None) -> None:
         """Word2vec-style initialization (Section 3, "we first apply the
@@ -403,17 +457,19 @@ class STTransRecTrainer:
         if not cfg.use_text:
             return
         n = cfg.pretrain_epochs if epochs is None else epochs
-        for _ in range(n):
-            for sampler in (self.source_contexts, self.target_contexts):
-                for poi_idx, word_idx, neg_idx in sampler.epoch(cfg.batch_size):
-                    self.optimizer.zero_grad()
-                    loss = skipgram_batch_loss(
-                        self.model.poi_embeddings,
-                        self.model.word_embeddings,
-                        poi_idx, word_idx, neg_idx,
-                    )
-                    loss.backward()
-                    self.optimizer.step()
+        with _span(self.telemetry, "pretrain"):
+            for _ in range(n):
+                for sampler in (self.source_contexts, self.target_contexts):
+                    for poi_idx, word_idx, neg_idx in \
+                            sampler.epoch(cfg.batch_size):
+                        self.optimizer.zero_grad()
+                        loss = skipgram_batch_loss(
+                            self.model.poi_embeddings,
+                            self.model.word_embeddings,
+                            poi_idx, word_idx, neg_idx,
+                        )
+                        loss.backward()
+                        self.optimizer.step()
         # Content-based warm start for user embeddings.
         poi_emb = self.model.poi_embeddings.weight.data
         user_emb = self.model.user_embeddings.weight.data
@@ -441,30 +497,33 @@ class STTransRecTrainer:
             epoch — e.g. to track validation metrics or snapshot
             embeddings.  Exceptions from the callback propagate.
         """
-        self.pretrain()
-        # Re-estimate the kernel bandwidth on the pre-trained embedding
-        # scale (a fixed bandwidth chosen at random-init scale would be
-        # orders of magnitude too small once embeddings grow).
-        if self.config.mmd_bandwidth is None:
-            self._kernel = self._build_kernel()
-        result = TrainResult()
-        best_loss = float("inf")
-        stale_epochs = 0
-        for epoch in range(epochs if epochs is not None else self.config.epochs):
-            if self.config.user_anchor > 0:
-                self._refresh_anchors()
-            stats = self.train_epoch(epoch)
-            result.history.append(stats)
-            if epoch_callback is not None:
-                epoch_callback(self, stats)
-            if self.config.patience is not None:
-                if stats.total < best_loss - self.config.min_loss_delta:
-                    best_loss = stats.total
-                    stale_epochs = 0
-                else:
-                    stale_epochs += 1
-                    if stale_epochs >= self.config.patience:
-                        logger.info("early stopping at epoch %d", epoch)
-                        break
+        with _span(self.telemetry, "fit"):
+            self.pretrain()
+            # Re-estimate the kernel bandwidth on the pre-trained
+            # embedding scale (a fixed bandwidth chosen at random-init
+            # scale would be orders of magnitude too small once
+            # embeddings grow).
+            if self.config.mmd_bandwidth is None:
+                self._kernel = self._build_kernel()
+            result = TrainResult()
+            best_loss = float("inf")
+            stale_epochs = 0
+            budget = epochs if epochs is not None else self.config.epochs
+            for epoch in range(budget):
+                if self.config.user_anchor > 0:
+                    self._refresh_anchors()
+                stats = self.train_epoch(epoch)
+                result.history.append(stats)
+                if epoch_callback is not None:
+                    epoch_callback(self, stats)
+                if self.config.patience is not None:
+                    if stats.total < best_loss - self.config.min_loss_delta:
+                        best_loss = stats.total
+                        stale_epochs = 0
+                    else:
+                        stale_epochs += 1
+                        if stale_epochs >= self.config.patience:
+                            logger.info("early stopping at epoch %d", epoch)
+                            break
         self.model.eval()
         return result

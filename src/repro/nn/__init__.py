@@ -23,10 +23,14 @@ from repro.nn.losses import (
 from repro.nn.module import Module
 from repro.nn.ops import concat, pairwise_sq_dists, rowwise_dot, stack
 from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.profile import OpProfile, OpStat, profile_ops
 from repro.nn.tensor import Tensor, softplus, stable_sigmoid
 
 __all__ = [
     "Tensor",
+    "OpProfile",
+    "OpStat",
+    "profile_ops",
     "Module",
     "Linear",
     "Embedding",

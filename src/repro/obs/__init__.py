@@ -1,0 +1,61 @@
+"""``repro.obs`` — unified metrics, tracing, and profiling telemetry.
+
+The observability layer every other subsystem reports into:
+
+* :mod:`repro.obs.metrics` — thread-safe ``Counter``/``Gauge``/
+  ``Histogram`` in a mergeable :class:`MetricsRegistry` (snapshots
+  travel through the supervisor pipe; the master aggregates them).
+* :mod:`repro.obs.tracing` — span-based tracing producing a
+  hierarchical timing tree (per-span counts, totals, self time).
+* :mod:`repro.obs.export` — pluggable exporters: JSONL event log,
+  Prometheus text exposition, console summary.
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` façade the
+  trainer, parallel workers, and serving stack accept (``None`` =
+  disabled, zero overhead).
+* :mod:`repro.nn.profile` — the opt-in autograd op profiler the
+  telemetry layer reports from (lives in ``repro.nn`` because it
+  instruments the tensor op set directly).
+
+See ``docs/observability.md`` for the metric naming scheme and the
+exporter formats.
+"""
+
+from repro.obs.export import (
+    JsonlExporter,
+    load_events,
+    load_run_state,
+    render_console_summary,
+    render_prometheus,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    metric_key,
+    parse_metric_key,
+)
+from repro.obs.telemetry import Telemetry, span
+from repro.obs.tracing import SpanNode, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "metric_key",
+    "parse_metric_key",
+    "LATENCY_BUCKETS_MS",
+    "SpanNode",
+    "Tracer",
+    "Telemetry",
+    "span",
+    "JsonlExporter",
+    "load_events",
+    "load_run_state",
+    "render_prometheus",
+    "render_console_summary",
+]

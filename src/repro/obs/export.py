@@ -1,0 +1,219 @@
+"""Exporters: JSONL event log, Prometheus text exposition, console summary.
+
+Three pluggable views of the same :class:`~repro.obs.metrics.
+MetricsRegistry` + :class:`~repro.obs.tracing.Tracer` state:
+
+* **JSONL** — an append-only event log (``events.jsonl``).  Each
+  telemetry save appends one *snapshot* event carrying the full
+  cumulative registry and span tree plus a ``run_id``/``seq`` pair;
+  :func:`load_run_state` keeps only the newest snapshot per run and
+  merges across runs, so a directory accumulating several runs (a
+  training run followed by a serving benchmark, say) reads back as one
+  coherent aggregate.
+* **Prometheus** — standard text exposition (``metrics.prom``):
+  counters and gauges as samples, histograms as cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+* **Console** — a human-readable summary grouping counters, gauges,
+  histograms, and the span tree (what ``repro metrics-report`` prints).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_metric_key,
+)
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "JsonlExporter",
+    "load_events",
+    "load_run_state",
+    "render_prometheus",
+    "render_console_summary",
+]
+
+
+class JsonlExporter:
+    """Append-only JSONL event log."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def emit(self, kind: str, payload: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"kind": kind, **payload}
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, default=_json_safe) + "\n")
+
+    def emit_snapshot(self, run_id: str, seq: int, wall_time: float,
+                      registry: MetricsRegistry,
+                      tracer: Optional[Tracer] = None) -> None:
+        self.emit("snapshot", {
+            "run_id": run_id,
+            "seq": seq,
+            "wall_time": wall_time,
+            "metrics": registry.to_dict(),
+            "spans": tracer.to_dict() if tracer is not None else None,
+        })
+
+
+def _json_safe(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    raise TypeError(f"not JSON serializable: {value!r}")
+
+
+def load_events(path) -> List[dict]:
+    """All events in a JSONL log, in file order."""
+    path = Path(path)
+    events = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def load_run_state(path) -> Tuple[MetricsRegistry, Tracer, int]:
+    """Aggregate a JSONL log into ``(registry, tracer, num_runs)``.
+
+    Snapshots are cumulative within a run, so only the highest-``seq``
+    snapshot per ``run_id`` counts; distinct runs then merge (sums).
+    """
+    latest: Dict[str, dict] = {}
+    for event in load_events(path):
+        if event.get("kind") != "snapshot":
+            continue
+        run_id = event.get("run_id", "?")
+        seen = latest.get(run_id)
+        if seen is None or event.get("seq", 0) >= seen.get("seq", 0):
+            latest[run_id] = event
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    for event in latest.values():
+        registry = registry.merged_with(
+            MetricsRegistry.from_dict(event.get("metrics") or {}))
+        spans = event.get("spans")
+        if spans:
+            tracer = tracer.merged_with(Tracer.from_dict(spans))
+    return registry, tracer, len(latest)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value != value:                       # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text-format exposition of the whole registry."""
+    lines: List[str] = []
+    typed: set = set()
+    for key, metric in registry.items():
+        name, labels = parse_metric_key(key)
+        pname = _prom_name(name)
+        if isinstance(metric, Counter):
+            if pname not in typed:
+                lines.append(f"# TYPE {pname} counter")
+                typed.add(pname)
+            lines.append(f"{pname}{_prom_labels(labels)} "
+                         f"{_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if pname not in typed:
+                lines.append(f"# TYPE {pname} gauge")
+                typed.add(pname)
+            lines.append(f"{pname}{_prom_labels(labels)} "
+                         f"{_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if pname not in typed:
+                lines.append(f"# TYPE {pname} histogram")
+                typed.add(pname)
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                le = 'le="%s"' % _fmt(bound)
+                lines.append(f"{pname}_bucket{_prom_labels(labels, le)} "
+                             f"{cumulative}")
+            inf = 'le="+Inf"'
+            lines.append(f"{pname}_bucket{_prom_labels(labels, inf)} "
+                         f"{metric.count}")
+            lines.append(f"{pname}_sum{_prom_labels(labels)} "
+                         f"{_fmt(metric.total)}")
+            lines.append(f"{pname}_count{_prom_labels(labels)} "
+                         f"{metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Console summary
+# ----------------------------------------------------------------------
+def render_console_summary(registry: MetricsRegistry,
+                           tracer: Optional[Tracer] = None,
+                           title: str = "telemetry summary") -> str:
+    """Human-readable rollup of metrics and the span tree."""
+    counters: List[Tuple[str, Counter]] = []
+    gauges: List[Tuple[str, Gauge]] = []
+    histograms: List[Tuple[str, Histogram]] = []
+    for key, metric in registry.items():
+        if isinstance(metric, Counter):
+            counters.append((key, metric))
+        elif isinstance(metric, Gauge):
+            gauges.append((key, metric))
+        elif isinstance(metric, Histogram):
+            histograms.append((key, metric))
+
+    lines = [title, "=" * max(24, len(title))]
+    if counters:
+        lines.append("counters")
+        for key, counter in counters:
+            lines.append(f"  {key:<44} {counter.value:>14.6g}")
+    if gauges:
+        lines.append("gauges")
+        for key, gauge in gauges:
+            lines.append(f"  {key:<44} {gauge.value:>14.6g}")
+    if histograms:
+        lines.append("histograms"
+                     "  (lifetime count/mean; window percentiles)")
+        for key, hist in histograms:
+            if hist.count:
+                lines.append(
+                    f"  {key:<40} count={hist.count:<8} "
+                    f"mean={hist.lifetime_mean:<10.4g} "
+                    f"p50={hist.percentile(50):<10.4g} "
+                    f"p95={hist.percentile(95):<10.4g} "
+                    f"max={hist.max:.4g}")
+            else:
+                lines.append(f"  {key:<40} count=0")
+    if not (counters or gauges or histograms):
+        lines.append("(no metrics recorded)")
+    if tracer is not None and not tracer.empty:
+        lines.append("spans  (count, total, self time)")
+        for row in tracer.render().splitlines():
+            lines.append(f"  {row}")
+    return "\n".join(lines)

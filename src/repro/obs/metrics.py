@@ -1,0 +1,384 @@
+"""Thread-safe, mergeable metric primitives.
+
+The registry is the single vocabulary every layer of the system speaks:
+training emits loss gauges and step counters, parallel workers emit
+step-time histograms, the supervisor emits fault counters, and serving
+emits latency histograms and cache counters.  Three properties drive
+the design:
+
+* **Thread safety** — serving records from request threads and the
+  micro-batcher worker concurrently; every mutation holds a lock.
+* **Mergeability** — worker processes ship ``registry.to_dict()``
+  snapshots through the existing supervisor pipe and the master merges
+  them.  Counter and histogram merges are associative and commutative
+  (sums of totals and per-bucket counts), so aggregation order never
+  changes the result.
+* **Zero dependencies** — plain Python + the standard library; the
+  serialized form is JSON-safe so snapshots travel through pipes and
+  land in JSONL event logs unchanged.
+
+Naming convention: dotted lowercase paths ``layer.component.metric``
+with the unit as a suffix where it matters (``worker.step_time_ms``).
+Labels qualify a metric without changing its identity
+(``worker.step_time_ms{worker="1"}``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "LATENCY_BUCKETS_MS",
+]
+
+
+def exponential_buckets(start: float = 0.001, factor: float = 2.0,
+                        count: int = 20) -> List[float]:
+    """Fixed exponential bucket upper bounds (the +Inf bucket is implicit)."""
+    if start <= 0:
+        raise ValueError(f"start must be positive, got {start}")
+    if factor <= 1:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [start * factor ** i for i in range(count)]
+
+
+# Millisecond-scale latencies: 1 µs .. ~524 ms, then +Inf.
+LATENCY_BUCKETS_MS = exponential_buckets(0.001, 2.0, 20)
+
+
+class Counter:
+    """Monotonically increasing count; merge is addition."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Counter":
+        return cls(payload["value"])
+
+    def merged_with(self, other: "Counter") -> "Counter":
+        return Counter(self._value + other._value)
+
+    def __repr__(self) -> str:
+        return f"Counter({self._value})"
+
+
+class Gauge:
+    """Last-set value.  Merge keeps the most-updated side (ties: max),
+    which is commutative and associative — a total order over
+    ``(updates, value)`` — so cross-process aggregation is stable."""
+
+    __slots__ = ("_lock", "_value", "_updates")
+
+    def __init__(self, value: float = 0.0, updates: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = float(value)
+        self._updates = int(updates)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._updates += 1
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def updates(self) -> int:
+        return self._updates
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self._value,
+                "updates": self._updates}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Gauge":
+        return cls(payload["value"], payload.get("updates", 0))
+
+    def merged_with(self, other: "Gauge") -> "Gauge":
+        a = (self._updates, self._value)
+        b = (other._updates, other._value)
+        updates, value = max(a, b)
+        return Gauge(value, updates)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self._value})"
+
+
+class Histogram:
+    """Fixed exponential buckets plus a bounded window for percentiles.
+
+    Lifetime statistics (count, sum, min, max, per-bucket counts) grow
+    forever and merge exactly; percentiles are computed over the last
+    ``window`` observations, so they track *recent* behaviour.  The two
+    views are reported separately — a lifetime mean is never passed off
+    as a windowed statistic (see the drift ``LatencyTracker.summary``
+    used to have).
+    """
+
+    __slots__ = ("_lock", "bounds", "bucket_counts", "count", "total",
+                 "min", "max", "_window")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None,
+                 window: int = 4096) -> None:
+        bounds = list(LATENCY_BUCKETS_MS if bounds is None else bounds)
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self.bounds: List[float] = bounds
+        # One count per bound plus the +Inf overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._window: deque = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._window.append(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def lifetime_mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def window_count(self) -> int:
+        return len(self._window)
+
+    @property
+    def window_mean(self) -> float:
+        with self._lock:
+            if not self._window:
+                return 0.0
+            return sum(self._window) / len(self._window)
+
+    def percentile(self, q: float) -> float:
+        """Windowed percentile (nearest-rank over recent observations)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._window:
+                return 0.0
+            ordered = sorted(self._window)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def window_samples(self) -> List[float]:
+        with self._lock:
+            return list(self._window)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "bounds": list(self.bounds),
+                "bucket_counts": list(self.bucket_counts),
+                "count": self.count,
+                "total": self.total,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "window": list(self._window),
+                "window_size": self._window.maxlen,
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        hist = cls(payload["bounds"], window=payload.get("window_size", 4096))
+        hist.bucket_counts = list(payload["bucket_counts"])
+        hist.count = payload["count"]
+        hist.total = payload["total"]
+        hist.min = (float("inf") if payload.get("min") is None
+                    else payload["min"])
+        hist.max = (float("-inf") if payload.get("max") is None
+                    else payload["max"])
+        hist._window.extend(payload.get("window", ()))
+        return hist
+
+    def merged_with(self, other: "Histogram") -> "Histogram":
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds")
+        merged = Histogram(self.bounds,
+                           window=self._window.maxlen or 4096)
+        merged.bucket_counts = [a + b for a, b in
+                                zip(self.bucket_counts, other.bucket_counts)]
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        # The merged window keeps a sample from both sides; exact order
+        # across processes is meaningless, so interleave deterministically.
+        for value in sorted(list(self._window) + list(other._window)):
+            merged._window.append(value)
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"Histogram(count={self.count}, "
+                f"mean={self.lifetime_mean:.4g})")
+
+
+Metric = object
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def metric_key(name: str, labels: Dict[str, str]) -> str:
+    """Canonical string identity: ``name{k="v",...}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`metric_key`."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for pair in rest.rstrip("}").split(","):
+        if not pair:
+            continue
+        k, _, v = pair.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
+
+
+class MetricsRegistry:
+    """Get-or-create container of named metrics.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when one is already registered under the same name and labels, so
+    every component that names the same metric shares one instrument.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, labels: Dict[str, str],
+                       factory, kind) -> Metric:
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {key!r} is {type(metric).__name__}, "
+                    f"not {kind.__name__}")
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(name, labels, Counter, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(name, labels, Gauge, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None,
+                  window: int = 4096, **labels: str) -> Histogram:
+        return self._get_or_create(
+            name, labels, lambda: Histogram(bounds, window=window),
+            Histogram)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, **labels: str) -> Optional[Metric]:
+        return self._metrics.get(metric_key(name, labels))
+
+    def items(self) -> List[Tuple[str, Metric]]:
+        """``(key, metric)`` pairs in sorted key order (stable output)."""
+        with self._lock:
+            return sorted(self._metrics.items())
+
+    def names(self) -> List[str]:
+        return [key for key, _ in self.items()]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {key: metric.to_dict() for key, metric in self.items()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        registry = cls()
+        for key, spec in payload.items():
+            registry._metrics[key] = _TYPES[spec["type"]].from_dict(spec)
+        return registry
+
+    def merged_with(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Union of both registries; shared keys merge per metric type."""
+        merged = MetricsRegistry()
+        for key, metric in self.items():
+            merged._metrics[key] = _TYPES[metric.to_dict()["type"]] \
+                .from_dict(metric.to_dict())
+        for key, metric in other.items():
+            mine = merged._metrics.get(key)
+            if mine is None:
+                merged._metrics[key] = _TYPES[metric.to_dict()["type"]] \
+                    .from_dict(metric.to_dict())
+            else:
+                if type(mine) is not type(metric):
+                    raise TypeError(
+                        f"cannot merge {key!r}: "
+                        f"{type(mine).__name__} vs {type(metric).__name__}")
+                merged._metrics[key] = mine.merged_with(metric)
+        return merged
+
+    @staticmethod
+    def merge_all(registries: Iterable["MetricsRegistry"]
+                  ) -> "MetricsRegistry":
+        merged = MetricsRegistry()
+        for registry in registries:
+            merged = merged.merged_with(registry)
+        return merged
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

@@ -1,0 +1,130 @@
+"""The telemetry façade: one object bundling registry + tracer + sinks.
+
+Every instrumented layer takes an optional ``telemetry`` argument;
+``None`` means *disabled* and the instrumented code skips its hooks
+entirely, so a run without telemetry pays nothing.  With a
+:class:`Telemetry` attached, metrics land in ``telemetry.registry``,
+spans in ``telemetry.tracer``, and :meth:`Telemetry.save` persists all
+three exporter views under ``telemetry_dir``:
+
+* ``events.jsonl``  — append-only snapshot log (merges across runs)
+* ``metrics.prom``  — Prometheus text exposition of the merged state
+* ``summary.txt``   — the console summary ``repro metrics-report`` shows
+
+Use :func:`span` to trace against a possibly-``None`` telemetry
+without branching at every call site.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.export import (
+    JsonlExporter,
+    load_run_state,
+    render_console_summary,
+    render_prometheus,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = ["Telemetry", "span"]
+
+EVENTS_FILE = "events.jsonl"
+PROM_FILE = "metrics.prom"
+SUMMARY_FILE = "summary.txt"
+
+# Distinguishes runs created in the same process and millisecond.
+_RUN_COUNTER = itertools.count()
+
+
+class Telemetry:
+    """A run's registry, tracer, and (optionally) an output directory.
+
+    Parameters
+    ----------
+    telemetry_dir:
+        Where :meth:`save` writes the exporter outputs; ``None`` keeps
+        everything in memory (still inspectable and mergeable).
+    run_name:
+        Human prefix of the generated ``run_id``.
+    """
+
+    def __init__(self, telemetry_dir=None, run_name: str = "run") -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.dir: Optional[Path] = (Path(telemetry_dir)
+                                    if telemetry_dir is not None else None)
+        self.run_id = (f"{run_name}-{os.getpid()}-"
+                       f"{time.time_ns() // 1_000_000}-"
+                       f"{next(_RUN_COUNTER)}")
+        self._seq = 0
+
+    # Delegates, so call sites read ``telemetry.counter(...)`` ---------
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self.registry.histogram(name, **kwargs)
+
+    def span(self, name: str):
+        return self.tracer.span(name)
+
+    # ------------------------------------------------------------------
+    def merged_view(self, extra: Sequence[MetricsRegistry] = ()
+                    ) -> MetricsRegistry:
+        """This run's registry merged with ``extra`` (e.g. the per-worker
+        registries gathered by the data-parallel master)."""
+        merged = self.registry
+        for registry in extra:
+            merged = merged.merged_with(registry)
+        return merged
+
+    def summary(self, extra: Sequence[MetricsRegistry] = ()) -> str:
+        return render_console_summary(self.merged_view(extra), self.tracer)
+
+    def save(self, extra: Sequence[MetricsRegistry] = ()) -> Optional[Path]:
+        """Persist a snapshot and rebuild the rendered views.
+
+        Appends one snapshot event for this run to ``events.jsonl``,
+        then rewrites ``metrics.prom`` and ``summary.txt`` from the
+        *merged* state of every run recorded in the log, so a directory
+        shared by several runs stays coherent.  Returns the directory
+        (``None`` when no directory is configured).
+        """
+        if self.dir is None:
+            return None
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._seq += 1
+        exporter = JsonlExporter(self.dir / EVENTS_FILE)
+        exporter.emit_snapshot(self.run_id, self._seq, time.time(),
+                               self.merged_view(extra), self.tracer)
+        registry, tracer, num_runs = load_run_state(self.dir / EVENTS_FILE)
+        (self.dir / PROM_FILE).write_text(render_prometheus(registry),
+                                          encoding="utf-8")
+        title = f"telemetry summary ({num_runs} run" \
+                f"{'s' if num_runs != 1 else ''})"
+        (self.dir / SUMMARY_FILE).write_text(
+            render_console_summary(registry, tracer, title=title) + "\n",
+            encoding="utf-8")
+        return self.dir
+
+    def __repr__(self) -> str:
+        where = str(self.dir) if self.dir is not None else "in-memory"
+        return (f"Telemetry({where}, {len(self.registry)} metrics, "
+                f"run_id={self.run_id!r})")
+
+
+def span(telemetry: Optional[Telemetry], name: str):
+    """``telemetry.span(name)``, or a no-op context when disabled."""
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.tracer.span(name)

@@ -1,0 +1,186 @@
+"""Span-based tracing: a hierarchical timing tree for whole runs.
+
+``tracer.span("epoch")`` is a context manager; nested spans build a
+tree keyed by span name, so the twelve ``epoch`` spans of a training
+run aggregate into one node with ``count=12`` whose children show
+where the time inside an epoch went::
+
+    fit                     1x   41.20s  (self 0.02s)
+      pretrain              1x    6.10s
+      epoch                12x   35.08s  (self 1.20s)
+        interaction       960x   21.11s
+        mmd_batch         960x    8.00s
+        optimizer         960x    4.77s
+
+``self`` time is a node's total minus its children's totals — the time
+spent in the span itself rather than in any instrumented child.
+
+The stack is thread-local, so request threads tracing through serving
+never corrupt the training thread's tree; all threads contribute to
+the same tree.  Trees serialize to plain dicts (JSONL-safe) and merge
+by summing counts and totals, the same contract the metrics follow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["SpanNode", "Tracer"]
+
+
+class SpanNode:
+    """One aggregation node: all spans with the same name under the
+    same parent share a node."""
+
+    __slots__ = ("name", "count", "total_seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    @property
+    def self_seconds(self) -> float:
+        """Time inside this span not attributed to any child span."""
+        return self.total_seconds - sum(
+            child.total_seconds for child in self.children.values())
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanNode":
+        node = cls(payload["name"])
+        node.count = payload["count"]
+        node.total_seconds = payload["total_seconds"]
+        for child in payload.get("children", ()):
+            node.children[child["name"]] = cls.from_dict(child)
+        return node
+
+    def merged_with(self, other: "SpanNode") -> "SpanNode":
+        if self.name != other.name:
+            raise ValueError(
+                f"cannot merge spans {self.name!r} and {other.name!r}")
+        merged = SpanNode(self.name)
+        merged.count = self.count + other.count
+        merged.total_seconds = self.total_seconds + other.total_seconds
+        for name in {**self.children, **other.children}:
+            a, b = self.children.get(name), other.children.get(name)
+            if a is not None and b is not None:
+                merged.children[name] = a.merged_with(b)
+            else:
+                merged.children[name] = SpanNode.from_dict(
+                    (a or b).to_dict())
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"SpanNode({self.name!r}, count={self.count}, "
+                f"total={self.total_seconds:.4g}s)")
+
+
+class _Span:
+    """Class-based span context: measurably cheaper per entry than a
+    ``@contextmanager`` generator, which matters on per-step hot paths."""
+
+    __slots__ = ("_tracer", "_name", "_node", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> SpanNode:
+        tracer = self._tracer
+        stack = tracer._stack()
+        with tracer._lock:
+            node = stack[-1].child(self._name)
+        stack.append(node)
+        self._node = node
+        self._started = time.perf_counter()
+        return node
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._started
+        tracer = self._tracer
+        tracer._stack().pop()
+        with tracer._lock:
+            self._node.count += 1
+            self._node.total_seconds += elapsed
+
+
+class Tracer:
+    """Builds the span tree; the root node is implicit and unnamed."""
+
+    def __init__(self) -> None:
+        self.root = SpanNode("")
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str) -> _Span:
+        """Time a block; nested calls nest in the tree."""
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self.root.children
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return self.root.to_dict()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Tracer":
+        tracer = cls()
+        tracer.root = SpanNode.from_dict(payload)
+        return tracer
+
+    def merged_with(self, other: "Tracer") -> "Tracer":
+        merged = Tracer()
+        merged.root = self.root.merged_with(other.root)
+        return merged
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII tree: name, count, total seconds, self seconds."""
+        lines: List[str] = []
+
+        def walk(node: SpanNode, depth: int) -> None:
+            pad = "  " * depth
+            label = f"{pad}{node.name}"
+            note = ""
+            if node.children:
+                note = f"  (self {node.self_seconds:.3f}s)"
+            lines.append(f"{label:<32}{node.count:>6}x  "
+                         f"{node.total_seconds:>9.3f}s{note}")
+            for child in node.children.values():
+                walk(child, depth + 1)
+
+        for child in self.root.children.values():
+            walk(child, 0)
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.root.children)} root spans)"

@@ -48,10 +48,12 @@ from repro.core.checkpoint import (
     save_checkpoint,
 )
 from repro.core.config import STTransRecConfig
-from repro.core.trainer import STTransRecTrainer
+from repro.core.trainer import _EPOCH_SECONDS_BUCKETS, STTransRecTrainer
 from repro.data.split import CrossingCitySplit
 from repro.nn.losses import bce_with_logits
 from repro.nn.optim import Adam
+from repro.obs.metrics import MetricsRegistry, exponential_buckets
+from repro.obs.telemetry import Telemetry, span as _span
 from repro.parallel.supervisor import (
     FaultStats,
     SupervisionConfig,
@@ -63,6 +65,9 @@ from repro.reliability.guards import GradientGuard, TrainingDiverged
 from repro.utils.validation import check_positive
 
 _WORKER_SEED_BASE = 1000
+
+# Worker/master step durations in milliseconds: 0.1 ms .. ~3.3 min.
+_STEP_TIME_BUCKETS_MS = exponential_buckets(0.1, 2.0, 21)
 
 
 @dataclass
@@ -108,11 +113,18 @@ def _interaction_batch_stream(trainer: STTransRecTrainer):
 
 def _worker_loop(pipe, split, config, worker_seed: int,
                  worker_id: int = 0,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 incarnation: int = 0) -> None:
     """Worker process: recompute gradients for each parameter broadcast.
 
     Protocol: the master sends ``(step, state_dict)`` per training step
-    and ``None`` to shut down; the worker replies ``(grads, loss)``.
+    and ``None`` to shut down; the worker replies ``(grads, loss,
+    telemetry)`` where ``telemetry`` names the worker/incarnation and
+    carries a cumulative :class:`~repro.obs.metrics.MetricsRegistry`
+    snapshot (per-step compute-time histogram and step counter).
+    Because snapshots are cumulative and ride on every reply, the
+    master always holds the *final* registry a replica produced before
+    it crashed, hung, or was removed — degradation loses no telemetry.
     The worker advances its batch stream to exactly ``step`` before
     drawing, so batch selection depends only on the master's counter —
     a replacement worker spawned mid-run replays the skipped prefix and
@@ -126,6 +138,11 @@ def _worker_loop(pipe, split, config, worker_seed: int,
     model.train()
     params = dict(model.named_parameters())
     stream = _interaction_batch_stream(trainer)
+    registry = MetricsRegistry()
+    step_hist = registry.histogram("worker.step_time_ms",
+                                   bounds=_STEP_TIME_BUCKETS_MS,
+                                   worker=str(worker_id))
+    step_counter = registry.counter("worker.steps", worker=str(worker_id))
     consumed = 0
     while True:
         try:
@@ -136,6 +153,7 @@ def _worker_loop(pipe, split, config, worker_seed: int,
             pipe.close()
             return
         step, state = message
+        started = time.perf_counter()
         for name, value in state.items():
             params[name].data[...] = value
         while consumed < step:          # fast-forward after respawn/resume
@@ -157,8 +175,12 @@ def _worker_loop(pipe, split, config, worker_seed: int,
                 fault_plan.wants_nan_gradients(worker_id, step):
             grads = {name: np.full_like(g, np.nan)
                      for name, g in grads.items()}
+        step_hist.observe((time.perf_counter() - started) * 1000.0)
+        step_counter.inc()
+        telemetry = {"worker": worker_id, "incarnation": incarnation,
+                     "metrics": registry.to_dict()}
         try:
-            pipe.send((grads, loss.item()))
+            pipe.send((grads, loss.item(), telemetry))
         except (BrokenPipeError, OSError):
             return
 
@@ -185,18 +207,30 @@ class DataParallelTrainer:
         only delay and NaN-gradient faults.
     supervision:
         Timeout / respawn-budget / backoff policy for worker replicas.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`.  The master
+        records epoch spans, step-time histograms, and fault counters;
+        worker replicas ship their own registries through the
+        supervisor pipe (see :meth:`worker_registries`).
     """
 
     def __init__(self, split: CrossingCitySplit, config: STTransRecConfig,
                  num_workers: int = 1,
                  fault_plan: Optional[FaultPlan] = None,
-                 supervision: Optional[SupervisionConfig] = None) -> None:
+                 supervision: Optional[SupervisionConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         check_positive("num_workers", num_workers)
         self.split = split
         self.config = config
         self.num_workers = num_workers
         self.fault_plan = fault_plan
         self.supervision = supervision or SupervisionConfig()
+        self.telemetry = telemetry
+        # (worker_id, incarnation) -> latest cumulative registry dict.
+        # Replacement incarnations start fresh registries, so retaining
+        # each incarnation's newest snapshot keeps a removed replica's
+        # final metrics in the aggregate.
+        self._worker_snapshots: dict = {}
         self._master = STTransRecTrainer(split, config)
         self.model = self._master.model
         self._params = dict(self.model.named_parameters())
@@ -232,7 +266,8 @@ class DataParallelTrainer:
         process = ctx.Process(
             target=_worker_loop,
             args=(child, self.split, self.config,
-                  _WORKER_SEED_BASE + worker_id, worker_id, plan),
+                  _WORKER_SEED_BASE + worker_id, worker_id, plan,
+                  incarnation),
             daemon=True,
         )
         process.start()
@@ -251,12 +286,18 @@ class DataParallelTrainer:
         so a degraded replica set still yields an unbiased update.
         """
         step = self._global_step
+        tel = self.telemetry
         state = {name: p.data for name, p in self._params.items()}
-        expected = self._supervisor.broadcast((step, state), step)
-        replies = self._supervisor.gather(expected, step)
+        with _span(tel, "broadcast"):
+            expected = self._supervisor.broadcast((step, state), step)
+        with _span(tel, "gather"):
+            replies = self._supervisor.gather(expected, step)
         usable = []
         losses = []
-        for grads, loss in replies:
+        for grads, loss, telemetry in replies:
+            if telemetry is not None:
+                key = (telemetry["worker"], telemetry["incarnation"])
+                self._worker_snapshots[key] = telemetry["metrics"]
             if np.isfinite(loss) and self._guard.check(grads, loss):
                 usable.append(grads)
                 losses.append(loss)
@@ -269,15 +310,17 @@ class DataParallelTrainer:
             faults.skipped_steps += 1
             faults.record(f"step {step} skipped: no usable gradients")
             return None
-        for name, param in self._params.items():
-            stacked = np.stack([g[name] for g in usable])
-            param.grad = stacked.mean(axis=0)
-        self.optimizer.step()
-        self.optimizer.zero_grad()
+        with _span(tel, "apply"):
+            for name, param in self._params.items():
+                stacked = np.stack([g[name] for g in usable])
+                param.grad = stacked.mean(axis=0)
+            self.optimizer.step()
+            self.optimizer.zero_grad()
         return float(np.mean(losses))
 
     def _single_step(self, faults: FaultStats) -> Optional[float]:
         step = self._global_step
+        started = time.perf_counter()
         if self.fault_plan is not None:
             for fault in self.fault_plan.lookup(0, step):
                 if fault.kind == "delay":
@@ -305,6 +348,12 @@ class DataParallelTrainer:
             self.optimizer.zero_grad()
             return None
         self.optimizer.step()
+        if self.telemetry is not None:
+            self.telemetry.histogram(
+                "worker.step_time_ms", bounds=_STEP_TIME_BUCKETS_MS,
+                worker="0").observe(
+                    (time.perf_counter() - started) * 1000.0)
+            self.telemetry.counter("worker.steps", worker="0").inc()
         return loss.item()
 
     def train_epoch(self) -> ParallelEpochStats:
@@ -326,16 +375,19 @@ class DataParallelTrainer:
         per_step = self.config.batch_size * self.num_workers
         steps = max(1, int(np.ceil(self._examples_per_epoch / per_step)))
         losses = []
+        tel = self.telemetry
         started = time.perf_counter()
         try:
-            for _ in range(steps):
-                if self._supervisor is None:
-                    loss = self._single_step(faults)
-                else:
-                    loss = self._parallel_step(faults)
-                self._global_step += 1
-                if loss is not None:
-                    losses.append(loss)
+            with _span(tel, "epoch"):
+                for _ in range(steps):
+                    with _span(tel, "step"):
+                        if self._supervisor is None:
+                            loss = self._single_step(faults)
+                        else:
+                            loss = self._parallel_step(faults)
+                    self._global_step += 1
+                    if loss is not None:
+                        losses.append(loss)
         except WorkerFailure:
             self.close()
             raise
@@ -345,13 +397,63 @@ class DataParallelTrainer:
             raise WorkerFailure(
                 step, reason=f"unexpected pipe failure: {exc!r}") from exc
         seconds = time.perf_counter() - started
-        return ParallelEpochStats(
+        stats = ParallelEpochStats(
             num_workers=self.num_workers,
             steps=steps,
             seconds=seconds,
             mean_loss=float(np.mean(losses)) if losses else float("nan"),
             faults=faults,
         )
+        if tel is not None:
+            self._record_epoch_metrics(stats)
+        return stats
+
+    def _record_epoch_metrics(self, stats: ParallelEpochStats) -> None:
+        """Mirror one epoch's outcome and fault events into telemetry.
+
+        ``FaultStats`` is per-epoch, so its values are increments; the
+        counters therefore accumulate run totals across epochs.  All
+        six fault counters are touched every epoch so a clean run still
+        exports them (as zeros) for dashboards and the CI smoke grep.
+        """
+        tel = self.telemetry
+        if np.isfinite(stats.mean_loss):
+            tel.gauge("train.epoch.loss", component="total").set(
+                stats.mean_loss)
+        tel.counter("train.epochs").inc()
+        tel.gauge("parallel.num_workers").set(self.num_workers)
+        tel.histogram("train.epoch.seconds",
+                      bounds=_EPOCH_SECONDS_BUCKETS).observe(stats.seconds)
+        faults = stats.faults
+        for name, value in (("crashes", faults.crashes),
+                            ("hangs", faults.hangs),
+                            ("respawns", faults.respawns),
+                            ("removals", faults.removals),
+                            ("nonfinite_contributions",
+                             faults.nonfinite_contributions),
+                            ("skipped_steps", faults.skipped_steps)):
+            tel.counter(f"faults.{name}").inc(value)
+
+    # ------------------------------------------------------------------
+    # Telemetry aggregation
+    # ------------------------------------------------------------------
+    def worker_registries(self) -> List[MetricsRegistry]:
+        """Latest registry snapshot of every replica incarnation seen.
+
+        Includes replicas that later crashed, hung, or were removed —
+        snapshots ride on every reply, so the final state each replica
+        reached is retained.
+        """
+        return [MetricsRegistry.from_dict(snapshot)
+                for _key, snapshot in sorted(self._worker_snapshots.items())]
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Master registry merged with all per-worker registries."""
+        merged = (self.telemetry.registry if self.telemetry is not None
+                  else MetricsRegistry())
+        for registry in self.worker_registries():
+            merged = merged.merged_with(registry)
+        return merged
 
     # ------------------------------------------------------------------
     # Checkpointing and resume

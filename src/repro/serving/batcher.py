@@ -41,11 +41,18 @@ class MicroBatcher:
     max_wait_ms:
         How long the worker waits for more requests after the first one
         of a batch arrives.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        given, every dispatch records the batch size into a
+        ``serving.batch.occupancy`` histogram and increments
+        ``serving.batch.requests`` / ``serving.batch.batches``
+        counters.
     """
 
     def __init__(self, handler: BatchHandler, max_batch_size: int = 64,
                  max_wait_ms: float = 2.0,
-                 name: str = "repro-serving-batcher") -> None:
+                 name: str = "repro-serving-batcher",
+                 registry=None) -> None:
         if max_batch_size <= 0:
             raise ValueError(
                 f"max_batch_size must be positive, got {max_batch_size}")
@@ -60,6 +67,16 @@ class MicroBatcher:
         self.num_batches = 0
         self.num_requests = 0
         self.max_observed_batch = 0
+        self._registry = registry
+        if registry is not None:
+            # Fixed bounds (1..512, powers of two) independent of
+            # max_batch_size, so occupancy histograms from runs with
+            # different batching knobs still merge.
+            self._occupancy = registry.histogram(
+                "serving.batch.occupancy",
+                bounds=[float(2 ** i) for i in range(10)])
+            self._batch_requests = registry.counter("serving.batch.requests")
+            self._batch_count = registry.counter("serving.batch.batches")
         self._worker = threading.Thread(target=self._run, name=name,
                                         daemon=True)
         self._worker.start()
@@ -146,6 +163,10 @@ class MicroBatcher:
         self.num_batches += 1
         self.num_requests += len(batch)
         self.max_observed_batch = max(self.max_observed_batch, len(batch))
+        if self._registry is not None:
+            self._occupancy.observe(len(batch))
+            self._batch_requests.inc(len(batch))
+            self._batch_count.inc()
         try:
             results = self.handler(requests)
             if len(results) != len(requests):

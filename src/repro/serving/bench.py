@@ -96,7 +96,8 @@ def _best_time(fn, repeats: int) -> float:
 def run_serving_benchmark(scale: float = 0.5, batch_size: int = 128,
                           k: int = 10, repeats: int = 3, seed: int = 0,
                           embedding_dim: int = 32,
-                          checkpoint_path=None) -> ServingBenchResult:
+                          checkpoint_path=None,
+                          registry=None) -> ServingBenchResult:
     """Benchmark serving against the naive offline path.
 
     Parameters
@@ -108,6 +109,9 @@ def run_serving_benchmark(scale: float = 0.5, batch_size: int = 128,
         ≥ 5× at batch sizes ≥ 64).
     checkpoint_path:
         Where to write the synthetic checkpoint; a temp file by default.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the
+        benchmark services export ``serving.*`` metrics into.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -168,7 +172,7 @@ def run_serving_benchmark(scale: float = 0.5, batch_size: int = 128,
     # --- cache: cold vs warm latency through the service --------------
     with RecommendationService.from_checkpoint(
             checkpoint_path, dataset, target_city,
-            use_batcher=False) as service:
+            use_batcher=False, registry=registry) as service:
         probe = request_users[0]
         start = time.perf_counter()
         service.recommend(probe, k=k)
@@ -184,7 +188,8 @@ def run_serving_benchmark(scale: float = 0.5, batch_size: int = 128,
     burst = min(batch_size, 32)
     with RecommendationService.from_checkpoint(
             checkpoint_path, dataset, target_city, cache_size=0,
-            max_batch_size=batch_size, max_wait_ms=25.0) as service:
+            max_batch_size=batch_size, max_wait_ms=25.0,
+            registry=registry) as service:
         barrier = threading.Barrier(burst)
 
         def fire(user_id: int) -> None:
@@ -257,11 +262,12 @@ def format_report(result: ServingBenchResult) -> str:
 def run_and_report(scale: float = 0.5, batch_size: int = 128, k: int = 10,
                    repeats: int = 3, seed: int = 0,
                    embedding_dim: int = 32,
-                   out_path=None) -> str:
+                   out_path=None, registry=None) -> str:
     """Run the benchmark, optionally persist the report, return it."""
     result = run_serving_benchmark(scale=scale, batch_size=batch_size,
                                    k=k, repeats=repeats, seed=seed,
-                                   embedding_dim=embedding_dim)
+                                   embedding_dim=embedding_dim,
+                                   registry=registry)
     report = format_report(result)
     if out_path:
         out_path = Path(out_path)

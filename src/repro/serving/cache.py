@@ -39,11 +39,18 @@ class TopKCache:
         access).  ``None`` disables expiry.
     clock:
         Monotonic time source; override in tests to control expiry.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        given, the plain integer counters below are mirrored into
+        ``serving.cache.{hits,misses,evictions,expirations,
+        invalidations}`` counters plus ``serving.cache.hit_rate`` and
+        ``serving.cache.size`` gauges, refreshed on every lookup.
     """
 
     def __init__(self, max_size: int = 4096,
                  ttl_seconds: Optional[float] = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 registry=None) -> None:
         if max_size <= 0:
             raise ValueError(f"max_size must be positive, got {max_size}")
         if ttl_seconds is not None and ttl_seconds <= 0:
@@ -63,8 +70,17 @@ class TopKCache:
         self.evictions = 0
         self.expirations = 0
         self.invalidations = 0
+        self._registry = registry
 
     # ------------------------------------------------------------------
+    def _export(self, event: str, amount: int = 1) -> None:
+        """Mirror cache events into the attached registry (if any)."""
+        if self._registry is None:
+            return
+        self._registry.counter(f"serving.cache.{event}").inc(amount)
+        self._registry.gauge("serving.cache.hit_rate").set(self.hit_rate)
+        self._registry.gauge("serving.cache.size").set(len(self._entries))
+
     @staticmethod
     def _key(user_id: Hashable, k: int, exclude_visited: bool) -> CacheKey:
         return (user_id, k, exclude_visited)
@@ -87,6 +103,7 @@ class TopKCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                self._export("misses")
                 return None
             inserted_at, value = entry
             if (self.ttl_seconds is not None
@@ -94,9 +111,12 @@ class TopKCache:
                 self._drop(key)
                 self.expirations += 1
                 self.misses += 1
+                self._export("expirations")
+                self._export("misses")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._export("hits")
             return value
 
     def put(self, user_id: Hashable, k: int, value: Any,
@@ -112,6 +132,7 @@ class TopKCache:
                 oldest = next(iter(self._entries))
                 self._drop(oldest)
                 self.evictions += 1
+                self._export("evictions")
 
     def invalidate(self, user_id: Hashable) -> int:
         """Drop every entry of ``user_id``; returns how many were dropped."""
@@ -120,6 +141,8 @@ class TopKCache:
             for key in keys:
                 self._drop(key)
             self.invalidations += len(keys)
+            if keys:
+                self._export("invalidations", len(keys))
             return len(keys)
 
     def invalidate_all(self) -> int:
@@ -129,6 +152,8 @@ class TopKCache:
             self._entries.clear()
             self._user_keys.clear()
             self.invalidations += count
+            if count:
+                self._export("invalidations", count)
             return count
 
     # ------------------------------------------------------------------

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -35,6 +34,7 @@ from repro.core.online import OnlineUserUpdater
 from repro.core.recommend import visited_poi_ids
 from repro.data.dataset import CheckinDataset
 from repro.data.vocabulary import DatasetIndex
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import TopKCache
 from repro.serving.engine import InferenceEngine
@@ -42,35 +42,60 @@ from repro.serving.engine import InferenceEngine
 __all__ = ["RecommendationService", "LatencyTracker"]
 
 
-@dataclass
 class LatencyTracker:
-    """Online latency accounting (mean / percentiles over a window)."""
+    """Online latency accounting over a shared telemetry histogram.
 
-    window: int = 4096
-    samples_ms: List[float] = field(default_factory=list)
-    count: int = 0
-    total_ms: float = 0.0
+    Thin façade over :class:`~repro.obs.metrics.Histogram`: the service
+    keeps its familiar ``request_latency.summary()`` API while the same
+    samples land in the metrics registry (when one is attached), so the
+    numbers in ``service.stats()`` and the exported telemetry can never
+    disagree.
+
+    ``summary()`` historically mixed a *lifetime* ``mean_ms`` with
+    *windowed* percentiles, which drift apart once the window rolls
+    over.  Both views are now reported explicitly — ``mean_ms`` keeps
+    its lifetime semantics (and is aliased as ``lifetime_mean_ms``),
+    ``window_mean_ms``/``window_count`` describe the same recent
+    samples the percentiles are computed over.
+    """
+
+    def __init__(self, window: int = 4096,
+                 histogram: Optional[Histogram] = None) -> None:
+        self.histogram = (Histogram(window=window)
+                          if histogram is None else histogram)
 
     def record(self, elapsed_ms: float) -> None:
-        self.count += 1
-        self.total_ms += elapsed_ms
-        self.samples_ms.append(elapsed_ms)
-        if len(self.samples_ms) > self.window:
-            del self.samples_ms[:len(self.samples_ms) - self.window]
+        self.histogram.observe(elapsed_ms)
 
     def percentile(self, q: float) -> float:
-        if not self.samples_ms:
-            return 0.0
-        return float(np.percentile(self.samples_ms, q))
+        return self.histogram.percentile(q)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total_ms(self) -> float:
+        return self.histogram.total
+
+    @property
+    def samples_ms(self) -> List[float]:
+        """Recent samples (the percentile window)."""
+        return self.histogram.window_samples()
 
     @property
     def mean_ms(self) -> float:
-        return self.total_ms / self.count if self.count else 0.0
+        """Lifetime mean (all observations, not just the window)."""
+        return self.histogram.lifetime_mean
 
     def summary(self) -> dict:
+        hist = self.histogram
         return {
-            "count": self.count,
-            "mean_ms": self.mean_ms,
+            "count": hist.count,
+            "mean_ms": hist.lifetime_mean,
+            "lifetime_mean_ms": hist.lifetime_mean,
+            "window_mean_ms": hist.window_mean,
+            "window_count": hist.window_count,
             "p50_ms": self.percentile(50),
             "p95_ms": self.percentile(95),
         }
@@ -100,6 +125,13 @@ class RecommendationService:
     updater:
         The fold-in updater; defaults to a standard
         :class:`OnlineUserUpdater` over ``model``.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        given, latency trackers are backed by shared
+        ``serving.request_latency_ms`` / ``serving.hit_latency_ms`` /
+        ``serving.miss_latency_ms`` histograms and the cache and
+        batcher export their own ``serving.cache.*`` /
+        ``serving.batch.*`` series into the same registry.
     """
 
     def __init__(self, model, index: DatasetIndex, dataset: CheckinDataset,
@@ -108,28 +140,37 @@ class RecommendationService:
                  use_batcher: bool = True, max_batch_size: int = 64,
                  max_wait_ms: float = 2.0,
                  updater: Optional[OnlineUserUpdater] = None,
+                 registry: Optional[MetricsRegistry] = None,
                  dtype=np.float64) -> None:
         self.model = model
         self.index = index
         self.dataset = dataset
         self.target_city = target_city
+        self.registry = registry
         self.engine = InferenceEngine.from_model(model, index, dataset,
                                                  target_city, dtype=dtype)
         self.cache: Optional[TopKCache] = (
-            TopKCache(max_size=cache_size, ttl_seconds=cache_ttl_seconds)
+            TopKCache(max_size=cache_size, ttl_seconds=cache_ttl_seconds,
+                      registry=registry)
             if cache_size > 0 else None)
         self.updater = updater or OnlineUserUpdater(model, index)
         self.batcher: Optional[MicroBatcher] = (
             MicroBatcher(self._handle_batch, max_batch_size=max_batch_size,
-                         max_wait_ms=max_wait_ms)
+                         max_wait_ms=max_wait_ms, registry=registry)
             if use_batcher else None)
         # Check-ins folded in online; the immutable dataset can't absorb
         # them, but exclusion and fold-in history must still see them.
         self._folded_in: Dict[int, Set[int]] = {}
         self._fold_lock = threading.Lock()
-        self.request_latency = LatencyTracker()
-        self.hit_latency = LatencyTracker()
-        self.miss_latency = LatencyTracker()
+
+        def tracker(metric: str) -> LatencyTracker:
+            if registry is None:
+                return LatencyTracker()
+            return LatencyTracker(histogram=registry.histogram(metric))
+
+        self.request_latency = tracker("serving.request_latency_ms")
+        self.hit_latency = tracker("serving.hit_latency_ms")
+        self.miss_latency = tracker("serving.miss_latency_ms")
         self.fold_ins = 0
 
     @classmethod
@@ -258,6 +299,8 @@ class RecommendationService:
             if self.cache is not None:
                 self.cache.invalidate(user_id)
             self.fold_ins += 1
+            if self.registry is not None:
+                self.registry.counter("serving.fold_ins").inc()
         return row
 
     def refresh_model(self) -> None:

@@ -1,5 +1,10 @@
 """Shared utilities: deterministic RNG handling, validation, logging."""
 
+from repro.utils.logging import (
+    enable_console,
+    get_logger,
+    setup_cli_logging,
+)
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
@@ -15,4 +20,7 @@ __all__ = [
     "check_in_range",
     "check_non_negative",
     "check_positive",
+    "get_logger",
+    "enable_console",
+    "setup_cli_logging",
 ]

@@ -2,12 +2,21 @@
 
 The library never configures the root logger; it logs under the ``repro``
 namespace and leaves handler setup to applications.  :func:`enable_console`
-is a convenience for scripts and examples.
+is a convenience for scripts and examples; :func:`setup_cli_logging`
+is what ``repro.cli`` uses to split *report* output (the command's
+product — tables, metrics, benchmark results) from *progress* chatter:
+
+* ``repro.cli.report`` → **stdout**, always on (pipelines consume it);
+* everything else under ``repro`` → **stderr**, silenced by
+  ``--quiet`` and tunable with ``--log-level``.
 """
 
 from __future__ import annotations
 
 import logging
+import sys
+
+REPORT_LOGGER_NAME = "repro.cli.report"
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -27,3 +36,58 @@ def enable_console(level: int = logging.INFO) -> None:
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
         )
         logger.addHandler(handler)
+
+
+class CliStreamHandler(logging.Handler):
+    """Handler writing to ``sys.stdout``/``sys.stderr`` *at emit time*.
+
+    A plain ``StreamHandler`` captures the stream object once; test
+    harnesses (pytest's ``capsys``) replace ``sys.stdout`` per test, so
+    the handler must resolve the attribute on every record.
+    """
+
+    def __init__(self, stream_name: str,
+                 level: int = logging.NOTSET) -> None:
+        if stream_name not in ("stdout", "stderr"):
+            raise ValueError(
+                f"stream_name must be stdout/stderr, got {stream_name!r}")
+        super().__init__(level)
+        self.stream_name = stream_name
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = getattr(sys, self.stream_name)
+            stream.write(self.format(record) + "\n")
+            stream.flush()
+        except Exception:  # pragma: no cover — logging must never raise
+            self.handleError(record)
+
+
+def _install_handler(logger: logging.Logger, stream_name: str) -> None:
+    """Replace any previous CLI handler on ``logger`` (idempotent)."""
+    for handler in list(logger.handlers):
+        if isinstance(handler, CliStreamHandler):
+            logger.removeHandler(handler)
+    handler = CliStreamHandler(stream_name)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+
+
+def setup_cli_logging(level: int = logging.INFO,
+                      quiet: bool = False) -> logging.Logger:
+    """Configure the CLI's two output channels; returns the report logger.
+
+    Report output stays at ``INFO`` on stdout regardless of ``quiet`` —
+    it is the command's product, not diagnostics.  Progress/diagnostic
+    records from the whole ``repro`` namespace go to stderr at
+    ``level`` (``ERROR`` when ``quiet``).
+    """
+    report = logging.getLogger(REPORT_LOGGER_NAME)
+    report.setLevel(logging.INFO)
+    report.propagate = False
+    _install_handler(report, "stdout")
+
+    progress = logging.getLogger("repro")
+    progress.setLevel(logging.ERROR if quiet else level)
+    _install_handler(progress, "stderr")
+    return report

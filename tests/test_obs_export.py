@@ -1,0 +1,160 @@
+"""Exporters: JSONL snapshot log, Prometheus text, console summary."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    JsonlExporter,
+    load_events,
+    load_run_state,
+    render_console_summary,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import EVENTS_FILE, PROM_FILE, SUMMARY_FILE, Telemetry
+from repro.obs.tracing import Tracer
+
+
+def _registry(counter=1, latency=(1.5,)):
+    r = MetricsRegistry()
+    r.counter("train.steps").inc(counter)
+    r.gauge("loss", component="total").set(0.5)
+    h = r.histogram("lat_ms", bounds=[1.0, 10.0])
+    for value in latency:
+        h.observe(value)
+    return r
+
+
+class TestJsonl:
+    def test_events_append_and_load(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.emit("note", {"msg": "hi"})
+        exporter.emit_snapshot("run-a", 1, 123.0, _registry(), Tracer())
+        events = load_events(path)
+        assert [e["kind"] for e in events] == ["note", "snapshot"]
+        assert events[1]["run_id"] == "run-a"
+
+    def test_non_finite_floats_become_null(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=[1.0])  # empty: min/max non-finite
+        JsonlExporter(path).emit_snapshot("r", 1, 0.0, registry)
+        raw = path.read_text()
+        assert "Infinity" not in raw
+        json.loads(raw)  # stays parseable
+
+    def test_load_run_state_keeps_newest_snapshot_per_run(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        # Cumulative snapshots within one run: only seq=2 should count.
+        exporter.emit_snapshot("run-a", 1, 0.0, _registry(counter=5))
+        exporter.emit_snapshot("run-a", 2, 1.0, _registry(counter=9))
+        # A second run merges on top.
+        exporter.emit_snapshot("run-b", 1, 2.0, _registry(counter=1))
+        registry, _tracer, num_runs = load_run_state(path)
+        assert num_runs == 2
+        assert registry.counter("train.steps").value == 10
+
+    def test_load_run_state_merges_histograms_across_runs(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.emit_snapshot("a", 1, 0.0, _registry(latency=(0.5, 5.0)))
+        exporter.emit_snapshot("b", 1, 0.0, _registry(latency=(50.0,)))
+        registry, _tracer, _n = load_run_state(path)
+        hist = registry.histogram("lat_ms", bounds=[1.0, 10.0])
+        assert hist.count == 3
+        assert hist.bucket_counts == [1, 1, 1]
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = render_prometheus(_registry(latency=(0.5, 5.0, 50.0)))
+        assert "# TYPE train_steps counter" in text
+        assert "train_steps 1.0" in text
+        assert 'loss{component="total"} 0.5' in text
+        assert "# TYPE lat_ms histogram" in text
+        # Buckets are cumulative; +Inf equals the total count.
+        assert 'lat_ms_bucket{le="1.0"} 1' in text
+        assert 'lat_ms_bucket{le="10.0"} 2' in text
+        assert 'lat_ms_bucket{le="+Inf"} 3' in text
+        assert "lat_ms_count 3" in text
+
+    def test_dots_become_underscores(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b.c").inc()
+        assert "a_b_c 1.0" in render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestConsoleSummary:
+    def test_groups_metric_kinds_and_spans(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            pass
+        text = render_console_summary(_registry(), tracer, title="t")
+        assert text.splitlines()[0] == "t"
+        assert "counters" in text
+        assert "gauges" in text
+        assert "histograms" in text
+        assert "fit" in text
+
+    def test_empty_registry_says_so(self):
+        text = render_console_summary(MetricsRegistry())
+        assert "(no metrics recorded)" in text
+
+
+class TestTelemetryFacade:
+    def test_disabled_save_is_noop(self):
+        telemetry = Telemetry()
+        telemetry.counter("c").inc()
+        assert telemetry.save() is None
+
+    def test_save_writes_all_three_views(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "tel", run_name="t")
+        telemetry.counter("train.steps").inc(4)
+        with telemetry.span("fit"):
+            pass
+        out = telemetry.save()
+        assert (out / EVENTS_FILE).exists()
+        assert "train_steps 4.0" in (out / PROM_FILE).read_text()
+        assert "train.steps" in (out / SUMMARY_FILE).read_text()
+
+    def test_resaves_are_cumulative_not_double_counted(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "tel")
+        telemetry.counter("c").inc()
+        telemetry.save()
+        telemetry.counter("c").inc()
+        telemetry.save()
+        registry, _t, num_runs = load_run_state(
+            tmp_path / "tel" / EVENTS_FILE)
+        assert num_runs == 1
+        assert registry.counter("c").value == 2
+
+    def test_two_runs_into_one_dir_merge(self, tmp_path):
+        for _ in range(2):
+            telemetry = Telemetry(tmp_path / "tel")
+            telemetry.counter("c").inc(3)
+            telemetry.save()
+        registry, _t, num_runs = load_run_state(
+            tmp_path / "tel" / EVENTS_FILE)
+        assert num_runs == 2
+        assert registry.counter("c").value == 6
+
+    def test_save_with_extra_worker_registries(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "tel")
+        telemetry.counter("steps").inc(1)
+        worker = MetricsRegistry()
+        worker.counter("steps").inc(9)
+        telemetry.save(extra=[worker])
+        registry, _t, _n = load_run_state(tmp_path / "tel" / EVENTS_FILE)
+        assert registry.counter("steps").value == 10
+
+    def test_run_ids_are_distinct(self):
+        # Back-to-back construction lands in the same millisecond; the
+        # ids must still differ or a shared dir would drop one run.
+        a, b = Telemetry(run_name="x"), Telemetry(run_name="x")
+        assert a.run_id != b.run_id

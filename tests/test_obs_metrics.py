@@ -1,0 +1,222 @@
+"""Metric primitives: thread safety, identity, and merge algebra."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    metric_key,
+    parse_metric_key,
+)
+
+
+class TestBuckets:
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 4) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_default_latency_buckets_cover_microseconds_to_half_second(self):
+        assert LATENCY_BUCKETS_MS[0] == pytest.approx(0.001)
+        assert LATENCY_BUCKETS_MS[-1] > 500.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"start": 0.0}, {"start": -1.0}, {"factor": 1.0}, {"count": 0},
+    ])
+    def test_invalid_bucket_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            exponential_buckets(**{"start": 1.0, "factor": 2.0,
+                                   "count": 3, **kwargs})
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_roundtrip_and_merge(self):
+        a, b = Counter(3), Counter(4)
+        assert Counter.from_dict(a.to_dict()).value == 3
+        assert a.merged_with(b).value == 7
+
+
+class TestGauge:
+    def test_set_tracks_updates(self):
+        g = Gauge()
+        g.set(1.0)
+        g.set(-2.0)
+        assert g.value == -2.0
+        assert g.updates == 2
+
+    def test_merge_keeps_most_updated_side(self):
+        busy, idle = Gauge(), Gauge()
+        busy.set(10.0)
+        busy.set(5.0)
+        idle.set(99.0)
+        assert busy.merged_with(idle).value == 5.0
+
+    def test_merge_is_commutative_and_associative(self):
+        def gauge(value, updates):
+            g = Gauge()
+            for v in [0.0] * (updates - 1) + [value]:
+                g.set(v)
+            return g
+
+        a, b, c = gauge(1.0, 2), gauge(2.0, 2), gauge(3.0, 1)
+        assert a.merged_with(b).value == b.merged_with(a).value
+        left = a.merged_with(b).merged_with(c)
+        right = a.merged_with(b.merged_with(c))
+        assert (left.value, left.updates) == (right.value, right.updates)
+
+
+class TestHistogram:
+    def test_observe_fills_buckets_and_totals(self):
+        h = Histogram(bounds=[1.0, 10.0])
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.total == pytest.approx(55.5)
+        assert h.min == 0.5 and h.max == 50.0
+
+    def test_lifetime_vs_window_means_diverge_after_rollover(self):
+        h = Histogram(bounds=[100.0], window=2)
+        h.observe(1000.0)          # rolls out of the window below
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.window_count == 2
+        assert h.window_mean == pytest.approx(2.0)
+        assert h.lifetime_mean == pytest.approx(1004.0 / 3)
+
+    def test_percentiles_use_the_window(self):
+        h = Histogram(bounds=[100.0], window=4)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            h.observe(value)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        assert h.percentile(50) in (2.0, 3.0)
+
+    def test_roundtrip_preserves_everything(self):
+        h = Histogram(bounds=[1.0, 2.0], window=8)
+        for value in (0.5, 1.5, 9.0):
+            h.observe(value)
+        back = Histogram.from_dict(h.to_dict())
+        assert back.bucket_counts == h.bucket_counts
+        assert back.count == h.count
+        assert back.total == pytest.approx(h.total)
+        assert back.window_samples() == h.window_samples()
+
+    def test_merge_requires_equal_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[1.0]).merged_with(Histogram(bounds=[2.0]))
+
+    def test_merge_sums_totals_and_buckets_commutatively(self):
+        a, b = Histogram(bounds=[1.0, 10.0]), Histogram(bounds=[1.0, 10.0])
+        for value in (0.5, 5.0):
+            a.observe(value)
+        for value in (50.0, 0.1, 2.0):
+            b.observe(value)
+        ab, ba = a.merged_with(b), b.merged_with(a)
+        assert ab.bucket_counts == ba.bucket_counts == [2, 2, 1]
+        assert ab.count == ba.count == 5
+        assert ab.total == pytest.approx(ba.total) == pytest.approx(57.6)
+        assert ab.min == ba.min == 0.1
+        assert ab.max == ba.max == 50.0
+        assert ab.window_samples() == ba.window_samples()
+
+    def test_threaded_observe_loses_nothing(self):
+        h = Histogram(bounds=[0.5])
+
+        def pound():
+            for _ in range(500):
+                h.observe(1.0)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 2000
+        assert h.bucket_counts == [0, 2000]
+
+
+class TestMetricKeys:
+    def test_plain_and_labelled(self):
+        assert metric_key("a.b", {}) == "a.b"
+        key = metric_key("a.b", {"worker": "1", "city": "la"})
+        assert key == 'a.b{city="la",worker="1"}'
+
+    def test_parse_inverts(self):
+        key = metric_key("x", {"op": "matmul"})
+        assert parse_metric_key(key) == ("x", {"op": "matmul"})
+        assert parse_metric_key("bare") == ("bare", {})
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instruments(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", w="1") is not r.counter("a", w="2")
+
+    def test_type_collision_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_roundtrip(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(3)
+        r.gauge("g").set(1.5)
+        r.histogram("h", bounds=[1.0]).observe(0.5)
+        back = MetricsRegistry.from_dict(r.to_dict())
+        assert back.counter("c").value == 3
+        assert back.gauge("g").value == 1.5
+        assert back.histogram("h", bounds=[1.0]).count == 1
+
+    def test_merge_is_commutative_on_totals_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("steps").inc(5)
+        b.counter("steps").inc(7)
+        a.counter("only.a").inc(1)
+        b.counter("only.b").inc(2)
+        for value in (0.5, 5.0):
+            a.histogram("lat", bounds=[1.0, 10.0]).observe(value)
+        for value in (50.0, 0.2):
+            b.histogram("lat", bounds=[1.0, 10.0]).observe(value)
+
+        ab, ba = a.merged_with(b), b.merged_with(a)
+        for merged in (ab, ba):
+            assert merged.counter("steps").value == 12
+            assert merged.counter("only.a").value == 1
+            assert merged.counter("only.b").value == 2
+            hist = merged.histogram("lat", bounds=[1.0, 10.0])
+            assert hist.bucket_counts == [2, 1, 1]
+            assert hist.total == pytest.approx(55.7)
+        assert ab.to_dict() == ba.to_dict()
+
+    def test_merge_all_matches_pairwise(self):
+        regs = []
+        for i in range(3):
+            r = MetricsRegistry()
+            r.counter("n").inc(i + 1)
+            regs.append(r)
+        assert MetricsRegistry.merge_all(regs).counter("n").value == 6
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.merged_with(b)
+        assert a.counter("c").value == 1
+        assert b.counter("c").value == 2

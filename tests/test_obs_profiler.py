@@ -1,0 +1,112 @@
+"""Autograd op profiler: patching, attribution, restoration."""
+
+import numpy as np
+import pytest
+
+from repro.nn.profile import PROFILED_OPS, OpProfile, profile_ops
+from repro.nn.tensor import Tensor
+from repro.obs.metrics import MetricsRegistry
+
+
+def _originals():
+    return {op: Tensor.__dict__[op] for op in PROFILED_OPS}
+
+
+class TestPatching:
+    def test_ops_restored_after_block(self):
+        before = _originals()
+        with profile_ops():
+            (Tensor(np.ones(3)) * 2.0).sum()
+        assert _originals() == before
+
+    def test_ops_restored_after_exception(self):
+        before = _originals()
+        with pytest.raises(RuntimeError):
+            with profile_ops():
+                raise RuntimeError("boom")
+        assert _originals() == before
+
+    def test_not_reentrant(self):
+        ctx = profile_ops()
+        with ctx:
+            with pytest.raises(RuntimeError):
+                ctx.__enter__()
+
+    def test_unprofiled_runs_are_untouched(self):
+        with profile_ops() as profile:
+            (Tensor(np.ones(2)) + 1.0).sum()
+        calls_inside = sum(s.calls for s in profile.stats.values())
+        (Tensor(np.ones(2)) + 1.0).sum()  # outside: must not record
+        assert sum(s.calls for s in profile.stats.values()) == calls_inside
+
+
+class TestAttribution:
+    def test_forward_ops_recorded(self):
+        with profile_ops() as profile:
+            a = Tensor(np.ones((4, 4)))
+            b = Tensor(np.ones((4, 4)))
+            (a @ b).relu().sum()
+        assert profile.stats["__matmul__"].calls == 1
+        assert profile.stats["relu"].calls == 1
+        assert profile.stats["sum"].calls == 1
+        assert profile.stats["__matmul__"].bytes_allocated > 0
+
+    def test_backward_time_attributed(self):
+        with profile_ops() as profile:
+            x = Tensor(np.ones(5), requires_grad=True)
+            (x * 3.0).sum().backward()
+        assert profile.stats["__mul__"].backward_calls >= 1
+        assert profile.stats["sum"].backward_calls >= 1
+
+    def test_composite_ops_report_self_time(self):
+        # mean is implemented via sum + mul; total forward time must not
+        # double count — the sum across ops equals instrumented time.
+        with profile_ops() as profile:
+            Tensor(np.ones(1000)).mean()
+        fwd = {name: stat.forward_seconds
+               for name, stat in profile.stats.items()}
+        assert "mean" in fwd and "sum" in fwd
+        for seconds in fwd.values():
+            assert seconds >= 0.0
+
+    def test_gradients_match_unprofiled_run(self):
+        def grad():
+            x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+            ((x * x).sum()).backward()
+            return x.grad.copy()
+
+        expected = grad()
+        with profile_ops():
+            profiled = grad()
+        np.testing.assert_allclose(profiled, expected)
+
+
+class TestReporting:
+    def _profiled(self):
+        with profile_ops() as profile:
+            x = Tensor(np.ones((8, 8)), requires_grad=True)
+            (x @ x).sum().backward()
+        return profile
+
+    def test_report_table(self):
+        report = self._profiled().report()
+        assert "__matmul__" in report
+        assert "TOTAL" in report
+
+    def test_report_top_limits_rows(self):
+        profile = self._profiled()
+        all_rows = len(profile.report().splitlines())
+        top_rows = len(profile.report(top=1).splitlines())
+        assert top_rows <= all_rows
+
+    def test_to_registry_exports_labelled_series(self):
+        registry = MetricsRegistry()
+        self._profiled().to_registry(registry)
+        assert registry.counter("nn.op.calls", op="__matmul__").value == 1
+        assert registry.counter("nn.op.alloc_bytes",
+                                op="__matmul__").value > 0
+
+    def test_empty_profile_totals_are_zero(self):
+        profile = OpProfile()
+        assert profile.total_forward_seconds == 0.0
+        assert profile.total_bytes_allocated == 0

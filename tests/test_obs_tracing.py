@@ -1,0 +1,109 @@
+"""Span tracing: tree shape, aggregation, threading, serialization."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import SpanNode, Tracer
+
+
+class TestSpanTree:
+    def test_repeated_spans_aggregate_into_one_node(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("epoch"):
+                with tracer.span("batch"):
+                    pass
+                with tracer.span("batch"):
+                    pass
+        epoch = tracer.root.children["epoch"]
+        assert epoch.count == 3
+        assert epoch.children["batch"].count == 6
+        assert "batch" not in tracer.root.children  # nested, not root
+
+    def test_self_time_excludes_children(self):
+        node = SpanNode("parent")
+        node.total_seconds = 10.0
+        node.child("a").total_seconds = 3.0
+        node.child("b").total_seconds = 4.0
+        assert node.self_seconds == pytest.approx(3.0)
+
+    def test_span_records_elapsed_time(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.root.children["work"].total_seconds >= 0.0
+        assert tracer.root.children["work"].count == 1
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.root.children["boom"].count == 1
+        # The stack unwound: a new span lands at the root again.
+        with tracer.span("after"):
+            pass
+        assert "after" in tracer.root.children
+
+    def test_empty_property(self):
+        tracer = Tracer()
+        assert tracer.empty
+        with tracer.span("s"):
+            pass
+        assert not tracer.empty
+
+
+class TestThreading:
+    def test_threads_have_independent_stacks_but_shared_tree(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait()
+                with tracer.span("inner"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each thread's "inner" nests under its own root span.
+        assert tracer.root.children["a"].children["inner"].count == 1
+        assert tracer.root.children["b"].children["inner"].count == 1
+
+
+class TestSerialization:
+    def _sample(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            with tracer.span("epoch"):
+                pass
+        return tracer
+
+    def test_roundtrip(self):
+        tracer = self._sample()
+        back = Tracer.from_dict(tracer.to_dict())
+        assert back.to_dict() == tracer.to_dict()
+
+    def test_merge_sums_counts_and_unions_shapes(self):
+        a, b = self._sample(), self._sample()
+        with b.span("serve"):
+            pass
+        merged = a.merged_with(b)
+        assert merged.root.children["fit"].count == 2
+        assert merged.root.children["fit"].children["epoch"].count == 2
+        assert merged.root.children["serve"].count == 1
+
+    def test_merge_different_names_rejected(self):
+        with pytest.raises(ValueError):
+            SpanNode("a").merged_with(SpanNode("b"))
+
+    def test_render_lists_nested_spans(self):
+        rendered = self._sample().render()
+        assert "fit" in rendered
+        assert "epoch" in rendered
+        assert Tracer().render() == "(no spans recorded)"
