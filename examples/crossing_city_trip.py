@@ -11,18 +11,40 @@ itinerary, flagging the POIs they actually went on to visit — the Table
 3 case-study layout, for several users.
 """
 
+import argparse
+
 from repro.baselines import FOURSQUARE_PROFILE, STTransRecMethod
 from repro.data import foursquare_like, generate_dataset, make_crossing_city_split
 from repro.eval.case_study import build_case_study
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor (default 0.5)")
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--pretrain-epochs", type=int, default=None,
+                        help="override the profile's pretrain epochs")
+    parser.add_argument("--embedding-dim", type=int, default=None,
+                        help="override the profile's embedding size")
+    return parser.parse_args()
+
+
 def main() -> None:
-    config = foursquare_like(scale=0.5)
+    args = parse_args()
+    config = foursquare_like(scale=args.scale)
     dataset, _ = generate_dataset(config)
     split = make_crossing_city_split(dataset, config.target_city)
 
+    overrides = {"epochs": args.epochs}
+    if args.pretrain_epochs is not None:
+        overrides["pretrain_epochs"] = args.pretrain_epochs
+    if args.embedding_dim is not None:
+        overrides["embedding_dim"] = args.embedding_dim
+
     print("Training ST-TransRec on the travellers' home-city history...")
-    method = STTransRecMethod(FOURSQUARE_PROFILE.st_transrec_config(epochs=8))
+    method = STTransRecMethod(
+        FOURSQUARE_PROFILE.st_transrec_config(**overrides))
     method.fit(split)
     recommender = method.recommender
 

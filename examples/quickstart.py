@@ -3,6 +3,10 @@
 Run:
     python examples/quickstart.py
 
+(CI runs it with ``--scale 0.15 --epochs 2 --pretrain-epochs 1
+--embedding-dim 8`` as a smoke test; defaults reproduce the walkthrough
+below.)
+
 Walks the full pipeline in under a minute on one CPU core:
 1. synthesize a Foursquare-like multi-city check-in dataset,
 2. hold out the crossing-city users' Los Angeles check-ins,
@@ -11,15 +15,28 @@ Walks the full pipeline in under a minute on one CPU core:
 5. score the model with the paper's ranking protocol.
 """
 
+import argparse
+
 from repro.core import Recommender, STTransRecConfig, STTransRecTrainer
 from repro.data import foursquare_like, generate_dataset, make_crossing_city_split
 from repro.data.stats import dataset_statistics
 from repro.eval import RankingEvaluator
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="dataset scale factor (default 0.4)")
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--pretrain-epochs", type=int, default=10)
+    parser.add_argument("--embedding-dim", type=int, default=32)
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     # 1. Data: a scaled-down Foursquare-like world (4 cities, LA target).
-    config = foursquare_like(scale=0.4)
+    config = foursquare_like(scale=args.scale)
     dataset, _truth = generate_dataset(config)
     stats = dataset_statistics(dataset, config.target_city)
     print("Dataset:")
@@ -33,11 +50,11 @@ def main() -> None:
 
     # 3. Train the full model.
     model_config = STTransRecConfig(
-        embedding_dim=32,
-        epochs=8,
+        embedding_dim=args.embedding_dim,
+        epochs=args.epochs,
         weight_decay=3e-4,
         dropout=0.3,
-        pretrain_epochs=10,
+        pretrain_epochs=args.pretrain_epochs,
         seed=0,
     )
     trainer = STTransRecTrainer(split, model_config)

@@ -299,6 +299,46 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_perf_bench(args) -> int:
+    """Run the hot-path microbenchmarks and emit ``BENCH_*.json``."""
+    import json
+
+    from repro.perf.bench import (check_against_baseline, run_serving_bench,
+                                  run_train_bench)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    train = run_train_bench(out_path=str(out_dir / "BENCH_train.json"),
+                            tiny=args.tiny, workers=args.workers,
+                            steps=args.steps)
+    serving = run_serving_bench(
+        out_path=str(out_dir / "BENCH_serving.json"), tiny=args.tiny)
+    _report(f"train step     : {train['train_step']['speedup']:.2f}x "
+            f"({train['train_step']['workers']} workers, shm+sparse "
+            f"vs pipe+dense)")
+    _report(f"emb backward   : "
+            f"{train['embedding_backward']['speedup']:.2f}x")
+    _report(f"transport hop  : {train['transport']['speedup']:.2f}x")
+    _report(f"serving batch  : "
+            f"{serving['serving_batch']['speedup']:.2f}x vs naive")
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        if "tiny" in baseline or "full" in baseline:
+            baseline = baseline.get("tiny" if args.tiny else "full", {})
+        regressions = []
+        for name, payload in (("train", train), ("serving", serving)):
+            spec = baseline.get(name)
+            if spec:
+                regressions += [f"[{name}] {msg}" for msg in
+                                check_against_baseline(payload, spec)]
+        if regressions:
+            for msg in regressions:
+                _report(f"REGRESSION {msg}")
+            return 1
+        _report("regression gate: all metrics within tolerance")
+    return 0
+
+
 def cmd_metrics_report(args) -> int:
     """Render the aggregated telemetry of a ``--telemetry-dir``."""
     from repro.obs.export import load_run_state, render_console_summary
@@ -512,6 +552,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "directory)")
     _add_common(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser("perf-bench",
+                       help="hot-path microbenchmarks: train step, "
+                            "embedding backward, gradient transport, "
+                            "serving batch (emits BENCH_*.json)")
+    p.add_argument("--tiny", action="store_true",
+                   help="CI smoke configuration (small world, few steps)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="data-parallel workers for the train-step "
+                        "benchmark (default 2)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="measured steps per timing window "
+                        "(default: benchmark-specific)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for BENCH_train.json / "
+                        "BENCH_serving.json (default: current dir)")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="compare against committed baselines "
+                        "(benchmarks/perf/baselines.json); exit 1 on "
+                        "regression")
+    p.set_defaults(func=cmd_perf_bench)
 
     p = sub.add_parser("metrics-report",
                        help="print the aggregated telemetry of a "

@@ -66,28 +66,61 @@ class Embedding(Module):
     The paper randomly initializes embeddings from a Gaussian
     distribution; rows are gathered with scatter-add gradients so only
     the rows used in a batch receive updates.
+
+    With ``sparse_grad=True`` the backward pass produces a
+    :class:`repro.nn.sparse.SparseRowGrad` instead of a dense
+    ``num_embeddings × embedding_dim`` array — pair it with a
+    sparse-aware optimizer (``Adam(sparse_mode=...)``); see
+    ``repro.perf.enable_sparse_embedding_grads``.
     """
 
     def __init__(self, num_embeddings: int, embedding_dim: int,
-                 std: float = 0.01, rng: SeedLike = None) -> None:
+                 std: float = 0.01, rng: SeedLike = None,
+                 sparse_grad: bool = False) -> None:
         super().__init__()
         check_positive("num_embeddings", num_embeddings)
         check_positive("embedding_dim", embedding_dim)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
+        self.sparse_grad = bool(sparse_grad)
         self.weight = Tensor(
             init.normal((num_embeddings, embedding_dim), std=std, rng=rng),
             requires_grad=True,
         )
 
-    def forward(self, ids: np.ndarray) -> Tensor:
-        ids = np.asarray(ids)
-        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+    def _validate_ids(self, ids: np.ndarray) -> None:
+        """Range-check ``ids`` with a single reduction pass.
+
+        Reinterpreting a signed integer array as unsigned maps negatives
+        to huge values, so one ``max()`` catches both out-of-range
+        directions — the seed's ``ids.min()``/``ids.max()`` pair cost two
+        full passes per lookup on the hottest path.  The trick is only
+        sound when ``num_embeddings`` fits the unsigned range of the id
+        dtype (otherwise a wrapped negative could land back in range),
+        so narrow dtypes with oversized tables fall back to two passes.
+        The error message still reports min/max — that path is cold.
+        """
+        if not ids.size:
+            return
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(
+                f"embedding ids must be integers, got dtype {ids.dtype}")
+        if np.issubdtype(ids.dtype, np.signedinteger) and \
+                self.num_embeddings <= int(np.iinfo(ids.dtype).max) + 1:
+            bad = int(ids.view(f"u{ids.dtype.itemsize}").max()) \
+                >= self.num_embeddings
+        else:
+            bad = ids.min() < 0 or ids.max() >= self.num_embeddings
+        if bad:
             raise IndexError(
                 f"embedding ids out of range [0, {self.num_embeddings}): "
                 f"min={ids.min()}, max={ids.max()}"
             )
-        return self.weight.gather_rows(ids)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        self._validate_ids(ids)
+        return self.weight.gather_rows(ids, sparse_grad=self.sparse_grad)
 
     def all_vectors(self) -> Tensor:
         """The full embedding matrix as a graph node (for MMD batches)."""

@@ -1,0 +1,183 @@
+"""Sparse row gradients for embedding tables.
+
+An embedding lookup touches a handful of rows per batch, yet the seed
+``gather_rows`` backward materialized a dense ``num_embeddings × dim``
+zero array per step — on the training hot path that dense scatter (and
+everything downstream: guards, inter-process transport, optimizer
+moment updates) dominated wall time for any realistically-sized table.
+:class:`SparseRowGrad` replaces the dense array with the pair
+``(ids, rows)``: the row indices a batch touched and their gradient
+rows.  Everything that consumes gradients — the autograd accumulator,
+:class:`~repro.nn.optim.Adam` / :class:`~repro.nn.optim.SGD`, the
+gradient guard, and the shared-memory transport — understands both
+representations.
+
+Bit-exactness contract
+----------------------
+The sparse representation is an *encoding*, not an approximation:
+
+* :meth:`SparseRowGrad.coalesce` sums duplicate ids in first-occurrence
+  order, which is exactly the accumulation order of
+  ``np.add.at(dense, ids, rows)`` — so ``coalesce().to_dense()`` is
+  bit-identical to the dense scatter-add the seed performed;
+* :func:`average_sparse_grads` reproduces the master's
+  ``np.stack(grads).mean(axis=0)`` arithmetic on the union of touched
+  rows (absent rows contribute exact ``0.0``, as in the dense stack);
+* the optimizers' sparse paths apply the same elementwise expressions
+  the dense paths use, restricted to rows whose update can be nonzero.
+
+These three properties are what make the ``repro.perf`` hot-path
+switchable with no numeric consequence — verified bitwise in
+``tests/test_nn_sparse.py`` and ``tests/test_perf_transport.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["SparseRowGrad", "average_sparse_grads", "grad_values"]
+
+
+class SparseRowGrad:
+    """Gradient of a 2-D (or N-D) table where only some rows are nonzero.
+
+    Parameters
+    ----------
+    shape:
+        Full dense shape of the parameter the gradient belongs to.
+    ids:
+        Row indices along axis 0, any shape (flattened); duplicates
+        allowed (they accumulate, like ``np.add.at``).
+    rows:
+        Gradient rows, reshaped to ``(len(ids),) + shape[1:]``.
+    """
+
+    # Keep numpy from absorbing us into object arrays: binary ufuncs on
+    # ndarray return NotImplemented and defer to our __radd__/__rmul__.
+    __array_ufunc__ = None
+    __slots__ = ("shape", "ids", "rows")
+
+    def __init__(self, shape: Sequence[int], ids, rows) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        rows = np.asarray(rows)
+        self.ids = ids
+        self.rows = rows.reshape((ids.size,) + self.shape[1:])
+
+    # -- pickling (slots classes need explicit state) -------------------
+    def __getstate__(self):
+        return (self.shape, self.ids, self.rows)
+
+    def __setstate__(self, state) -> None:
+        self.shape, self.ids, self.rows = state
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz_rows(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.ids.nbytes + self.rows.nbytes)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.rows.dtype
+
+    def __repr__(self) -> str:
+        return (f"SparseRowGrad(shape={self.shape}, "
+                f"nnz_rows={self.nnz_rows})")
+
+    def copy(self) -> "SparseRowGrad":
+        return SparseRowGrad(self.shape, self.ids.copy(), self.rows.copy())
+
+    def all_finite(self) -> bool:
+        return bool(np.all(np.isfinite(self.rows)))
+
+    # ------------------------------------------------------------------
+    def coalesce(self) -> "SparseRowGrad":
+        """Sum duplicate ids; result has sorted unique ids.
+
+        Per output row the contributions are added in first-occurrence
+        order — the accumulation order of ``np.add.at`` — so the dense
+        image of the result is bit-identical to a direct dense scatter.
+        """
+        if self.ids.size == 0:
+            return self
+        unique, inverse = np.unique(self.ids, return_inverse=True)
+        if unique.size == self.ids.size and np.array_equal(unique, self.ids):
+            return self                 # already coalesced and sorted
+        rows = np.zeros((unique.size,) + self.shape[1:],
+                        dtype=self.rows.dtype)
+        np.add.at(rows, inverse, self.rows)
+        return SparseRowGrad(self.shape, unique, rows)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense gradient (the seed representation)."""
+        dense = np.zeros(self.shape, dtype=self.rows.dtype)
+        np.add.at(dense, self.ids, self.rows)
+        return dense
+
+    # ------------------------------------------------------------------
+    # Arithmetic used by the autograd accumulator
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> Union["SparseRowGrad", np.ndarray]:
+        if isinstance(other, SparseRowGrad):
+            if other.shape != self.shape:
+                raise ValueError(
+                    f"shape mismatch: {self.shape} vs {other.shape}")
+            return SparseRowGrad(
+                self.shape,
+                np.concatenate([self.ids, other.ids]),
+                np.concatenate([self.rows, other.rows]),
+            )
+        # Mixed with a dense gradient: mirror the dense accumulation
+        # (`to_dense() + other`) exactly rather than scatter-adding into
+        # a copy, so mixed paths round identically to all-dense ones.
+        return self.to_dense() + np.asarray(other)
+
+    def __radd__(self, other) -> np.ndarray:
+        return np.asarray(other) + self.to_dense()
+
+    def __neg__(self) -> "SparseRowGrad":
+        return SparseRowGrad(self.shape, self.ids, -self.rows)
+
+    def __mul__(self, factor) -> "SparseRowGrad":
+        if not isinstance(factor, (int, float, np.floating)):
+            return NotImplemented
+        return SparseRowGrad(self.shape, self.ids, self.rows * factor)
+
+    __rmul__ = __mul__
+
+
+def average_sparse_grads(grads: List[SparseRowGrad]) -> SparseRowGrad:
+    """Mean of sparse gradients, bit-identical to the dense stack-mean.
+
+    The dense reference computes ``np.stack(dense_grads).mean(axis=0)``.
+    Restricted to the union of touched rows that is a mean over one
+    value per contributor, where a contributor that did not touch a row
+    supplies exact ``0.0`` — the same value its dense image holds there.
+    Rows outside the union average to ``0.0`` in the dense reference and
+    are simply absent here (a zero gradient row updates nothing).
+    """
+    if not grads:
+        raise ValueError("average_sparse_grads needs at least one gradient")
+    shape = grads[0].shape
+    for g in grads:
+        if g.shape != shape:
+            raise ValueError(f"shape mismatch: {shape} vs {g.shape}")
+    coalesced = [g.coalesce() for g in grads]
+    union = np.unique(np.concatenate([c.ids for c in coalesced]))
+    stacked = np.zeros((len(coalesced), union.size) + shape[1:],
+                       dtype=coalesced[0].rows.dtype
+                       if coalesced[0].rows.size else np.float64)
+    for k, c in enumerate(coalesced):
+        stacked[k, np.searchsorted(union, c.ids)] = c.rows
+    return SparseRowGrad(shape, union, stacked.mean(axis=0))
+
+
+def grad_values(grad) -> np.ndarray:
+    """The numeric payload of a gradient in either representation."""
+    return grad.rows if isinstance(grad, SparseRowGrad) else grad

@@ -52,6 +52,7 @@ from repro.core.trainer import _EPOCH_SECONDS_BUCKETS, STTransRecTrainer
 from repro.data.split import CrossingCitySplit
 from repro.nn.losses import bce_with_logits
 from repro.nn.optim import Adam
+from repro.nn.sparse import SparseRowGrad, average_sparse_grads
 from repro.obs.metrics import MetricsRegistry, exponential_buckets
 from repro.obs.telemetry import Telemetry, span as _span
 from repro.parallel.supervisor import (
@@ -60,9 +61,14 @@ from repro.parallel.supervisor import (
     WorkerFailure,
     WorkerSupervisor,
 )
+from repro.perf.config import PerfConfig, enable_sparse_embedding_grads
+from repro.perf.transport import ShmTransport, WorkerTransportClient
 from repro.reliability.faults import FaultPlan
 from repro.reliability.guards import GradientGuard, TrainingDiverged
+from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
+
+logger = get_logger("parallel")
 
 _WORKER_SEED_BASE = 1000
 
@@ -99,6 +105,21 @@ def _reseed_dropout(model, stream_id: int, step: int) -> None:
     model.training_rng.bit_generator.state = fresh.bit_generator.state
 
 
+def _average_contributions(contributions: list):
+    """Average one parameter's per-replica gradients.
+
+    All-sparse contributions average sparsely (bit-identical to the
+    dense stack-mean, see :func:`repro.nn.sparse.average_sparse_grads`);
+    anything else densifies first and runs the seed's stack-mean
+    verbatim.
+    """
+    if all(isinstance(g, SparseRowGrad) for g in contributions):
+        return average_sparse_grads(contributions)
+    dense = [g.to_dense() if isinstance(g, SparseRowGrad) else g
+             for g in contributions]
+    return np.stack(dense).mean(axis=0)
+
+
 def _interaction_batch_stream(trainer: STTransRecTrainer):
     """Endless stream of (users, pois, labels) batches.
 
@@ -111,10 +132,35 @@ def _interaction_batch_stream(trainer: STTransRecTrainer):
             yield batch
 
 
+def _nan_like(grad):
+    """A same-shaped all-NaN gradient, dense or sparse (fault injection)."""
+    if isinstance(grad, SparseRowGrad):
+        return SparseRowGrad(grad.shape, grad.ids,
+                             np.full_like(grad.rows, np.nan))
+    return np.full_like(grad, np.nan)
+
+
+def _zero_grad_like(param, sparse: bool):
+    """Stand-in gradient for a parameter the step's graph never touched.
+
+    The seed shipped a dense zero array (so dense Adam still decays the
+    moments).  With sparse gradients enabled an *empty*
+    :class:`SparseRowGrad` carries the same information in 0 bytes:
+    Adam's ``"exact"`` mode decays exactly the rows whose moments are
+    nonzero — bit-identical to the dense zero update.
+    """
+    if sparse:
+        empty = np.empty((0,) + param.data.shape[1:], dtype=param.data.dtype)
+        return SparseRowGrad(param.data.shape, np.empty(0, np.int64), empty)
+    return np.zeros_like(param.data)
+
+
 def _worker_loop(pipe, split, config, worker_seed: int,
                  worker_id: int = 0,
                  fault_plan: Optional[FaultPlan] = None,
-                 incarnation: int = 0) -> None:
+                 incarnation: int = 0,
+                 sparse_grads: bool = False,
+                 transport_layout=None) -> None:
     """Worker process: recompute gradients for each parameter broadcast.
 
     Protocol: the master sends ``(step, state_dict)`` per training step
@@ -129,6 +175,14 @@ def _worker_loop(pipe, split, config, worker_seed: int,
     drawing, so batch selection depends only on the master's counter —
     a replacement worker spawned mid-run replays the skipped prefix and
     lands on the same batch its predecessor would have used.
+
+    With ``transport_layout`` set, the bulk payloads move through the
+    shared-memory blocks it names instead of the pipe: the broadcast
+    arrives as ``(step, None)`` (parameters read from the params block)
+    and the reply is sent as ``(None, loss, telemetry)`` after the
+    gradients are written to this worker's slot.  The pipe ordering
+    makes the slot handoff race-free (see
+    :mod:`repro.perf.transport`).
     """
     worker_config = STTransRecConfig(**{
         **config.__dict__, "seed": worker_seed,
@@ -136,6 +190,11 @@ def _worker_loop(pipe, split, config, worker_seed: int,
     trainer = STTransRecTrainer(split, worker_config)
     model = trainer.model
     model.train()
+    if sparse_grads:
+        enable_sparse_embedding_grads(model)
+    transport = None
+    if transport_layout is not None:
+        transport = WorkerTransportClient(transport_layout, worker_id)
     params = dict(model.named_parameters())
     stream = _interaction_batch_stream(trainer)
     registry = MetricsRegistry()
@@ -154,6 +213,8 @@ def _worker_loop(pipe, split, config, worker_seed: int,
             return
         step, state = message
         started = time.perf_counter()
+        if state is None and transport is not None:
+            state = transport.read_params()
         for name, value in state.items():
             params[name].data[...] = value
         while consumed < step:          # fast-forward after respawn/resume
@@ -168,19 +229,24 @@ def _worker_loop(pipe, split, config, worker_seed: int,
         loss = bce_with_logits(model.interaction_logits(users, pois), labels)
         loss.backward()
         grads = {
-            name: (p.grad if p.grad is not None else np.zeros_like(p.data))
+            name: (p.grad if p.grad is not None
+                   else _zero_grad_like(p, sparse_grads))
             for name, p in params.items()
         }
         if fault_plan is not None and \
                 fault_plan.wants_nan_gradients(worker_id, step):
-            grads = {name: np.full_like(g, np.nan)
-                     for name, g in grads.items()}
+            grads = {name: _nan_like(g) for name, g in grads.items()}
         step_hist.observe((time.perf_counter() - started) * 1000.0)
         step_counter.inc()
         telemetry = {"worker": worker_id, "incarnation": incarnation,
                      "metrics": registry.to_dict()}
+        if transport is not None:
+            transport.write_grads(grads)
+            reply = (None, loss.item(), telemetry)
+        else:
+            reply = (grads, loss.item(), telemetry)
         try:
-            pipe.send((grads, loss.item(), telemetry))
+            pipe.send(reply)
         except (BrokenPipeError, OSError):
             return
 
@@ -212,13 +278,20 @@ class DataParallelTrainer:
         records epoch spans, step-time histograms, and fault counters;
         worker replicas ship their own registries through the
         supervisor pipe (see :meth:`worker_registries`).
+    perf:
+        Hot-path configuration (:class:`~repro.perf.config.PerfConfig`).
+        Defaults to the optimized path — sparse embedding gradients and
+        shared-memory gradient transport — which is proven bit-identical
+        to :meth:`PerfConfig.reference` (the seed's dense/pipe path) in
+        ``tests/test_perf_transport.py``.
     """
 
     def __init__(self, split: CrossingCitySplit, config: STTransRecConfig,
                  num_workers: int = 1,
                  fault_plan: Optional[FaultPlan] = None,
                  supervision: Optional[SupervisionConfig] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 perf: Optional[PerfConfig] = None) -> None:
         check_positive("num_workers", num_workers)
         self.split = split
         self.config = config
@@ -226,6 +299,7 @@ class DataParallelTrainer:
         self.fault_plan = fault_plan
         self.supervision = supervision or SupervisionConfig()
         self.telemetry = telemetry
+        self.perf = perf or PerfConfig()
         # (worker_id, incarnation) -> latest cumulative registry dict.
         # Replacement incarnations start fresh registries, so retaining
         # each incarnation's newest snapshot keeps a removed replica's
@@ -233,10 +307,13 @@ class DataParallelTrainer:
         self._worker_snapshots: dict = {}
         self._master = STTransRecTrainer(split, config)
         self.model = self._master.model
+        if self.perf.sparse_grads:
+            enable_sparse_embedding_grads(self.model)
         self._params = dict(self.model.named_parameters())
         self.optimizer = Adam(list(self._params.values()),
                               lr=config.learning_rate,
-                              weight_decay=config.weight_decay)
+                              weight_decay=config.weight_decay,
+                              sparse_mode=self.perf.adam_sparse_mode)
         self._examples_per_epoch = self._count_epoch_examples()
         self._guard = GradientGuard()
         self._global_step = 0
@@ -244,13 +321,37 @@ class DataParallelTrainer:
         self.last_fault_stats: Optional[FaultStats] = None
         self._supervisor: Optional[WorkerSupervisor] = None
         self._local_stream = None
+        self._transport: Optional[ShmTransport] = None
         if num_workers > 1:
+            self._transport = self._create_transport()
             self._supervisor = WorkerSupervisor(
                 self._spawn_worker, num_workers, self.supervision)
             self._supervisor.start()
         else:
             self.model.train()
             self._local_stream = _interaction_batch_stream(self._master)
+
+    def _create_transport(self) -> Optional[ShmTransport]:
+        """Preallocate the shared-memory blocks, or fall back to pipes.
+
+        ``transport="auto"`` degrades silently (warning logged) when
+        segment creation fails — e.g. no ``/dev/shm`` or exhausted
+        limits; ``"shm"`` propagates the failure; ``"pipe"`` never
+        tries.
+        """
+        if self.perf.transport == "pipe":
+            return None
+        specs = [(name, p.data.shape, str(p.data.dtype))
+                 for name, p in self._params.items()]
+        try:
+            return ShmTransport(specs, self.num_workers)
+        except Exception as exc:
+            if self.perf.transport == "shm":
+                raise
+            logger.warning(
+                "shared-memory transport unavailable (%r); "
+                "falling back to pipe transport", exc)
+            return None
 
     def _count_epoch_examples(self) -> int:
         total = len(self._master.target_interactions)
@@ -263,11 +364,13 @@ class DataParallelTrainer:
         ctx = mp.get_context("fork")
         parent, child = ctx.Pipe()
         plan = self.fault_plan if incarnation == 0 else None
+        layout = self._transport.layout if self._transport is not None \
+            else None
         process = ctx.Process(
             target=_worker_loop,
             args=(child, self.split, self.config,
                   _WORKER_SEED_BASE + worker_id, worker_id, plan,
-                  incarnation),
+                  incarnation, self.perf.sparse_grads, layout),
             daemon=True,
         )
         process.start()
@@ -287,9 +390,16 @@ class DataParallelTrainer:
         """
         step = self._global_step
         tel = self.telemetry
-        state = {name: p.data for name, p in self._params.items()}
+        transport = self._transport
         with _span(tel, "broadcast"):
-            expected = self._supervisor.broadcast((step, state), step)
+            if transport is not None:
+                transport.write_params(
+                    {name: p.data for name, p in self._params.items()})
+                payload = (step, None)
+            else:
+                payload = (step,
+                           {name: p.data for name, p in self._params.items()})
+            expected = self._supervisor.broadcast(payload, step)
         with _span(tel, "gather"):
             replies = self._supervisor.gather(expected, step)
         usable = []
@@ -298,7 +408,11 @@ class DataParallelTrainer:
             if telemetry is not None:
                 key = (telemetry["worker"], telemetry["incarnation"])
                 self._worker_snapshots[key] = telemetry["metrics"]
-            if np.isfinite(loss) and self._guard.check(grads, loss):
+            if grads is None and transport is not None \
+                    and telemetry is not None:
+                grads = transport.read_grads(telemetry["worker"])
+            if grads is not None and np.isfinite(loss) \
+                    and self._guard.check(grads, loss):
                 usable.append(grads)
                 losses.append(loss)
             else:
@@ -312,8 +426,8 @@ class DataParallelTrainer:
             return None
         with _span(tel, "apply"):
             for name, param in self._params.items():
-                stacked = np.stack([g[name] for g in usable])
-                param.grad = stacked.mean(axis=0)
+                param.grad = _average_contributions(
+                    [g[name] for g in usable])
             self.optimizer.step()
             self.optimizer.zero_grad()
         return float(np.mean(losses))
@@ -336,7 +450,7 @@ class DataParallelTrainer:
                 self.fault_plan.wants_nan_gradients(0, step):
             for param in self._params.values():
                 if param.grad is not None:
-                    param.grad = np.full_like(param.grad, np.nan)
+                    param.grad = _nan_like(param.grad)
         grads = {name: p.grad for name, p in self._params.items()
                  if p.grad is not None}
         if not self._guard.check(grads, loss.item()):
@@ -355,6 +469,29 @@ class DataParallelTrainer:
                     (time.perf_counter() - started) * 1000.0)
             self.telemetry.counter("worker.steps", worker="0").inc()
         return loss.item()
+
+    def run_steps(self, num_steps: int) -> List[float]:
+        """Run exactly ``num_steps`` synchronized training steps.
+
+        The benchmark harness uses this to time the steady-state step
+        loop without epoch bookkeeping; losses of applied steps are
+        returned (skipped steps are omitted).
+        """
+        check_positive("num_steps", num_steps)
+        faults = FaultStats()
+        self.last_fault_stats = faults
+        if self._supervisor is not None:
+            self._supervisor.stats = faults
+        losses: List[float] = []
+        for _ in range(num_steps):
+            if self._supervisor is None:
+                loss = self._single_step(faults)
+            else:
+                loss = self._parallel_step(faults)
+            self._global_step += 1
+            if loss is not None:
+                losses.append(loss)
+        return losses
 
     def train_epoch(self) -> ParallelEpochStats:
         """One epoch over the training examples, timed and supervised.
@@ -583,9 +720,12 @@ class DataParallelTrainer:
         return history
 
     def close(self) -> None:
-        """Shut down worker processes (idempotent)."""
+        """Shut down worker processes and release shared memory
+        (idempotent)."""
         if self._supervisor is not None:
             self._supervisor.shutdown()
+        if self._transport is not None:
+            self._transport.close()
 
     def __enter__(self) -> "DataParallelTrainer":
         return self

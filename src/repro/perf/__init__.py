@@ -1,0 +1,48 @@
+"""``repro.perf`` — hot-path optimizations and the benchmark harness.
+
+Three pieces:
+
+* :class:`PerfConfig` / :func:`enable_sparse_embedding_grads` — switch
+  sparse embedding gradients and the shared-memory gradient transport
+  on or off for :class:`~repro.parallel.data_parallel.
+  DataParallelTrainer` (both on by default, both proven bit-identical
+  to the reference dense/pipe path);
+* :mod:`repro.perf.transport` — the preallocated
+  ``multiprocessing.shared_memory`` blocks and their layout manifest;
+* :mod:`repro.perf.bench` — microbenchmarks (train step, embedding
+  backward, transport, serving batch) emitting machine-readable
+  ``BENCH_train.json`` / ``BENCH_serving.json`` with per-op profiler
+  attribution, plus the regression-gate comparison logic CI runs
+  against committed baselines.
+
+See ``docs/performance.md`` for the design and tuning guide.
+"""
+
+from repro.perf.bench import (
+    bench_embedding_backward,
+    bench_train_step,
+    bench_transport,
+    check_against_baseline,
+    run_serving_bench,
+    run_train_bench,
+)
+from repro.perf.config import PerfConfig, enable_sparse_embedding_grads
+from repro.perf.transport import (
+    GradientLayout,
+    ShmTransport,
+    WorkerTransportClient,
+)
+
+__all__ = [
+    "PerfConfig",
+    "enable_sparse_embedding_grads",
+    "GradientLayout",
+    "ShmTransport",
+    "WorkerTransportClient",
+    "bench_embedding_backward",
+    "bench_train_step",
+    "bench_transport",
+    "check_against_baseline",
+    "run_serving_bench",
+    "run_train_bench",
+]

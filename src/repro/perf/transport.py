@@ -1,0 +1,292 @@
+"""Shared-memory gradient transport for the data-parallel trainer.
+
+The seed protocol pickled a full parameter ``state_dict`` to every
+worker and a full gradient dict back from every worker, every step —
+two serialization passes plus pipe copies over megabytes of float64 per
+replica.  This module replaces the *bulk* payloads with preallocated
+``multiprocessing.shared_memory`` blocks described by a one-time
+:class:`GradientLayout` manifest:
+
+* one **params block** — the master writes current parameter values
+  before each broadcast; workers copy them out after receiving the
+  step message;
+* one **gradient block per worker slot** — each worker writes its
+  step's gradients (dense, or coalesced sparse rows for embedding
+  tables) into its own slot; the master reads a slot only after that
+  worker's pipe reply arrives.
+
+The existing pipe stays as the control channel: the master broadcasts
+``(step, None)`` and workers reply ``(None, loss, telemetry)``, so all
+supervision semantics (deadlines, crash/hang detection, respawn) are
+untouched.  The pipe round-trip also provides the ordering that makes
+the shared blocks race-free — a slot is written strictly before its
+reply is sent, and the master rewrites the params block strictly after
+the previous step's gather finished.
+
+Fallback: :class:`ShmTransport` creation is attempted once at trainer
+construction; any failure (platform without ``/dev/shm``, exhausted
+segments) falls back to the original pickled-pipe path automatically.
+
+Layout
+------
+Every parameter gets a fixed-size slot in each gradient block::
+
+    [kind: int64][count: int64][ids: shape[0] × int64][payload: dense bytes]
+
+``kind`` selects dense (payload = the full array) or sparse (payload's
+first ``count`` rows are the coalesced gradient rows for ``ids[:count]``).
+Sparse gradients are coalesced before writing, so ``count ≤ shape[0]``
+always fits the preallocated region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.sparse import SparseRowGrad
+from repro.utils.logging import get_logger
+
+logger = get_logger("perf.transport")
+
+GRAD_KIND_DENSE = 0
+GRAD_KIND_SPARSE = 1
+
+_HEADER_DTYPE = np.int64
+_HEADER_WORDS = 2                       # kind, count
+_IDS_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """Byte offsets of one parameter inside a gradient block."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    header_offset: int
+    ids_offset: int
+    payload_offset: int
+    end_offset: int
+
+    @property
+    def row_capacity(self) -> int:
+        return self.shape[0] if self.shape else 1
+
+    @property
+    def dense_nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)
+                   * np.dtype(self.dtype).itemsize) if self.shape \
+            else np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class GradientLayout:
+    """One-time manifest describing both shared blocks.
+
+    Pickled to every worker at spawn; contains byte offsets only (plus
+    the segment names), so attaching is a pure ``numpy.frombuffer``
+    view construction with zero per-step negotiation.
+    """
+
+    slots: Tuple[ParamSlot, ...]
+    params_offsets: Tuple[Tuple[str, int], ...]
+    params_nbytes: int
+    grad_nbytes: int
+    params_name: str = ""
+    grad_names: Tuple[str, ...] = ()
+
+    @staticmethod
+    def build(param_specs: Sequence[Tuple[str, Tuple[int, ...], str]]
+              ) -> "GradientLayout":
+        slots: List[ParamSlot] = []
+        offset = 0
+        params_offsets: List[Tuple[str, int]] = []
+        params_offset = 0
+        for name, shape, dtype in param_specs:
+            header = offset
+            ids = header + _HEADER_WORDS * np.dtype(_HEADER_DTYPE).itemsize
+            row_capacity = shape[0] if shape else 1
+            payload = ids + row_capacity * np.dtype(_IDS_DTYPE).itemsize
+            dense_nbytes = int(np.prod(shape, dtype=np.int64)
+                               * np.dtype(dtype).itemsize) if shape \
+                else np.dtype(dtype).itemsize
+            end = payload + dense_nbytes
+            slots.append(ParamSlot(name, tuple(shape), dtype, header, ids,
+                                   payload, end))
+            offset = end
+            params_offsets.append((name, params_offset))
+            params_offset += dense_nbytes
+        return GradientLayout(
+            slots=tuple(slots),
+            params_offsets=tuple(params_offsets),
+            params_nbytes=params_offset,
+            grad_nbytes=offset,
+        )
+
+    def with_names(self, params_name: str,
+                   grad_names: Sequence[str]) -> "GradientLayout":
+        return GradientLayout(self.slots, self.params_offsets,
+                              self.params_nbytes, self.grad_nbytes,
+                              params_name, tuple(grad_names))
+
+
+def _write_grad_slot(buf: memoryview, slot: ParamSlot, grad) -> None:
+    header = np.frombuffer(buf, dtype=_HEADER_DTYPE,
+                           count=_HEADER_WORDS, offset=slot.header_offset)
+    if isinstance(grad, SparseRowGrad):
+        g = grad.coalesce()             # guarantees count <= row_capacity
+        count = g.ids.size
+        ids = np.frombuffer(buf, dtype=_IDS_DTYPE, count=slot.row_capacity,
+                            offset=slot.ids_offset)
+        ids[:count] = g.ids
+        payload = np.frombuffer(buf, dtype=slot.dtype,
+                                count=count * int(np.prod(slot.shape[1:],
+                                                          dtype=np.int64)),
+                                offset=slot.payload_offset)
+        payload[...] = g.rows.reshape(-1)
+        header[0] = GRAD_KIND_SPARSE
+        header[1] = count
+    else:
+        arr = np.asarray(grad, dtype=slot.dtype)
+        payload = np.frombuffer(buf, dtype=slot.dtype, count=arr.size,
+                                offset=slot.payload_offset)
+        payload[...] = arr.reshape(-1)
+        header[0] = GRAD_KIND_DENSE
+        header[1] = 0
+
+
+def _read_grad_slot(buf: memoryview, slot: ParamSlot):
+    header = np.frombuffer(buf, dtype=_HEADER_DTYPE,
+                           count=_HEADER_WORDS, offset=slot.header_offset)
+    kind, count = int(header[0]), int(header[1])
+    if kind == GRAD_KIND_SPARSE:
+        ids = np.frombuffer(buf, dtype=_IDS_DTYPE, count=slot.row_capacity,
+                            offset=slot.ids_offset)[:count].copy()
+        row_size = int(np.prod(slot.shape[1:], dtype=np.int64))
+        rows = np.frombuffer(buf, dtype=slot.dtype, count=count * row_size,
+                             offset=slot.payload_offset).copy()
+        return SparseRowGrad(slot.shape, ids,
+                             rows.reshape((count,) + slot.shape[1:]))
+    dense = np.frombuffer(buf, dtype=slot.dtype,
+                          count=int(np.prod(slot.shape, dtype=np.int64)),
+                          offset=slot.payload_offset)
+    return dense.reshape(slot.shape).copy()
+
+
+class ShmTransport:
+    """Master-side owner of the shared params and per-slot grad blocks."""
+
+    def __init__(self,
+                 param_specs: Sequence[Tuple[str, Tuple[int, ...], str]],
+                 num_slots: int) -> None:
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        layout = GradientLayout.build(param_specs)
+        self._params_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, layout.params_nbytes))
+        self._grad_shms: List[shared_memory.SharedMemory] = []
+        try:
+            for _ in range(num_slots):
+                self._grad_shms.append(shared_memory.SharedMemory(
+                    create=True, size=max(1, layout.grad_nbytes)))
+        except Exception:
+            self.close()
+            raise
+        self.layout = layout.with_names(
+            self._params_shm.name, [s.name for s in self._grad_shms])
+        self.num_slots = num_slots
+        self._closed = False
+
+    # -- master side ----------------------------------------------------
+    def write_params(self, state: Dict[str, np.ndarray]) -> None:
+        buf = self._params_shm.buf
+        for name, offset in self.layout.params_offsets:
+            arr = state[name]
+            view = np.frombuffer(buf, dtype=arr.dtype, count=arr.size,
+                                 offset=offset)
+            view[...] = arr.reshape(-1)
+
+    def read_grads(self, slot_index: int):
+        """Parse one worker slot into a ``{name: grad}`` dict (copies)."""
+        buf = self._grad_shms[slot_index].buf
+        return {slot.name: _read_grad_slot(buf, slot)
+                for slot in self.layout.slots}
+
+    def close(self) -> None:
+        """Release and unlink both blocks (idempotent; master only)."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for shm in [getattr(self, "_params_shm", None)] + \
+                list(getattr(self, "_grad_shms", [])):
+            if shm is None:
+                continue
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+    def __enter__(self) -> "ShmTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class WorkerTransportClient:
+    """Worker-side attachment to the blocks named in the manifest.
+
+    The master owns the segments' lifetime.  Workers are forked, so
+    they share the master's resource-tracker process: the registration
+    each attach performs is a duplicate ``set.add`` of a name the
+    master already tracks — a no-op — and a dying worker therefore can
+    never unlink a live block.  (A ``spawn`` start method would give
+    each worker its own tracker and break that invariant; the trainer
+    forks by construction.)
+    """
+
+    def __init__(self, layout: GradientLayout, slot_index: int) -> None:
+        self.layout = layout
+        self.slot_index = slot_index
+        self._params_shm = shared_memory.SharedMemory(
+            name=layout.params_name)
+        try:
+            self._grad_shm = shared_memory.SharedMemory(
+                name=layout.grad_names[slot_index])
+        except Exception:
+            self._params_shm.close()
+            raise
+
+    def read_params(self) -> Dict[str, np.ndarray]:
+        """Copy current parameter values out of the params block.
+
+        Copies (rather than aliases) so a late or killed worker can
+        never observe a torn mid-write state after its step ended.
+        """
+        buf = self._params_shm.buf
+        out: Dict[str, np.ndarray] = {}
+        shapes = {s.name: (s.shape, s.dtype) for s in self.layout.slots}
+        for name, offset in self.layout.params_offsets:
+            shape, dtype = shapes[name]
+            view = np.frombuffer(buf, dtype=dtype,
+                                 count=int(np.prod(shape, dtype=np.int64)),
+                                 offset=offset)
+            out[name] = view.reshape(shape).copy()
+        return out
+
+    def write_grads(self, grads: Dict[str, np.ndarray]) -> None:
+        buf = self._grad_shm.buf
+        for slot in self.layout.slots:
+            _write_grad_slot(buf, slot, grads[slot.name])
+
+    def close(self) -> None:
+        for shm in (self._params_shm, self._grad_shm):
+            try:
+                shm.close()
+            except OSError:
+                pass

@@ -98,6 +98,55 @@ class TestCommands:
         assert args.batch_size == 128
         assert args.out == "benchmarks/results/serving_throughput.txt"
 
+    def test_perf_bench_parses_defaults(self):
+        args = build_parser().parse_args(["perf-bench"])
+        assert args.tiny is False
+        assert args.workers == 2
+        assert args.steps is None
+        assert args.out_dir == "."
+        assert args.baseline is None
+
+    def test_perf_bench_writes_json_and_gates(self, tmp_path, capsys,
+                                              monkeypatch):
+        import repro.cli as cli_mod
+
+        def fake_train(out_path, tiny, workers, steps):
+            payload = {"train_step": {"speedup": 2.0, "workers": workers},
+                       "embedding_backward": {"speedup": 5.0},
+                       "transport": {"speedup": 3.0}}
+            with open(out_path, "w") as fh:
+                json.dump(payload, fh)
+            return payload
+
+        def fake_serving(out_path, tiny):
+            payload = {"serving_batch": {"speedup": 9.0}}
+            with open(out_path, "w") as fh:
+                json.dump(payload, fh)
+            return payload
+
+        import repro.perf.bench as bench_mod
+        monkeypatch.setattr(bench_mod, "run_train_bench", fake_train)
+        monkeypatch.setattr(bench_mod, "run_serving_bench", fake_serving)
+
+        baseline = tmp_path / "baselines.json"
+        baseline.write_text(json.dumps({
+            "full": {"train": {"tolerance": 0.2,
+                               "metrics": {"train_step.speedup": 2.0}}}}))
+        code = main(["perf-bench", "--out-dir", str(tmp_path),
+                     "--baseline", str(baseline)])
+        assert code == 0
+        assert (tmp_path / "BENCH_train.json").exists()
+        assert (tmp_path / "BENCH_serving.json").exists()
+        assert "regression gate" in capsys.readouterr().out
+
+        baseline.write_text(json.dumps({
+            "full": {"train": {"tolerance": 0.0,
+                               "metrics": {"train_step.speedup": 99.0}}}}))
+        code = main(["perf-bench", "--out-dir", str(tmp_path),
+                     "--baseline", str(baseline)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
     def test_serve_bench_runs_and_writes_report(self, tmp_path, capsys):
         out = tmp_path / "serving.txt"
         code = main(["serve-bench", "--scale", "0.1", "--batch-size", "8",

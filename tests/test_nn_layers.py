@@ -59,6 +59,87 @@ class TestEmbedding:
         assert abs(emb.weight.data.std() - 0.01) < 0.002
 
 
+class TestEmbeddingValidation:
+    """The single-pass unsigned-view range check and its fallbacks."""
+
+    def test_empty_ids_ok(self):
+        emb = Embedding(5, 3, rng=0)
+        out = emb(np.array([], dtype=np.int64))
+        assert out.shape == (0, 3)
+
+    def test_non_integer_ids_raise_typeerror(self):
+        emb = Embedding(5, 3, rng=0)
+        with pytest.raises(TypeError, match="must be integers"):
+            emb(np.array([1.0, 2.0]))
+
+    def test_error_message_reports_min_and_max(self):
+        emb = Embedding(5, 3, rng=0)
+        with pytest.raises(IndexError, match=r"min=-2, max=7"):
+            emb(np.array([-2, 3, 7]))
+
+    def test_boundary_ids_accepted(self):
+        emb = Embedding(5, 3, rng=0)
+        out = emb(np.array([0, 4]))
+        np.testing.assert_array_equal(out.data, emb.weight.data[[0, 4]])
+
+    def test_unsigned_dtype_ids(self):
+        emb = Embedding(5, 3, rng=0)
+        out = emb(np.array([1, 4], dtype=np.uint16))
+        np.testing.assert_array_equal(out.data, emb.weight.data[[1, 4]])
+        with pytest.raises(IndexError):
+            emb(np.array([5], dtype=np.uint16))
+
+    def test_narrow_dtype_oversized_table_falls_back(self):
+        # num_embeddings (300) exceeds int8's unsigned-view range, so a
+        # wrapped negative could alias into range; the two-pass fallback
+        # must still reject it.
+        emb = Embedding(300, 2, rng=0)
+        ids = np.array([-1], dtype=np.int8)  # wraps to 255 < 300
+        with pytest.raises(IndexError):
+            emb(ids)
+        out = emb(np.array([100], dtype=np.int8))
+        np.testing.assert_array_equal(out.data, emb.weight.data[[100]])
+
+    def test_non_contiguous_ids(self):
+        emb = Embedding(10, 3, rng=0)
+        ids = np.arange(10)[::2]
+        out = emb(ids)
+        np.testing.assert_array_equal(out.data, emb.weight.data[ids])
+        with pytest.raises(IndexError):
+            emb(np.array([0, 11, 2, 4])[1::2])  # non-contiguous, max=11
+
+    def test_matches_two_pass_semantics(self):
+        emb = Embedding(128, 2, rng=0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            ids = rng.integers(-5, 135, size=8)
+            expected_bad = ids.min() < 0 or ids.max() >= 128
+            if expected_bad:
+                with pytest.raises(IndexError):
+                    emb(ids)
+            else:
+                emb(ids)
+
+
+class TestEmbeddingSparseGrad:
+    def test_forward_identical_to_dense(self):
+        ids = np.array([1, 3, 1])
+        dense = Embedding(5, 3, rng=0)
+        sparse = Embedding(5, 3, rng=0, sparse_grad=True)
+        np.testing.assert_array_equal(dense(ids).data, sparse(ids).data)
+
+    def test_backward_yields_sparse_row_grad(self):
+        from repro.nn.sparse import SparseRowGrad
+
+        emb = Embedding(5, 3, rng=0, sparse_grad=True)
+        emb(np.array([2, 2, 4])).sum().backward()
+        grad = emb.weight.grad
+        assert isinstance(grad, SparseRowGrad)
+        np.testing.assert_array_equal(grad.to_dense()[2], 2.0)
+        np.testing.assert_array_equal(grad.to_dense()[4], 1.0)
+        np.testing.assert_array_equal(grad.to_dense()[[0, 1, 3]], 0.0)
+
+
 class TestDropout:
     def test_eval_mode_is_identity(self):
         drop = Dropout(0.5, rng=0)

@@ -1,0 +1,120 @@
+"""Benchmark harness: payload shapes and the CI regression gate."""
+
+import numpy as np
+import pytest
+
+from repro.perf.bench import (
+    _resolve,
+    bench_embedding_backward,
+    bench_train_step,
+    bench_transport,
+    check_against_baseline,
+)
+
+
+class TestResolve:
+    def test_nested_lookup(self):
+        payload = {"a": {"b": {"c": 1.5}}}
+        assert _resolve(payload, "a.b.c") == 1.5
+
+    def test_missing_path_returns_none(self):
+        assert _resolve({"a": {}}, "a.b.c") is None
+        assert _resolve({"a": 3}, "a.b") is None
+
+
+class TestCheckAgainstBaseline:
+    def test_passes_within_tolerance(self):
+        current = {"train_step": {"speedup": 1.9}}
+        baseline = {"tolerance": 0.2,
+                    "metrics": {"train_step.speedup": 2.0}}
+        assert check_against_baseline(current, baseline) == []
+
+    def test_flags_regression_below_floor(self):
+        current = {"train_step": {"speedup": 1.2}}
+        baseline = {"tolerance": 0.2,
+                    "metrics": {"train_step.speedup": 2.0}}
+        messages = check_against_baseline(current, baseline)
+        assert len(messages) == 1
+        assert "train_step.speedup" in messages[0]
+        assert "1.200" in messages[0]
+
+    def test_missing_metric_is_a_regression(self):
+        messages = check_against_baseline(
+            {}, {"tolerance": 0.1, "metrics": {"gone.speedup": 2.0}})
+        assert messages == ["gone.speedup: missing from benchmark output"]
+
+    def test_non_numeric_metric_is_a_regression(self):
+        current = {"train_step": {"speedup": "fast"}}
+        baseline = {"metrics": {"train_step.speedup": 2.0}}
+        assert len(check_against_baseline(current, baseline)) == 1
+
+    def test_zero_tolerance_is_exact_floor(self):
+        current = {"x": 1.0}
+        assert check_against_baseline(
+            current, {"metrics": {"x": 1.0}}) == []
+        assert len(check_against_baseline(
+            current, {"metrics": {"x": 1.0000001}})) == 1
+
+    def test_invalid_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            check_against_baseline({}, {"tolerance": 1.0, "metrics": {}})
+        with pytest.raises(ValueError):
+            check_against_baseline({}, {"tolerance": -0.1, "metrics": {}})
+
+    def test_empty_baseline_always_passes(self):
+        assert check_against_baseline({"anything": 1}, {}) == []
+
+
+class TestCommittedBaselines:
+    def test_baselines_file_is_well_formed(self):
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "benchmarks" / \
+            "perf" / "baselines.json"
+        baselines = json.loads(path.read_text())
+        assert set(baselines) == {"tiny", "full"}
+        for profile in baselines.values():
+            for spec in profile.values():
+                assert 0.0 <= spec["tolerance"] < 1.0
+                assert spec["metrics"]
+                for dotted, value in spec["metrics"].items():
+                    assert dotted.endswith(".speedup")
+                    assert value > 0
+
+    def test_full_profile_enforces_acceptance_bar(self):
+        """The committed floor for the 2-worker train step is >= 1.5x."""
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "benchmarks" / \
+            "perf" / "baselines.json"
+        spec = json.loads(path.read_text())["full"]["train"]
+        floor = spec["metrics"]["train_step.speedup"] \
+            * (1.0 - spec["tolerance"])
+        assert floor >= 1.5
+
+
+class TestMicrobenchSmoke:
+    def test_embedding_backward_payload(self):
+        result = bench_embedding_backward(num_embeddings=500, dim=8,
+                                          batch=64, repeats=1)
+        assert result["dense_ms"] > 0 and result["sparse_ms"] > 0
+        assert result["speedup"] == pytest.approx(
+            result["dense_ms"] / result["sparse_ms"])
+
+    def test_transport_payload(self):
+        result = bench_transport(num_embeddings=500, dim=8,
+                                 touched_rows=64, repeats=2)
+        assert result["pipe_ms"] > 0 and result["shm_ms"] > 0
+        assert result["sparse_payload_bytes"] \
+            < result["dense_payload_bytes"]
+
+    def test_train_step_payload_single_worker(self):
+        result = bench_train_step(workers=1, steps=2, scale=0.25,
+                                  embedding_dim=8, batch_size=32,
+                                  warmup_steps=1, rounds=1)
+        assert result["workers"] == 1
+        for leg in ("baseline", "optimized"):
+            assert result[leg]["seconds_per_step"] > 0
+        assert np.isfinite(result["speedup"])

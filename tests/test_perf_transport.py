@@ -1,0 +1,265 @@
+"""Shared-memory gradient transport: layout, slot roundtrips, and the
+bit-identity of the optimized (shm + sparse) trainer path with the
+reference (pipe + dense) path — including under injected faults."""
+
+import numpy as np
+import pytest
+
+from repro.nn.sparse import SparseRowGrad
+from repro.parallel.data_parallel import DataParallelTrainer
+from repro.perf.config import PerfConfig, enable_sparse_embedding_grads
+from repro.perf.transport import (
+    GradientLayout,
+    ShmTransport,
+    WorkerTransportClient,
+)
+from repro.reliability import Fault, FaultPlan
+
+from tests.test_core_trainer import fast_config
+
+SPECS = [
+    ("emb.weight", (12, 4), "float64"),
+    ("tower.weight", (4, 3), "float64"),
+    ("tower.bias", (3,), "float64"),
+]
+
+
+class TestGradientLayout:
+    def test_offsets_are_monotone_and_disjoint(self):
+        layout = GradientLayout.build(SPECS)
+        prev_end = 0
+        for slot in layout.slots:
+            assert slot.header_offset == prev_end
+            assert slot.header_offset < slot.ids_offset \
+                < slot.payload_offset < slot.end_offset
+            prev_end = slot.end_offset
+        assert layout.grad_nbytes == layout.slots[-1].end_offset
+
+    def test_params_block_is_dense_concatenation(self):
+        layout = GradientLayout.build(SPECS)
+        expected = sum(int(np.prod(shape)) * 8 for _, shape, _ in SPECS)
+        assert layout.params_nbytes == expected
+
+    def test_row_capacity_and_dense_nbytes(self):
+        layout = GradientLayout.build(SPECS)
+        by_name = {s.name: s for s in layout.slots}
+        assert by_name["emb.weight"].row_capacity == 12
+        assert by_name["tower.bias"].row_capacity == 3
+        assert by_name["emb.weight"].dense_nbytes == 12 * 4 * 8
+
+    def test_layout_pickles_with_names(self):
+        import pickle
+
+        layout = GradientLayout.build(SPECS).with_names("p", ["g0", "g1"])
+        back = pickle.loads(pickle.dumps(layout))
+        assert back.params_name == "p"
+        assert back.grad_names == ("g0", "g1")
+        assert back.slots == layout.slots
+
+
+class TestShmRoundtrip:
+    def _grads(self, seed=0, sparse=False):
+        rng = np.random.default_rng(seed)
+        grads = {
+            "emb.weight": rng.standard_normal((12, 4)),
+            "tower.weight": rng.standard_normal((4, 3)),
+            "tower.bias": rng.standard_normal(3),
+        }
+        if sparse:
+            ids = np.array([3, 7, 3, 0])
+            grads["emb.weight"] = SparseRowGrad(
+                (12, 4), ids, rng.standard_normal((4, 4)))
+        return grads
+
+    def test_dense_roundtrip_bit_identical(self):
+        with ShmTransport(SPECS, num_slots=1) as transport:
+            client = WorkerTransportClient(transport.layout, 0)
+            try:
+                grads = self._grads()
+                client.write_grads(grads)
+                back = transport.read_grads(0)
+            finally:
+                client.close()
+        for name in grads:
+            np.testing.assert_array_equal(back[name], grads[name])
+
+    def test_sparse_roundtrip_coalesces_bit_identically(self):
+        with ShmTransport(SPECS, num_slots=1) as transport:
+            client = WorkerTransportClient(transport.layout, 0)
+            try:
+                grads = self._grads(sparse=True)
+                client.write_grads(grads)
+                back = transport.read_grads(0)
+            finally:
+                client.close()
+        emb = back["emb.weight"]
+        assert isinstance(emb, SparseRowGrad)
+        assert np.array_equal(emb.ids, np.unique([3, 7, 3, 0]))
+        np.testing.assert_array_equal(emb.to_dense(),
+                                      grads["emb.weight"].to_dense())
+
+    def test_slots_are_independent(self):
+        with ShmTransport(SPECS, num_slots=2) as transport:
+            c0 = WorkerTransportClient(transport.layout, 0)
+            c1 = WorkerTransportClient(transport.layout, 1)
+            try:
+                c0.write_grads(self._grads(seed=1))
+                c1.write_grads(self._grads(seed=2, sparse=True))
+                back0 = transport.read_grads(0)
+                back1 = transport.read_grads(1)
+            finally:
+                c0.close()
+                c1.close()
+        np.testing.assert_array_equal(back0["emb.weight"],
+                                      self._grads(seed=1)["emb.weight"])
+        assert isinstance(back1["emb.weight"], SparseRowGrad)
+
+    def test_params_broadcast_roundtrip(self):
+        rng = np.random.default_rng(3)
+        state = {name: rng.standard_normal(shape)
+                 for name, shape, _ in SPECS}
+        with ShmTransport(SPECS, num_slots=1) as transport:
+            client = WorkerTransportClient(transport.layout, 0)
+            try:
+                transport.write_params(state)
+                back = client.read_params()
+            finally:
+                client.close()
+        for name in state:
+            np.testing.assert_array_equal(back[name], state[name])
+
+    def test_read_params_copies(self):
+        state = {name: np.zeros(shape) for name, shape, _ in SPECS}
+        with ShmTransport(SPECS, num_slots=1) as transport:
+            client = WorkerTransportClient(transport.layout, 0)
+            try:
+                transport.write_params(state)
+                first = client.read_params()
+                transport.write_params(
+                    {n: np.ones_like(v) for n, v in state.items()})
+            finally:
+                client.close()
+            np.testing.assert_array_equal(first["emb.weight"], 0.0)
+
+    def test_close_is_idempotent(self):
+        transport = ShmTransport(SPECS, num_slots=1)
+        transport.close()
+        transport.close()
+
+    def test_invalid_num_slots(self):
+        with pytest.raises(ValueError):
+            ShmTransport(SPECS, num_slots=0)
+
+
+class TestPerfConfig:
+    def test_defaults_are_optimized(self):
+        perf = PerfConfig()
+        assert perf.sparse_grads and perf.transport == "auto"
+        assert perf.adam_sparse_mode == "exact"
+
+    def test_reference_is_seed_behavior(self):
+        perf = PerfConfig.reference()
+        assert not perf.sparse_grads
+        assert perf.transport == "pipe"
+        assert perf.adam_sparse_mode == "dense"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="transport"):
+            PerfConfig(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="adam_sparse_mode"):
+            PerfConfig(adam_sparse_mode="bogus")
+
+    def test_enable_sparse_embedding_grads_counts_tables(self):
+        from repro.core.config import STTransRecConfig
+        from repro.core.model import STTransRec
+
+        model = STTransRec(num_users=5, num_pois=6, num_words=4,
+                           config=STTransRecConfig(embedding_dim=4,
+                                                   hidden_sizes=[4]))
+        count = enable_sparse_embedding_grads(model)
+        assert count >= 2        # at least user + poi tables
+        from repro.nn.layers import Embedding
+        assert all(m.sparse_grad for m in model.modules()
+                   if isinstance(m, Embedding))
+
+
+def _run(split, perf, workers=2, steps=6, fault_plan=None):
+    """Losses + final parameters for one short training run."""
+    trainer = DataParallelTrainer(split, fast_config(), num_workers=workers,
+                                  fault_plan=fault_plan, perf=perf)
+    try:
+        losses = trainer.run_steps(steps)
+        state = {k: v.copy()
+                 for k, v in trainer.model.state_dict().items()}
+        transport = trainer._transport
+    finally:
+        trainer.close()
+    return losses, state, transport
+
+
+def _assert_identical(run_a, run_b):
+    losses_a, state_a, _ = run_a
+    losses_b, state_b, _ = run_b
+    np.testing.assert_array_equal(np.asarray(losses_a),
+                                  np.asarray(losses_b))
+    assert state_a.keys() == state_b.keys()
+    for name in state_a:
+        np.testing.assert_array_equal(state_a[name], state_b[name])
+
+
+class TestTrainerBitIdentity:
+    """The acceptance contract: optimized path == reference path, bitwise."""
+
+    def test_two_workers_shm_sparse_matches_pipe_dense(self, tiny_split):
+        reference = _run(tiny_split, PerfConfig.reference())
+        optimized = _run(tiny_split, PerfConfig(transport="shm"))
+        assert optimized[2] is not None     # shm actually engaged
+        _assert_identical(reference, optimized)
+
+    def test_sparse_over_pipe_matches_dense(self, tiny_split):
+        reference = _run(tiny_split, PerfConfig.reference())
+        sparse_pipe = _run(tiny_split, PerfConfig(transport="pipe"))
+        assert sparse_pipe[2] is None
+        _assert_identical(reference, sparse_pipe)
+
+    def test_single_process_sparse_matches_dense(self, tiny_split):
+        reference = _run(tiny_split, PerfConfig.reference(), workers=1)
+        optimized = _run(tiny_split, PerfConfig(), workers=1)
+        _assert_identical(reference, optimized)
+
+    def test_identical_under_crash_and_nan_faults(self, tiny_split):
+        def plan():
+            return FaultPlan([Fault.crash(worker=1, step=2),
+                              Fault.nan_grad(worker=0, step=3)])
+
+        reference = _run(tiny_split, PerfConfig.reference(),
+                         fault_plan=plan(), steps=8)
+        optimized = _run(tiny_split, PerfConfig(transport="shm"),
+                         fault_plan=plan(), steps=8)
+        assert optimized[2] is not None
+        _assert_identical(reference, optimized)
+
+    def test_auto_falls_back_to_pipe_when_shm_unavailable(
+            self, tiny_split, monkeypatch):
+        import repro.parallel.data_parallel as dp
+
+        def boom(*args, **kwargs):
+            raise OSError("no shared memory on this box")
+
+        monkeypatch.setattr(dp, "ShmTransport", boom)
+        auto = _run(tiny_split, PerfConfig(transport="auto"))
+        assert auto[2] is None              # fell back
+        reference = _run(tiny_split, PerfConfig.reference())
+        _assert_identical(reference, auto)
+
+    def test_explicit_shm_propagates_creation_failure(
+            self, tiny_split, monkeypatch):
+        import repro.parallel.data_parallel as dp
+
+        def boom(*args, **kwargs):
+            raise OSError("no shared memory on this box")
+
+        monkeypatch.setattr(dp, "ShmTransport", boom)
+        with pytest.raises(OSError):
+            DataParallelTrainer(tiny_split, fast_config(), num_workers=2,
+                                perf=PerfConfig(transport="shm"))
