@@ -103,13 +103,16 @@ def _train_resumable(args, split, config, telemetry=None) -> int:
     """Fault-tolerant path: supervised replicas + resumable checkpoints."""
     from repro.parallel import DataParallelTrainer
 
+    from repro.perf import PerfConfig
+
     checkpoint_path = args.checkpoint_path
     if checkpoint_path is None and (args.checkpoint_every or
                                     args.resume_from):
         checkpoint_path = (str(args.model_out) + ".ckpt"
                            if args.model_out else "checkpoint.npz")
+    perf = PerfConfig(precision=getattr(args, "precision", "f64"))
     with DataParallelTrainer(split, config, num_workers=args.workers,
-                             telemetry=telemetry) as trainer:
+                             telemetry=telemetry, perf=perf) as trainer:
         history = trainer.train(
             epochs=args.epochs,
             checkpoint_every=args.checkpoint_every,
@@ -147,7 +150,8 @@ def cmd_train(args) -> int:
         seed=args.seed,
     )
     telemetry = _make_telemetry(args, "train")
-    if args.workers > 1 or args.checkpoint_every or args.resume_from:
+    if args.workers > 1 or args.checkpoint_every or args.resume_from \
+            or getattr(args, "precision", "f64") != "f64":
         if args.profile_ops:
             _progress("--profile-ops instruments in-process tensor ops "
                       "only; worker replicas run unprofiled")
@@ -316,9 +320,15 @@ def cmd_perf_bench(args) -> int:
     _report(f"train step     : {train['train_step']['speedup']:.2f}x "
             f"({train['train_step']['workers']} workers, shm+sparse "
             f"vs pipe+dense)")
+    _report(f"train step f32 : "
+            f"{train['train_step']['f32']['speedup']:.2f}x vs pipe+dense "
+            f"({train['train_step']['f32_vs_f64']['speedup']:.2f}x vs "
+            f"optimized f64)")
     _report(f"emb backward   : "
             f"{train['embedding_backward']['speedup']:.2f}x")
     _report(f"transport hop  : {train['transport']['speedup']:.2f}x")
+    _report(f"neg sampling   : "
+            f"{train['negative_sampling']['speedup']:.2f}x vs python loop")
     _report(f"serving batch  : "
             f"{serving['serving_batch']['speedup']:.2f}x vs naive")
     if args.baseline:
@@ -337,6 +347,18 @@ def cmd_perf_bench(args) -> int:
             return 1
         _report("regression gate: all metrics within tolerance")
     return 0
+
+
+def cmd_precision_parity(args) -> int:
+    """Train f64 vs f32 on the same task; compare final eval metrics."""
+    from repro.perf.parity import run_precision_parity
+
+    report = run_precision_parity(
+        scale=args.scale, embedding_dim=args.embedding_dim,
+        epochs=args.epochs, num_workers=args.workers,
+        tolerance=args.tolerance, with_faults=not args.no_faults)
+    _report(report.table())
+    return 0 if report.passed else 1
 
 
 def cmd_metrics_report(args) -> int:
@@ -509,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--profile-ops", action="store_true",
                            help="profile per-op autograd time and "
                                 "allocations (single-process path)")
+            p.add_argument("--precision", choices=["f64", "f32"],
+                           default="f64",
+                           help="floating-point policy: f64 reference "
+                                "or the f32 fast path (routes through "
+                                "the fault-tolerant trainer)")
         _add_common(p)
         p.set_defaults(func=func)
 
@@ -554,9 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("perf-bench",
-                       help="hot-path microbenchmarks: train step, "
-                            "embedding backward, gradient transport, "
-                            "serving batch (emits BENCH_*.json)")
+                       help="hot-path microbenchmarks: train step "
+                            "(f64 + f32), embedding backward, gradient "
+                            "transport, negative sampling, serving "
+                            "batch (emits BENCH_*.json)")
     p.add_argument("--tiny", action="store_true",
                    help="CI smoke configuration (small world, few steps)")
     p.add_argument("--workers", type=int, default=2,
@@ -573,6 +601,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "(benchmarks/perf/baselines.json); exit 1 on "
                         "regression")
     p.set_defaults(func=cmd_perf_bench)
+
+    p = sub.add_parser("precision-parity",
+                       help="train f64 vs f32 on the same synthetic "
+                            "task and compare final eval metrics "
+                            "within a tolerance band")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="synthetic world scale (default 0.5)")
+    p.add_argument("--embedding-dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--workers", type=int, default=1,
+                   help="data-parallel replicas per leg (default 1)")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="max |f64 - f32| per metric, in absolute "
+                        "metric points (default 0.05)")
+    p.add_argument("--no-faults", action="store_true",
+                   help="skip the fault-injected f32 leg")
+    p.set_defaults(func=cmd_precision_parity)
 
     p = sub.add_parser("metrics-report",
                        help="print the aggregated telemetry of a "

@@ -4,18 +4,25 @@ A checkpoint is a single ``.npz`` holding the model's parameter arrays
 plus a JSON-encoded config and entity-index manifest, so a restored
 recommender is guaranteed to interpret embedding rows identically.
 
-Two format versions coexist:
+Three format versions coexist:
 
 * **v1** (``repro.checkpoint.v1``) — parameters + config + index.
-  Enough to serve a model; written when no training state is supplied.
+  Enough to serve a model.
 * **v2** (``repro.checkpoint.v2``) — v1 plus a *training state*: the
   optimizer's moment arrays (``__opt_m__<i>`` / ``__opt_v__<i>`` in
   parameter order), epoch/step counters, and the master RNG state.
   Enough to *resume* an interrupted run bit-exactly (see
   :meth:`repro.parallel.DataParallelTrainer.train`).
+* **v3** (``repro.checkpoint.v3``) — what :func:`save_checkpoint` now
+  writes: v2's layout plus a recorded parameter ``dtype`` in the
+  manifest (serve-only v3 files simply omit the training section, as
+  v1 did).  Loaders restore the arrays in the recorded dtype by
+  default; passing ``precision=`` casts explicitly — this is how v1/v2
+  f64 checkpoints load under an f32 policy (and vice versa).
 
-Both versions load through the same functions: v1 files simply carry no
-training state.  Paths are normalized to the ``.npz`` suffix on save
+All versions load through the same functions: files without a training
+section simply carry no training state, and files without a recorded
+dtype (v1/v2) are float64 by construction.  Paths are normalized to the ``.npz`` suffix on save
 *and* load, so ``save_checkpoint(..., "ckpt")`` and
 ``load_checkpoint("ckpt")`` agree on ``ckpt.npz`` (``np.savez`` appends
 the suffix on write, which previously made suffixless round trips
@@ -42,7 +49,8 @@ PathLike = Union[str, Path]
 _MANIFEST_KEY = "__manifest__"
 _FORMAT_V1 = "repro.checkpoint.v1"
 _FORMAT_V2 = "repro.checkpoint.v2"
-_FORMATS = (_FORMAT_V1, _FORMAT_V2)
+_FORMAT_V3 = "repro.checkpoint.v3"
+_FORMATS = (_FORMAT_V1, _FORMAT_V2, _FORMAT_V3)
 _OPT_M_PREFIX = "__opt_m__"
 _OPT_V_PREFIX = "__opt_v__"
 
@@ -77,20 +85,27 @@ def save_checkpoint(model: STTransRec, index: DatasetIndex,
                     training_state: Optional[TrainingState] = None) -> None:
     """Write model parameters + config + index manifest to ``path``.
 
-    With ``training_state`` the file is format v2 and additionally
-    carries optimizer moments, counters, and RNG state; without it the
-    file stays format v1, byte-compatible with older readers.
+    Files are written as format v3: the manifest records the parameter
+    dtype, and with ``training_state`` the file additionally carries
+    optimizer moments, counters, and RNG state (resumable); without it
+    the training section is simply absent (serve-only, as v1 was).
     """
     path = normalize_checkpoint_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: value for name, value in model.state_dict().items()}
+    param_dtypes = {str(v.dtype) for v in arrays.values()}
+    if len(param_dtypes) != 1:
+        raise ValueError(
+            f"model parameters carry mixed dtypes {sorted(param_dtypes)}; "
+            f"a checkpoint records exactly one")
     manifest = {
-        "format": _FORMAT_V1 if training_state is None else _FORMAT_V2,
+        "format": _FORMAT_V3,
+        "dtype": param_dtypes.pop(),
         "config": model.config.__dict__,
         "users": index.users.keys(),
         "pois": index.pois.keys(),
         "words": index.words.keys(),
     }
-    arrays = {name: value for name, value in model.state_dict().items()}
     if training_state is not None:
         opt = dict(training_state.optimizer_state)
         for i, m in enumerate(opt.pop("m", [])):
@@ -124,14 +139,37 @@ def _read_archive(path: PathLike):
             raise ValueError(
                 f"unsupported checkpoint format in {path}: "
                 f"found {found!r}, expected one of "
-                f"({_FORMAT_V1!r}, {_FORMAT_V2!r})"
+                f"({_FORMAT_V1!r}, {_FORMAT_V2!r}, {_FORMAT_V3!r})"
             )
         arrays = {name: archive[name] for name in archive.files
                   if name != _MANIFEST_KEY}
     return manifest, arrays
 
 
-def _build_model(manifest, state) -> Tuple[STTransRec, DatasetIndex]:
+def _target_dtype(manifest, precision) -> np.dtype:
+    """The dtype a load should restore arrays in.
+
+    Explicit ``precision`` wins; otherwise the manifest's recorded
+    dtype; v1/v2 files recorded none and were float64 by construction.
+    """
+    from repro.nn.dtypes import resolve
+
+    if precision is not None:
+        return resolve(precision)
+    return np.dtype(manifest.get("dtype", "float64"))
+
+
+def _cast(arrays, dtype):
+    """Cast floating arrays to ``dtype`` (no-op when they match)."""
+    return {name: (value.astype(dtype)
+                   if np.issubdtype(value.dtype, np.floating)
+                   and value.dtype != dtype else value)
+            for name, value in arrays.items()}
+
+
+def _build_model(manifest, state, dtype) -> Tuple[STTransRec, DatasetIndex]:
+    from repro.nn.dtypes import using_dtype
+
     config_dict = dict(manifest["config"])
     # Tuples serialize as lists; restore the fields that need tuples.
     if config_dict.get("grid_shape") is not None:
@@ -142,13 +180,14 @@ def _build_model(manifest, state) -> Tuple[STTransRec, DatasetIndex]:
         poi_ids=manifest["pois"],
         words=manifest["words"],
     )
-    model = STTransRec(
-        num_users=index.num_users,
-        num_pois=index.num_pois,
-        num_words=index.num_words,
-        config=config,
-    )
-    model.load_state_dict(state)
+    with using_dtype(dtype):
+        model = STTransRec(
+            num_users=index.num_users,
+            num_pois=index.num_pois,
+            num_words=index.num_words,
+            config=config,
+        )
+    model.load_state_dict(_cast(state, dtype))
     model.eval()
     return model, index
 
@@ -168,11 +207,15 @@ def _split_arrays(arrays):
     return params, m, v
 
 
-def load_checkpoint(path: PathLike) -> Tuple[STTransRec, DatasetIndex]:
+def load_checkpoint(path: PathLike,
+                    precision=None) -> Tuple[STTransRec, DatasetIndex]:
     """Restore the model and entity index saved by :func:`save_checkpoint`.
 
-    Accepts both v1 and v2 files (training state, if present, is simply
+    Accepts v1/v2/v3 files (training state, if present, is simply
     ignored — use :func:`load_training_checkpoint` to get it too).
+    ``precision`` (``"f64"``/``"f32"``/dtype) casts the parameters
+    explicitly; by default they restore in the checkpoint's recorded
+    dtype (float64 for v1/v2 files, which predate the record).
 
     Raises
     ------
@@ -181,20 +224,28 @@ def load_checkpoint(path: PathLike) -> Tuple[STTransRec, DatasetIndex]:
     """
     manifest, arrays = _read_archive(path)
     params, _m, _v = _split_arrays(arrays)
-    return _build_model(manifest, params)
+    return _build_model(manifest, params, _target_dtype(manifest, precision))
 
 
 def load_training_checkpoint(
-        path: PathLike) -> Tuple[STTransRec, DatasetIndex,
+        path: PathLike,
+        precision=None) -> Tuple[STTransRec, DatasetIndex,
                                  Optional[TrainingState]]:
-    """Like :func:`load_checkpoint`, plus the v2 training state.
+    """Like :func:`load_checkpoint`, plus the training state.
 
     Returns ``(model, index, state)`` where ``state`` is ``None`` for
-    v1 files.
+    serve-only files.  ``precision`` casts parameters *and* optimizer
+    moments, so a resumed run continues entirely in the requested
+    dtype.
     """
     manifest, arrays = _read_archive(path)
     params, m, v = _split_arrays(arrays)
-    model, index = _build_model(manifest, params)
+    dtype = _target_dtype(manifest, precision)
+    model, index = _build_model(manifest, params, dtype)
+    m = [a.astype(dtype) if np.issubdtype(a.dtype, np.floating)
+         and a.dtype != dtype else a for a in m]
+    v = [a.astype(dtype) if np.issubdtype(a.dtype, np.floating)
+         and a.dtype != dtype else a for a in v]
     training = manifest.get("training")
     if training is None:
         return model, index, None

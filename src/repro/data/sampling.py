@@ -10,6 +10,15 @@ ST-TransRec trains on two kinds of labelled pairs per city (Section 3.2):
 
 Samplers are index-space (contiguous ids from ``DatasetIndex``) so their
 output feeds embedding tables directly.
+
+Negative sampling is vectorized: a whole batch of candidates is drawn
+with one ``Generator.integers`` call, membership in the forbidden set
+(visited POIs / positive context words) is tested via ``searchsorted``
+against a sorted array of encoded ``(row, col)`` keys, and only the
+rejected positions are redrawn — again in one call per round.  The
+rejection loop is bounded exactly like the seed's per-candidate loop
+(after 100 rounds a leftover collision is accepted), so the semantics
+are unchanged; only the Python-loop overhead is gone.
 """
 
 from __future__ import annotations
@@ -71,26 +80,58 @@ class InteractionSampler:
             self._visited.setdefault(u, set()).add(v)
         if not self.positives:
             raise ValueError(f"no training interactions in city {city!r}")
+        # Sorted encoded (user, poi) keys for O(log n) vectorized
+        # membership tests in the rejection resampler.
+        self._poi_key = int(self.city_poi_indices.max()) + 1
+        pairs = np.asarray(self.positives, dtype=np.int64)
+        self._visited_keys = np.unique(
+            pairs[:, 0] * self._poi_key + pairs[:, 1])
 
     def __len__(self) -> int:
         return len(self.positives)
 
+    def _is_visited(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized membership of encoded (user, poi) keys."""
+        vk = self._visited_keys
+        idx = np.searchsorted(vk, keys)
+        return (idx < vk.size) & (vk[np.minimum(idx, vk.size - 1)] == keys)
+
     def sample_negatives(self, user_index: int, count: int) -> np.ndarray:
         """Uniformly sample ``count`` unvisited city POIs for a user."""
-        visited = self._visited.get(user_index, set())
-        out = np.empty(count, dtype=np.int64)
+        return self.sample_negatives_batch(
+            np.asarray([user_index], dtype=np.int64), count)[0]
+
+    def sample_negatives_batch(self, user_indices: np.ndarray,
+                               count: int) -> np.ndarray:
+        """Sample ``count`` unvisited city POIs for *each* user.
+
+        One ``Generator.integers`` call draws the whole ``(n, count)``
+        candidate block; rejection rounds redraw only the positions that
+        collided with a visited POI.  The visited set is tiny relative
+        to the candidate pool, so the expected round count is ~1; like
+        the seed's scalar loop, a position still colliding after 100
+        rounds keeps its draw (a user who visited every city POI has no
+        valid negative at all).
+        """
+        users = np.asarray(user_indices, dtype=np.int64)
         pool = self.city_poi_indices
-        for i in range(count):
-            # Rejection sampling: the visited set is tiny relative to the
-            # candidate pool, so this terminates almost immediately.
-            for _ in range(100):
-                candidate = int(pool[self._rng.integers(0, len(pool))])
-                if candidate not in visited:
-                    out[i] = candidate
-                    break
-            else:
-                out[i] = int(pool[self._rng.integers(0, len(pool))])
-        return out
+        draws = pool[self._rng.integers(0, pool.size,
+                                        size=(users.size, count))]
+        user_grid = np.broadcast_to(users[:, None], draws.shape)
+        bad = self._is_visited(
+            (user_grid * self._poi_key + draws).ravel()
+        ).reshape(draws.shape)
+        for _ in range(100):
+            nbad = int(bad.sum())
+            if nbad == 0:
+                break
+            redraw = pool[self._rng.integers(0, pool.size, size=nbad)]
+            draws[bad] = redraw
+            still = self._is_visited(user_grid[bad] * self._poi_key + redraw)
+            nxt = np.zeros_like(bad)
+            nxt[bad] = still
+            bad = nxt
+        return draws
 
     def epoch(self, batch_size: int) -> Iterator[Tuple[np.ndarray, np.ndarray,
                                                        np.ndarray]]:
@@ -100,21 +141,20 @@ class InteractionSampler:
         negatives with label 0, as in the paper's training procedure.
         """
         check_positive("batch_size", batch_size)
-        users: List[int] = []
-        pois: List[int] = []
-        labels: List[float] = []
-        for u, v in self.positives:
-            users.append(u)
-            pois.append(v)
-            labels.append(1.0)
-            for neg in self.sample_negatives(u, self.num_negatives):
-                users.append(u)
-                pois.append(int(neg))
-                labels.append(0.0)
-        order = self._rng.permutation(len(users))
-        users_arr = np.asarray(users)[order]
-        pois_arr = np.asarray(pois)[order]
-        labels_arr = np.asarray(labels)[order]
+        pos = np.asarray(self.positives, dtype=np.int64)
+        negs = self.sample_negatives_batch(pos[:, 0], self.num_negatives)
+        # Row i is positive i followed by its negatives; raveling in C
+        # order preserves the seed's per-positive example grouping.
+        pois_mat = np.concatenate([pos[:, 1:2], negs], axis=1)
+        labels_mat = np.zeros(pois_mat.shape)
+        labels_mat[:, 0] = 1.0
+        users_arr = np.repeat(pos[:, 0], 1 + self.num_negatives)
+        pois_arr = pois_mat.ravel()
+        labels_arr = labels_mat.ravel()
+        order = self._rng.permutation(users_arr.size)
+        users_arr = users_arr[order]
+        pois_arr = pois_arr[order]
+        labels_arr = labels_arr[order]
         for start in range(0, len(users_arr), batch_size):
             sl = slice(start, start + batch_size)
             yield users_arr[sl], pois_arr[sl], labels_arr[sl]
@@ -146,23 +186,43 @@ class ContextPairSampler:
         self._positive_words: Dict[int, Set[int]] = {}
         for poi, word in edges:
             self._positive_words.setdefault(int(poi), set()).add(int(word))
+        self._positive_keys = np.unique(
+            self.edges[:, 0] * np.int64(num_words) + self.edges[:, 1])
 
     def __len__(self) -> int:
         return len(self.edges)
 
+    def _is_positive(self, keys: np.ndarray) -> np.ndarray:
+        pk = self._positive_keys
+        idx = np.searchsorted(pk, keys)
+        return (idx < pk.size) & (pk[np.minimum(idx, pk.size - 1)] == keys)
+
     def sample_negative_words(self, poi_index: int, count: int) -> np.ndarray:
         """Sample words outside the POI's positive context (w' ∉ W_v)."""
-        positives = self._positive_words.get(poi_index, set())
-        out = np.empty(count, dtype=np.int64)
-        for i in range(count):
-            for _ in range(100):
-                candidate = int(self._rng.integers(0, self.num_words))
-                if candidate not in positives:
-                    out[i] = candidate
-                    break
-            else:
-                out[i] = int(self._rng.integers(0, self.num_words))
-        return out
+        return self.sample_negative_words_batch(
+            np.asarray([poi_index], dtype=np.int64), count)[0]
+
+    def sample_negative_words_batch(self, poi_indices: np.ndarray,
+                                    count: int) -> np.ndarray:
+        """Per-POI negative words, drawn and reject-resampled in bulk."""
+        pois = np.asarray(poi_indices, dtype=np.int64)
+        draws = self._rng.integers(0, self.num_words,
+                                   size=(pois.size, count))
+        poi_grid = np.broadcast_to(pois[:, None], draws.shape)
+        key = np.int64(self.num_words)
+        bad = self._is_positive(
+            (poi_grid * key + draws).ravel()).reshape(draws.shape)
+        for _ in range(100):
+            nbad = int(bad.sum())
+            if nbad == 0:
+                break
+            redraw = self._rng.integers(0, self.num_words, size=nbad)
+            draws[bad] = redraw
+            still = self._is_positive(poi_grid[bad] * key + redraw)
+            nxt = np.zeros_like(bad)
+            nxt[bad] = still
+            bad = nxt
+        return draws
 
     def epoch(self, batch_size: int) -> Iterator[Tuple[np.ndarray, np.ndarray,
                                                        np.ndarray]]:
@@ -177,8 +237,5 @@ class ContextPairSampler:
             chunk = shuffled[start:start + batch_size]
             pois = chunk[:, 0]
             words = chunk[:, 1]
-            negs = np.stack([
-                self.sample_negative_words(int(p), self.num_negatives)
-                for p in pois
-            ])
+            negs = self.sample_negative_words_batch(pois, self.num_negatives)
             yield pois, words, negs

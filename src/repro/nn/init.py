@@ -4,35 +4,50 @@ The paper initializes parameters "with a Gaussian distribution"; we
 default to that for embeddings and use He initialization for the ReLU MLP
 tower, which keeps activations well-scaled at the depths the paper sweeps
 (Table 5 goes to four hidden layers).
+
+Precision policy: every initializer draws in float64 and *then* casts
+to the target dtype (``dtype=`` argument, defaulting to the policy
+default from :mod:`repro.nn.dtypes`).  Drawing before casting means an
+f32 model consumes the exact same RNG stream as the f64 reference — its
+parameters are the bitwise downcast of the reference parameters, which
+is what makes cross-precision parity comparisons meaningful.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import dtypes
 from repro.utils.rng import SeedLike, as_rng
 
 
-def normal(shape: tuple, std: float = 0.01, rng: SeedLike = None) -> np.ndarray:
+def _finalize(arr: np.ndarray, dtype) -> np.ndarray:
+    target = dtypes.resolve(dtype)
+    return arr if arr.dtype == target else arr.astype(target)
+
+
+def normal(shape: tuple, std: float = 0.01, rng: SeedLike = None,
+           dtype=None) -> np.ndarray:
     """Zero-mean Gaussian init with standard deviation ``std``."""
-    return as_rng(rng).normal(0.0, std, size=shape)
+    return _finalize(as_rng(rng).normal(0.0, std, size=shape), dtype)
 
 
-def he_normal(shape: tuple, rng: SeedLike = None) -> np.ndarray:
+def he_normal(shape: tuple, rng: SeedLike = None, dtype=None) -> np.ndarray:
     """He (Kaiming) normal init for ReLU layers: std = sqrt(2 / fan_in)."""
     fan_in = shape[0] if len(shape) >= 1 else 1
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return as_rng(rng).normal(0.0, std, size=shape)
+    return _finalize(as_rng(rng).normal(0.0, std, size=shape), dtype)
 
 
-def xavier_uniform(shape: tuple, rng: SeedLike = None) -> np.ndarray:
+def xavier_uniform(shape: tuple, rng: SeedLike = None,
+                   dtype=None) -> np.ndarray:
     """Glorot uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     fan_in = shape[0] if len(shape) >= 1 else 1
     fan_out = shape[1] if len(shape) >= 2 else fan_in
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return as_rng(rng).uniform(-bound, bound, size=shape)
+    return _finalize(as_rng(rng).uniform(-bound, bound, size=shape), dtype)
 
 
-def zeros(shape: tuple) -> np.ndarray:
+def zeros(shape: tuple, dtype=None) -> np.ndarray:
     """All-zero init (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=dtypes.resolve(dtype))

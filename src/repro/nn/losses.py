@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import coerce
 from repro.nn.tensor import Tensor
 
 
@@ -29,7 +30,7 @@ def bce_with_logits(logits: Tensor, labels: np.ndarray,
     reduction:
         ``"mean"``, ``"sum"`` or ``"none"``.
     """
-    y = np.asarray(labels, dtype=np.float64)
+    y = coerce(labels, dtype=logits.data.dtype)
     if y.shape != logits.shape:
         raise ValueError(f"labels shape {y.shape} != logits shape {logits.shape}")
     pos = logits.log_sigmoid() * Tensor(y)
@@ -59,7 +60,7 @@ def negative_sampling_loss(pos_scores: Tensor, neg_scores: Tensor,
 
 def mse(pred: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
     """Squared error, used by reconstruction-style baselines (SH-CDL)."""
-    t = np.asarray(target, dtype=np.float64)
+    t = coerce(target, dtype=pred.data.dtype)
     diff = pred - Tensor(t)
     return _reduce(diff * diff, reduction)
 

@@ -10,8 +10,10 @@ ops (``mean`` = ``sum`` + ``__mul__``, ``sqrt`` = ``__pow__``) report
 only the time not already attributed to their callees, so the table's
 forward column sums to the real instrumented wall time instead of
 double counting.  Backward time is captured by wrapping each produced
-node's ``_backward`` closure; allocations count the bytes of every
-forward output array.
+node's ``_backward`` closure; allocations count the true bytes
+(``nbytes``) of every forward output array *and* every gradient array
+the backward closures produce — an f32 run therefore reports half the
+footprint of the f64 reference, not a dtype-blind element count.
 
 The profiler is designed for the single-threaded training hot path; do
 not arm it while another thread is running tensor ops.
@@ -106,7 +108,7 @@ class OpProfile:
             rows = rows[:top]
         lines = [
             "autograd op profile  (self time; allocations are forward "
-            "outputs)",
+            "outputs + backward gradients)",
             f"{'op':<16}{'calls':>8}{'fwd ms':>10}{'bwd ms':>10}"
             f"{'total ms':>10}{'alloc MB':>10}",
         ]
@@ -169,6 +171,10 @@ def _wrap_backward(orig: Callable, op: str, profile: OpProfile) -> Callable:
         stat = profile._stat(op)
         stat.backward_calls += 1
         stat.backward_seconds += elapsed
+        for g in result:
+            if g is not None:
+                # ndarray and SparseRowGrad both expose true byte size.
+                stat.bytes_allocated += getattr(g, "nbytes", 0)
         return result
 
     return timed_backward

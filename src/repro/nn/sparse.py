@@ -171,8 +171,7 @@ def average_sparse_grads(grads: List[SparseRowGrad]) -> SparseRowGrad:
     coalesced = [g.coalesce() for g in grads]
     union = np.unique(np.concatenate([c.ids for c in coalesced]))
     stacked = np.zeros((len(coalesced), union.size) + shape[1:],
-                       dtype=coalesced[0].rows.dtype
-                       if coalesced[0].rows.size else np.float64)
+                       dtype=coalesced[0].rows.dtype)
     for k, c in enumerate(coalesced):
         stacked[k, np.searchsorted(union, c.ids)] = c.rows
     return SparseRowGrad(shape, union, stacked.mean(axis=0))

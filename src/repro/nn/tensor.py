@@ -30,6 +30,8 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.dtypes import coerce, default_dtype
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 BackwardFn = Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]
 
@@ -71,8 +73,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array data; anything ``np.asarray`` accepts.  Integer input is
-        promoted to float64.
+        Array data; anything ``np.asarray`` accepts.  Non-floating input
+        (ints, bools) is promoted to the policy default dtype — float64
+        unless an f32 precision policy is active (see
+        :mod:`repro.nn.dtypes`); floating input keeps its dtype.
     requires_grad:
         If True and the tensor is a leaf, :meth:`backward` accumulates a
         gradient into ``.grad``.
@@ -87,10 +91,7 @@ class Tensor:
         _parents: Tuple["Tensor", ...] = (),
         _backward: Optional[BackwardFn] = None,
     ) -> None:
-        arr = np.asarray(data)
-        if not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
-        self.data: np.ndarray = arr
+        self.data: np.ndarray = coerce(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = _parents
@@ -146,8 +147,23 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _coerce(value: ArrayLike) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _coerce(value: ArrayLike, dtype=None) -> "Tensor":
+        """Wrap ``value`` as a Tensor, following ``dtype`` when given.
+
+        Binary ops pass their tensor operand's dtype: scalars (0-d) and
+        non-floating arrays are cast to it, so a python ``2.0`` or an
+        integer label array cannot NEP-50-promote an f32 graph to f64.
+        Floating *arrays* keep their own dtype — explicitly-typed data
+        wins over the operand, exactly as in the seed's f64-only world.
+        """
+        if isinstance(value, Tensor):
+            return value
+        arr = np.asarray(value)
+        if dtype is not None and arr.dtype != dtype and (
+                arr.ndim == 0 or
+                not np.issubdtype(arr.dtype, np.floating)):
+            arr = arr.astype(dtype)
+        return Tensor(arr)
 
     @staticmethod
     def _child(
@@ -164,7 +180,7 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce(other, self.data.dtype)
         a, b = self, other
 
         def backward(grad: np.ndarray):
@@ -179,7 +195,7 @@ class Tensor:
         return self._child(-self.data, (self,), lambda grad: (-grad,))
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce(other, self.data.dtype)
         a, b = self, other
 
         def backward(grad: np.ndarray):
@@ -188,10 +204,10 @@ class Tensor:
         return self._child(a.data - b.data, (a, b), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return self._coerce(other).__sub__(self)
+        return self._coerce(other, self.data.dtype).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce(other, self.data.dtype)
         a, b = self, other
 
         def backward(grad: np.ndarray):
@@ -206,7 +222,7 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce(other, self.data.dtype)
         a, b = self, other
 
         def backward(grad: np.ndarray):
@@ -218,7 +234,7 @@ class Tensor:
         return self._child(a.data / b.data, (a, b), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return self._coerce(other).__truediv__(self)
+        return self._coerce(other, self.data.dtype).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -231,7 +247,7 @@ class Tensor:
         return self._child(self.data**exponent, (self,), backward)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = self._coerce(other)
+        other = self._coerce(other, self.data.dtype)
         a, b = self, other
         out_data = a.data @ b.data
 
@@ -461,11 +477,13 @@ class Tensor:
     # Convenience constructors -----------------------------------------
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=default_dtype()),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=default_dtype()),
+                      requires_grad=requires_grad)
 
 
 def _topological_order(root: Tensor) -> list[Tensor]:
@@ -495,7 +513,7 @@ def _topological_order(root: Tensor) -> list[Tensor]:
 
 def stable_sigmoid(x: np.ndarray) -> np.ndarray:
     """Logistic function computed without overflow for large ``|x|``."""
-    x = np.asarray(x, dtype=np.float64)
+    x = coerce(x)
     out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
@@ -506,5 +524,5 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
 
 def softplus(x: np.ndarray) -> np.ndarray:
     """``log(1 + exp(x))`` computed without overflow."""
-    x = np.asarray(x, dtype=np.float64)
+    x = coerce(x)
     return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))

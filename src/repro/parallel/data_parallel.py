@@ -50,6 +50,7 @@ from repro.core.checkpoint import (
 from repro.core.config import STTransRecConfig
 from repro.core.trainer import _EPOCH_SECONDS_BUCKETS, STTransRecTrainer
 from repro.data.split import CrossingCitySplit
+from repro.nn.dtypes import set_default_dtype, using_dtype
 from repro.nn.losses import bce_with_logits
 from repro.nn.optim import Adam
 from repro.nn.sparse import SparseRowGrad, average_sparse_grads
@@ -160,7 +161,8 @@ def _worker_loop(pipe, split, config, worker_seed: int,
                  fault_plan: Optional[FaultPlan] = None,
                  incarnation: int = 0,
                  sparse_grads: bool = False,
-                 transport_layout=None) -> None:
+                 transport_layout=None,
+                 precision: str = "f64") -> None:
     """Worker process: recompute gradients for each parameter broadcast.
 
     Protocol: the master sends ``(step, state_dict)`` per training step
@@ -184,6 +186,10 @@ def _worker_loop(pipe, split, config, worker_seed: int,
     makes the slot handoff race-free (see
     :mod:`repro.perf.transport`).
     """
+    # The worker owns its process, so setting the process-global policy
+    # (rather than a scoped override) keeps every array the replica ever
+    # creates — batches, masks, intermediates — in the run's dtype.
+    set_default_dtype(precision)
     worker_config = STTransRecConfig(**{
         **config.__dict__, "seed": worker_seed,
     })
@@ -305,15 +311,16 @@ class DataParallelTrainer:
         # each incarnation's newest snapshot keeps a removed replica's
         # final metrics in the aggregate.
         self._worker_snapshots: dict = {}
-        self._master = STTransRecTrainer(split, config)
-        self.model = self._master.model
-        if self.perf.sparse_grads:
-            enable_sparse_embedding_grads(self.model)
-        self._params = dict(self.model.named_parameters())
-        self.optimizer = Adam(list(self._params.values()),
-                              lr=config.learning_rate,
-                              weight_decay=config.weight_decay,
-                              sparse_mode=self.perf.adam_sparse_mode)
+        with using_dtype(self.perf.precision):
+            self._master = STTransRecTrainer(split, config)
+            self.model = self._master.model
+            if self.perf.sparse_grads:
+                enable_sparse_embedding_grads(self.model)
+            self._params = dict(self.model.named_parameters())
+            self.optimizer = Adam(list(self._params.values()),
+                                  lr=config.learning_rate,
+                                  weight_decay=config.weight_decay,
+                                  sparse_mode=self.perf.adam_sparse_mode)
         self._examples_per_epoch = self._count_epoch_examples()
         self._guard = GradientGuard()
         self._global_step = 0
@@ -370,7 +377,8 @@ class DataParallelTrainer:
             target=_worker_loop,
             args=(child, self.split, self.config,
                   _WORKER_SEED_BASE + worker_id, worker_id, plan,
-                  incarnation, self.perf.sparse_grads, layout),
+                  incarnation, self.perf.sparse_grads, layout,
+                  self.perf.precision),
             daemon=True,
         )
         process.start()
@@ -622,7 +630,8 @@ class DataParallelTrainer:
         wrong data, wrong config) raises instead of silently training
         on a different trajectory.
         """
-        model, index, tstate = load_training_checkpoint(path)
+        model, index, tstate = load_training_checkpoint(
+            path, precision=self.perf.precision)
         if tstate is None:
             raise ValueError(
                 f"{path} is a v1 checkpoint with no training state; "

@@ -1,16 +1,23 @@
 """``repro.perf`` — hot-path optimizations and the benchmark harness.
 
-Three pieces:
+Four pieces:
 
 * :class:`PerfConfig` / :func:`enable_sparse_embedding_grads` — switch
-  sparse embedding gradients and the shared-memory gradient transport
-  on or off for :class:`~repro.parallel.data_parallel.
-  DataParallelTrainer` (both on by default, both proven bit-identical
-  to the reference dense/pipe path);
+  sparse embedding gradients, the shared-memory gradient transport,
+  and the floating-point precision policy (``"f64"`` reference /
+  ``"f32"`` fast, see :mod:`repro.nn.dtypes`) for
+  :class:`~repro.parallel.data_parallel.DataParallelTrainer`
+  (the structural optimizations are on by default and proven
+  bit-identical to the reference dense/pipe path; f32 is opt-in and
+  guarded by the parity harness);
+* :mod:`repro.perf.parity` — trains the same task under both
+  precisions and compares final eval metrics within a tolerance band
+  (``repro precision-parity``);
 * :mod:`repro.perf.transport` — the preallocated
   ``multiprocessing.shared_memory`` blocks and their layout manifest;
-* :mod:`repro.perf.bench` — microbenchmarks (train step, embedding
-  backward, transport, serving batch) emitting machine-readable
+* :mod:`repro.perf.bench` — microbenchmarks (train step incl. f32,
+  embedding backward, transport, negative sampling, serving batch)
+  emitting machine-readable
   ``BENCH_train.json`` / ``BENCH_serving.json`` with per-op profiler
   attribution, plus the regression-gate comparison logic CI runs
   against committed baselines.
@@ -20,6 +27,7 @@ See ``docs/performance.md`` for the design and tuning guide.
 
 from repro.perf.bench import (
     bench_embedding_backward,
+    bench_negative_sampling,
     bench_train_step,
     bench_transport,
     check_against_baseline,
@@ -27,6 +35,7 @@ from repro.perf.bench import (
     run_train_bench,
 )
 from repro.perf.config import PerfConfig, enable_sparse_embedding_grads
+from repro.perf.parity import ParityReport, run_precision_parity
 from repro.perf.transport import (
     GradientLayout,
     ShmTransport,
@@ -39,10 +48,13 @@ __all__ = [
     "GradientLayout",
     "ShmTransport",
     "WorkerTransportClient",
+    "ParityReport",
     "bench_embedding_backward",
+    "bench_negative_sampling",
     "bench_train_step",
     "bench_transport",
     "check_against_baseline",
+    "run_precision_parity",
     "run_serving_bench",
     "run_train_bench",
 ]

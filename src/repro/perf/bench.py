@@ -1,15 +1,20 @@
 """Microbenchmarks for the hot path, emitting machine-readable JSON.
 
-Four benchmarks, one per layer of the optimization stack:
+Five benchmarks, one per layer of the optimization stack:
 
-* **train_step** — end-to-end data-parallel step time, reference path
-  (dense gradients over pickled pipes) vs optimized path (sparse rows
-  over shared memory), same data, same seeds.  This is the headline
-  number: the acceptance bar is ≥ 1.5× with 2 workers.
+* **train_step** — end-to-end data-parallel step time, three legs:
+  reference path (dense f64 gradients over pickled pipes), optimized
+  f64 path (sparse rows over shared memory), and optimized f32 path
+  (the precision policy of :mod:`repro.nn.dtypes` on top).  Same data,
+  same seeds.  Headline bars: optimized-f64 ≥ 1.5× the reference and
+  f32 ≥ 1.25× the optimized-f64 leg, both with 2 workers.
 * **embedding_backward** — ``gather_rows`` backward, dense scatter-add
   vs :class:`~repro.nn.sparse.SparseRowGrad` construction.
 * **transport** — one gradient dict round-trip: ``pickle`` bytes (the
   pipe's serialization cost) vs shared-memory slot write + read.
+* **negative_sampling** — one epoch of interaction batch construction,
+  the seed's per-positive Python rejection loop vs the vectorized
+  ``Generator.integers`` + ``searchsorted`` resampler.
 * **serving** — the batched serving engine throughput (delegates to
   :func:`repro.serving.bench.run_serving_benchmark`).
 
@@ -41,7 +46,7 @@ from repro.utils.logging import get_logger
 
 logger = get_logger("perf.bench")
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _best_seconds(fn, repeats: int, warmup: int = 1) -> float:
@@ -93,28 +98,31 @@ def bench_embedding_backward(num_embeddings: int = 20000, dim: int = 64,
 # ----------------------------------------------------------------------
 def bench_transport(num_embeddings: int = 20000, dim: int = 64,
                     touched_rows: int = 2048, repeats: int = 20,
-                    seed: int = 0) -> Dict:
+                    seed: int = 0, dtype: str = "float64") -> Dict:
     """One gradient-dict hop, as the pipe vs the shm transport pay it.
 
     The pipe cost is ``pickle.dumps`` + ``pickle.loads`` of the dense
     dict (the copy through the pipe itself is at least that expensive);
     the shm cost is a worker-side slot write plus the master-side parse.
+    ``dtype`` sizes the payloads — an f32 run moves half the bytes.
     """
     rng = np.random.default_rng(seed)
     dense_grads = {
-        "embeddings.weight": rng.standard_normal((num_embeddings, dim)),
-        "tower.weight": rng.standard_normal((2 * dim, dim)),
-        "tower.bias": rng.standard_normal(dim),
+        "embeddings.weight":
+            rng.standard_normal((num_embeddings, dim)).astype(dtype),
+        "tower.weight": rng.standard_normal((2 * dim, dim)).astype(dtype),
+        "tower.bias": rng.standard_normal(dim).astype(dtype),
     }
     ids = np.unique(rng.integers(0, num_embeddings, size=touched_rows))
     sparse_grads = dict(dense_grads)
     sparse_grads["embeddings.weight"] = SparseRowGrad(
-        (num_embeddings, dim), ids, rng.standard_normal((ids.size, dim)))
+        (num_embeddings, dim), ids,
+        rng.standard_normal((ids.size, dim)).astype(dtype))
 
     pipe_s = _best_seconds(
         lambda: pickle.loads(pickle.dumps(dense_grads)), repeats)
 
-    specs = [(name, np.shape(g), "float64")
+    specs = [(name, np.shape(g), dtype)
              for name, g in dense_grads.items()]
     transport = ShmTransport(specs, num_slots=1)
     try:
@@ -138,6 +146,7 @@ def bench_transport(num_embeddings: int = 20000, dim: int = 64,
         "num_embeddings": num_embeddings,
         "embedding_dim": dim,
         "touched_rows": int(ids.size),
+        "dtype": dtype,
         "pipe_ms": pipe_s * 1e3,
         "shm_ms": shm_s * 1e3,
         "speedup": pipe_s / shm_s,
@@ -167,14 +176,14 @@ def bench_train_step(workers: int = 2, steps: int = 15, scale: float = 4.0,
                      embedding_dim: int = 128, batch_size: int = 64,
                      warmup_steps: int = 3, rounds: int = 3,
                      seed: int = 7) -> Dict:
-    """Steady-state seconds/step: ``PerfConfig.reference()`` vs default.
+    """Steady-state seconds/step: reference vs optimized vs optimized-f32.
 
-    Both runs consume identical batch streams from identical initial
-    parameters (the paths are bit-identical, so the *work* is identical
-    too — only the representation and transport differ).  Each trainer
-    is measured over ``rounds`` windows of ``steps`` and the fastest
-    window is reported, which filters scheduler noise the same way
-    ``timeit`` does.
+    All legs consume identical batch streams from identical initial
+    parameter *draws* (the two f64 paths are bit-identical; the f32 leg
+    downcasts the same draws and does the same arithmetic in half the
+    bytes).  Each trainer is measured over ``rounds`` windows of
+    ``steps`` and the fastest window is reported, which filters
+    scheduler noise the same way ``timeit`` does.
     """
     from repro.parallel.data_parallel import DataParallelTrainer
 
@@ -196,6 +205,7 @@ def bench_train_step(workers: int = 2, steps: int = 15, scale: float = 4.0,
 
     baseline = run(PerfConfig.reference())
     optimized = run(PerfConfig())
+    fast32 = run(PerfConfig(precision="f32"))
     return {
         "workers": workers,
         "steps": steps,
@@ -205,10 +215,80 @@ def bench_train_step(workers: int = 2, steps: int = 15, scale: float = 4.0,
         "embedding_dim": embedding_dim,
         "batch_size": batch_size,
         "baseline": {"transport": "pipe", "sparse_grads": False,
+                     "dtype": "float64",
                      "seconds_per_step": baseline},
         "optimized": {"transport": "shm", "sparse_grads": True,
+                      "dtype": "float64",
                       "seconds_per_step": optimized},
+        "optimized_f32": {"transport": "shm", "sparse_grads": True,
+                          "dtype": "float32",
+                          "seconds_per_step": fast32},
         "speedup": baseline / optimized,
+        "f32": {"speedup": baseline / fast32},
+        "f32_vs_f64": {"speedup": optimized / fast32},
+    }
+
+
+def bench_negative_sampling(scale: float = 0.5, num_negatives: int = 4,
+                            batch_size: int = 256, repeats: int = 3,
+                            seed: int = 7) -> Dict:
+    """One epoch of interaction batches: Python-loop vs vectorized.
+
+    The reference reimplements the seed's per-positive rejection loop
+    (scalar ``Generator.integers`` per candidate, set membership per
+    draw) over the *same* sampler state; the contender is
+    :meth:`repro.data.sampling.InteractionSampler.epoch`, whose
+    negatives come from bulk draws + ``searchsorted`` resampling.
+    """
+    from repro.data.sampling import InteractionSampler
+
+    split, config = _bench_world(scale, 16, batch_size, seed)
+    dataset = split.train
+    index = dataset.build_index()
+
+    def make_sampler() -> InteractionSampler:
+        return InteractionSampler(dataset, index, split.target_city,
+                                  num_negatives=num_negatives, rng=seed)
+
+    def loop_epoch() -> None:
+        sampler = make_sampler()
+        rng = sampler._rng
+        pool = sampler.city_poi_indices
+        users, pois, labels = [], [], []
+        for u, v in sampler.positives:
+            visited = sampler._visited.get(u, set())
+            users.append(u)
+            pois.append(v)
+            labels.append(1.0)
+            for _ in range(num_negatives):
+                for _ in range(100):
+                    candidate = int(pool[rng.integers(0, len(pool))])
+                    if candidate not in visited:
+                        break
+                users.append(u)
+                pois.append(candidate)
+                labels.append(0.0)
+        order = rng.permutation(len(users))
+        for start in range(0, len(order), batch_size):
+            sl = order[start:start + batch_size]
+            _ = (np.asarray(users)[sl], np.asarray(pois)[sl],
+                 np.asarray(labels)[sl])
+
+    def vector_epoch() -> None:
+        sampler = make_sampler()
+        for _batch in sampler.epoch(batch_size):
+            pass
+
+    loop_s = _best_seconds(loop_epoch, repeats)
+    vector_s = _best_seconds(vector_epoch, repeats)
+    probe = make_sampler()
+    return {
+        "positives": len(probe),
+        "num_negatives": num_negatives,
+        "batch_size": batch_size,
+        "loop_ms": loop_s * 1e3,
+        "vectorized_ms": vector_s * 1e3,
+        "speedup": loop_s / vector_s,
     }
 
 
@@ -267,11 +347,13 @@ def run_train_bench(out_path: str = "BENCH_train.json",
                           repeats=3)
         tr_kwargs = dict(num_embeddings=2000, dim=32, touched_rows=512,
                          repeats=5)
+        ns_kwargs = dict(scale=0.5, batch_size=128, repeats=2)
         steps = steps or 8
     else:
         kwargs = dict(scale=4.0, embedding_dim=128, batch_size=64)
         emb_kwargs = dict()
         tr_kwargs = dict()
+        ns_kwargs = dict(scale=2.0)
         steps = steps or 15
     payload = _payload_header("train")
     payload["tiny"] = tiny
@@ -279,6 +361,8 @@ def run_train_bench(out_path: str = "BENCH_train.json",
     payload["embedding_backward"] = bench_embedding_backward(**emb_kwargs)
     logger.info("benchmarking gradient transport...")
     payload["transport"] = bench_transport(**tr_kwargs)
+    logger.info("benchmarking negative sampling...")
+    payload["negative_sampling"] = bench_negative_sampling(**ns_kwargs)
     logger.info("benchmarking %d-worker train step (%d steps)...",
                     workers, steps)
     payload["train_step"] = bench_train_step(workers=workers, steps=steps,

@@ -27,14 +27,25 @@ class PerfConfig:
         Passed to :class:`~repro.nn.optim.Adam` — ``"exact"`` is
         bit-identical to dense updates, ``"lazy"`` trades exactness for
         speed (LazyAdam), ``"dense"`` disables the sparse path.
+    precision:
+        Floating-point policy for the whole training stack (see
+        :mod:`repro.nn.dtypes`): ``"f64"`` is the bit-exact reference;
+        ``"f32"`` initializes parameters, optimizer moments, autograd
+        intermediates, and transport payloads in float32 — half the
+        bytes through every dense op.  f32 is *not* bit-identical to
+        f64; it is guarded by the eval-metric parity harness in
+        :mod:`repro.perf.parity` instead.
 
-    Both optimizations are proven bit-identical to the reference path
-    (``PerfConfig.reference()``) in ``tests/test_perf_transport.py``.
+    The structural optimizations (sparse grads, shm transport) are
+    proven bit-identical to the reference path
+    (``PerfConfig.reference()``) in ``tests/test_perf_transport.py``
+    within a fixed precision.
     """
 
     sparse_grads: bool = True
     transport: str = "auto"
     adam_sparse_mode: str = "exact"
+    precision: str = "f64"
 
     def __post_init__(self) -> None:
         if self.transport not in _TRANSPORTS:
@@ -45,12 +56,23 @@ class PerfConfig:
             raise ValueError(
                 f"adam_sparse_mode must be 'dense', 'exact' or 'lazy', "
                 f"got {self.adam_sparse_mode!r}")
+        if self.precision not in ("f64", "f32"):
+            raise ValueError(
+                f"precision must be 'f64' or 'f32', "
+                f"got {self.precision!r}")
+
+    @property
+    def dtype(self):
+        """The numpy dtype of this policy."""
+        from repro.nn.dtypes import resolve
+
+        return resolve(self.precision)
 
     @staticmethod
     def reference() -> "PerfConfig":
-        """The pre-optimization path: dense grads over pickled pipes."""
+        """The pre-optimization path: dense f64 grads over pickled pipes."""
         return PerfConfig(sparse_grads=False, transport="pipe",
-                          adam_sparse_mode="dense")
+                          adam_sparse_mode="dense", precision="f64")
 
 
 def enable_sparse_embedding_grads(model) -> int:

@@ -17,7 +17,7 @@ from tests.test_core_trainer import fast_config
 
 @pytest.fixture(scope="module")
 def trained_space(tiny_split):
-    trainer = STTransRecTrainer(tiny_split, fast_config(epochs=4,
+    trainer = STTransRecTrainer(tiny_split, fast_config(epochs=5,
                                                         pretrain_epochs=8))
     trainer.fit()
     return EmbeddingSpace(

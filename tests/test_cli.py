@@ -111,9 +111,12 @@ class TestCommands:
         import repro.cli as cli_mod
 
         def fake_train(out_path, tiny, workers, steps):
-            payload = {"train_step": {"speedup": 2.0, "workers": workers},
+            payload = {"train_step": {"speedup": 2.0, "workers": workers,
+                                      "f32": {"speedup": 2.6},
+                                      "f32_vs_f64": {"speedup": 1.3}},
                        "embedding_backward": {"speedup": 5.0},
-                       "transport": {"speedup": 3.0}}
+                       "transport": {"speedup": 3.0},
+                       "negative_sampling": {"speedup": 4.0}}
             with open(out_path, "w") as fh:
                 json.dump(payload, fh)
             return payload

@@ -60,6 +60,42 @@ class TestInteractionSampler:
             next(smp.epoch(batch_size=0))
 
 
+class TestBatchNegativeSampling:
+    """The vectorized batch path behind epoch()."""
+
+    def test_shape_and_validity(self, sampler):
+        smp, _ = sampler
+        users = np.asarray([u for u, _v in smp.positives[:8]])
+        negs = smp.sample_negatives_batch(users, 6)
+        assert negs.shape == (8, 6)
+        pool = set(smp.city_poi_indices.tolist())
+        for row, u in zip(negs, users):
+            drawn = set(row.tolist())
+            assert drawn <= pool
+            assert not (drawn & smp._visited[u])
+
+    def test_single_user_path_delegates(self, sampler):
+        smp, _ = sampler
+        u = smp.positives[0][0]
+        negs = smp.sample_negatives(u, 12)
+        assert negs.shape == (12,)
+        assert not (set(negs.tolist()) & smp._visited[u])
+
+    def test_empty_batch(self, sampler):
+        smp, _ = sampler
+        negs = smp.sample_negatives_batch(np.asarray([], dtype=np.int64), 4)
+        assert negs.shape == (0, 4)
+
+    def test_context_sampler_batch(self):
+        edges = [(0, 1), (0, 2), (1, 3)]
+        smp = ContextPairSampler(edges, num_words=10, rng=0)
+        negs = smp.sample_negative_words_batch(np.asarray([0, 0, 1]), 20)
+        assert negs.shape == (3, 20)
+        assert not ({1, 2} & set(negs[0].tolist()))
+        assert not ({1, 2} & set(negs[1].tolist()))
+        assert 3 not in set(negs[2].tolist())
+
+
 class TestNegativeSamplingFallback:
     def test_user_who_visited_everything_terminates(self):
         """Rejection sampling must not loop forever when no negative

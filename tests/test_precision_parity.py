@@ -1,0 +1,152 @@
+"""Cross-precision parity harness and checkpoint dtype round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    TrainingState,
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+)
+from repro.core.trainer import STTransRecTrainer
+from repro.nn.dtypes import using_dtype
+from repro.perf.parity import MetricDelta, ParityReport, run_precision_parity
+
+from tests.test_core_trainer import fast_config
+
+
+class TestParityReport:
+    def test_empty_report_passes(self):
+        assert ParityReport(tolerance=0.0).passed
+
+    def test_delta_is_absolute(self):
+        d = MetricDelta("recall", 10, f64=0.30, f32=0.33)
+        assert d.delta == pytest.approx(0.03)
+
+    def test_max_delta_gates_pass(self):
+        report = ParityReport(tolerance=0.02)
+        report.deltas.append(MetricDelta("recall", 10, 0.30, 0.33))
+        assert report.max_delta == pytest.approx(0.03)
+        assert not report.passed
+
+    def test_fault_check_requires_a_trip(self):
+        report = ParityReport(tolerance=0.5, fault_checked=True,
+                              fault_trips=0)
+        assert not report.passed
+        report.fault_trips = 1
+        assert report.passed
+
+    def test_table_renders_verdict(self):
+        report = ParityReport(tolerance=0.05)
+        report.deltas.append(MetricDelta("ndcg", 10, 0.20, 0.21))
+        text = report.table()
+        assert "ndcg@10" in text
+        assert "PASS" in text
+
+
+class TestRunParity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # One real double-train at tiny scale, with the fault leg.
+        return run_precision_parity(scale=0.3, embedding_dim=16,
+                                    epochs=2, num_workers=1,
+                                    tolerance=0.05, with_faults=True)
+
+    def test_metrics_agree_within_tolerance(self, report):
+        assert report.max_delta <= report.tolerance, report.table()
+
+    def test_guard_trips_under_f32_nan_grad(self, report):
+        assert report.fault_checked
+        assert report.fault_trips >= 1
+
+    def test_report_passes(self, report):
+        assert report.passed, report.table()
+
+
+@pytest.fixture(scope="module")
+def trained_f64(tiny_split):
+    trainer = STTransRecTrainer(tiny_split, fast_config())
+    trainer.fit()
+    return trainer
+
+
+def _manifest_of(path):
+    with np.load(path) as archive:
+        return json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+
+
+class TestCheckpointPrecision:
+    def test_v3_manifest_records_dtype(self, trained_f64, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained_f64.model, trained_f64.index, path)
+        manifest = _manifest_of(path)
+        assert manifest["format"] == "repro.checkpoint.v3"
+        assert manifest["dtype"] == "float64"
+
+    def test_f64_file_loads_under_f32_policy(self, trained_f64, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(trained_f64.model, trained_f64.index, path)
+        model, _ = load_checkpoint(path, precision="f32")
+        params = list(model.parameters())
+        assert params
+        assert all(p.data.dtype == np.float32 for p in params)
+        # Explicit downcast, not retrained noise: values are the
+        # bitwise astype of the f64 originals.
+        for got, want in zip(params, trained_f64.model.parameters()):
+            np.testing.assert_array_equal(
+                got.data, want.data.astype(np.float32))
+
+    def test_f32_file_records_float32_and_upcasts(self, tiny_split,
+                                                  tmp_path):
+        with using_dtype("f32"):
+            trainer = STTransRecTrainer(tiny_split, fast_config())
+            trainer.fit()
+        path = tmp_path / "model32.npz"
+        save_checkpoint(trainer.model, trainer.index, path)
+        assert _manifest_of(path)["dtype"] == "float32"
+
+        # Default load preserves the stored dtype...
+        model, _ = load_checkpoint(path)
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+        # ...and an explicit f64 request upcasts every parameter.
+        model64, _ = load_checkpoint(path, precision="f64")
+        assert all(p.data.dtype == np.float64
+                   for p in model64.parameters())
+
+    def test_mixed_dtype_model_rejected(self, trained_f64, tmp_path):
+        params = list(trained_f64.model.parameters())
+        original = params[0].data
+        params[0].data = original.astype(np.float32)
+        try:
+            with pytest.raises(ValueError, match="mixed dtypes"):
+                save_checkpoint(trained_f64.model, trained_f64.index,
+                                tmp_path / "bad.npz")
+        finally:
+            params[0].data = original
+
+    def test_training_checkpoint_moments_cast(self, trained_f64,
+                                              tmp_path):
+        from repro.nn.optim import Adam
+
+        opt = Adam(list(trained_f64.model.parameters()), lr=1e-3)
+        for p in opt.params:
+            p.grad = np.zeros_like(p.data)
+        opt.step()          # materialize nonzero step_count + moments
+        path = tmp_path / "train.npz"
+        save_checkpoint(trained_f64.model, trained_f64.index, path,
+                        training_state=TrainingState(
+                            epochs_completed=1, global_step=3,
+                            optimizer_state=opt.state_dict()))
+        model, _index, state = load_training_checkpoint(path,
+                                                        precision="f32")
+        assert all(p.data.dtype == np.float32
+                   for p in model.parameters())
+        assert state is not None
+        assert all(m.dtype == np.float32
+                   for m in state.optimizer_state["m"])
+        assert all(v.dtype == np.float32
+                   for v in state.optimizer_state["v"])
+        assert state.optimizer_state["step_count"] == 1
