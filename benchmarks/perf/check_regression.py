@@ -27,7 +27,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.perf.bench import check_against_baseline  # noqa: E402
+from repro.perf.bench import (  # noqa: E402
+    check_against_baseline,
+    check_fleet_against_baseline,
+)
 
 
 def main(argv=None) -> int:
@@ -49,6 +52,7 @@ def main(argv=None) -> int:
     profile = baselines[args.profile]
 
     regressions = []
+    skipped = []
     for name, path in (("train", args.train), ("serving", args.serving)):
         spec = profile.get(name)
         if spec is None:
@@ -57,12 +61,27 @@ def main(argv=None) -> int:
         regressions += [f"[{name}] {msg}"
                         for msg in check_against_baseline(payload, spec)]
 
+    # Fleet scaling metrics live in the serving payload but gate
+    # separately: they are skipped (not failed) on runners whose CPU
+    # affinity can't physically express multi-shard speedup.
+    fleet_spec = profile.get("fleet")
+    if fleet_spec is not None:
+        payload = json.loads(Path(args.serving).read_text())
+        fleet_regressions, skip_reason = check_fleet_against_baseline(
+            payload, fleet_spec)
+        if skip_reason:
+            skipped.append(skip_reason)
+        regressions += [f"[fleet] {msg}" for msg in fleet_regressions]
+
     if regressions:
         for msg in regressions:
             print(f"REGRESSION {msg}")
         return 1
     gated = sum(len(profile.get(n, {}).get("metrics", {}))
-                for n in ("train", "serving"))
+                for n in ("train", "serving", "fleet"))
+    for reason in skipped:
+        gated -= len(fleet_spec.get("metrics", {}))
+        print(f"SKIPPED {reason}")
     print(f"perf gate ({args.profile}): {gated} metrics within tolerance")
     return 0
 

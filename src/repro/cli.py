@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
         ST-TransRec
     python -m repro.cli case-study --preset foursquare
     python -m repro.cli serve-bench --tiny
+    python -m repro.cli fleet-bench --shards 1 2 4
+    python -m repro.cli fleet-smoke
     python -m repro.cli train --data data.jsonl --target los_angeles \
         --workers 2 --telemetry-dir telemetry/
     python -m repro.cli metrics-report --telemetry-dir telemetry/
@@ -282,13 +284,15 @@ def cmd_serve_bench(args) -> int:
     from repro.serving.bench import format_report, run_serving_benchmark
 
     if args.tiny:
-        scale, batch_size, repeats = 0.15, 64, 2
+        # The CI smoke workload is pinned (baselines gate its numbers).
+        scale, batch_size, repeats, embedding_dim = 0.15, 64, 2, 32
     else:
-        scale, batch_size, repeats = args.scale, args.batch_size, args.repeats
+        scale, batch_size, repeats, embedding_dim = (
+            args.scale, args.batch_size, args.repeats, args.embedding_dim)
     telemetry = _make_telemetry(args, "serve-bench")
     result = run_serving_benchmark(
         scale=scale, batch_size=batch_size, k=args.k, repeats=repeats,
-        seed=args.seed, embedding_dim=args.embedding_dim,
+        seed=args.seed, embedding_dim=embedding_dim,
         registry=telemetry.registry if telemetry is not None else None)
     report = format_report(result)
     _report(report)
@@ -307,8 +311,9 @@ def cmd_perf_bench(args) -> int:
     """Run the hot-path microbenchmarks and emit ``BENCH_*.json``."""
     import json
 
-    from repro.perf.bench import (check_against_baseline, run_serving_bench,
-                                  run_train_bench)
+    from repro.perf.bench import (check_against_baseline,
+                                  check_fleet_against_baseline,
+                                  run_serving_bench, run_train_bench)
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -331,6 +336,13 @@ def cmd_perf_bench(args) -> int:
             f"{train['negative_sampling']['speedup']:.2f}x vs python loop")
     _report(f"serving batch  : "
             f"{serving['serving_batch']['speedup']:.2f}x vs naive")
+    fleet = serving.get("fleet")
+    if fleet:
+        for key in sorted(fleet["shards"], key=int):
+            row = fleet["shards"][key]
+            _report(f"fleet {key} shard{'s' if key != '1' else ' '} : "
+                    f"{row['speedup_vs_single']:.2f}x vs single process "
+                    f"({row['saturation_users_per_s']:.0f} users/s)")
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
         if "tiny" in baseline or "full" in baseline:
@@ -341,6 +353,13 @@ def cmd_perf_bench(args) -> int:
             if spec:
                 regressions += [f"[{name}] {msg}" for msg in
                                 check_against_baseline(payload, spec)]
+        fleet_spec = baseline.get("fleet")
+        if fleet_spec:
+            fleet_regressions, skip = check_fleet_against_baseline(
+                serving, fleet_spec)
+            if skip:
+                _report(f"SKIPPED {skip}")
+            regressions += [f"[fleet] {msg}" for msg in fleet_regressions]
         if regressions:
             for msg in regressions:
                 _report(f"REGRESSION {msg}")
@@ -362,18 +381,136 @@ def cmd_precision_parity(args) -> int:
 
 
 def cmd_metrics_report(args) -> int:
-    """Render the aggregated telemetry of a ``--telemetry-dir``."""
-    from repro.obs.export import load_run_state, render_console_summary
-    from repro.obs.telemetry import EVENTS_FILE
+    """Render the aggregated telemetry of a ``--telemetry-dir``.
 
-    events = Path(args.telemetry_dir) / EVENTS_FILE
-    if not events.exists():
-        _progress(f"no telemetry found: {events} does not exist")
+    Sweeps the directory's own ``events.jsonl`` plus any in immediate
+    subdirectories, so per-shard fleet telemetry (``<dir>/shard-<id>/``)
+    aggregates into one report.
+    """
+    from repro.obs.export import load_run_state_tree, render_console_summary
+
+    registry, tracer, num_runs, num_logs = load_run_state_tree(
+        args.telemetry_dir)
+    if num_logs == 0:
+        _progress(f"no telemetry found: no events.jsonl under "
+                  f"{args.telemetry_dir}")
         return 1
-    registry, tracer, num_runs = load_run_state(events)
     title = (f"telemetry report: {args.telemetry_dir} "
-             f"({num_runs} run{'s' if num_runs != 1 else ''})")
+             f"({num_runs} run{'s' if num_runs != 1 else ''}, "
+             f"{num_logs} log{'s' if num_logs != 1 else ''})")
     _report(render_console_summary(registry, tracer, title=title))
+    return 0
+
+
+def cmd_fleet_bench(args) -> int:
+    """Benchmark the sharded serving fleet against a single process."""
+    from repro.fleet.bench import format_fleet_report, run_fleet_benchmark
+
+    telemetry = _make_telemetry(args, "fleet-bench")
+    kwargs = dict(
+        k=args.k, seed=args.seed, rate=args.rate,
+        telemetry_dir=getattr(args, "telemetry_dir", None),
+        registry=telemetry.registry if telemetry is not None else None)
+    if args.shards:
+        kwargs["shard_counts"] = tuple(args.shards)
+    if args.tiny:
+        kwargs.setdefault("shard_counts", (1, 2))
+        payload = run_fleet_benchmark(
+            scale=0.1, embedding_dim=8, batch_size=32,
+            saturation_seconds=0.5, load_seconds=1.0, **kwargs)
+    else:
+        payload = run_fleet_benchmark(scale=args.scale,
+                                      dtype=args.dtype, **kwargs)
+    _report(format_fleet_report(payload))
+    if args.out and args.out != "-":
+        out = Path(args.out)
+        doc = json.loads(out.read_text()) if out.exists() else {}
+        doc["fleet"] = payload
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        _progress(f"merged fleet rows into {out}")
+    if telemetry is not None:
+        telemetry.save()
+        _progress(f"telemetry written to {telemetry.dir}")
+    if args.baseline:
+        from repro.perf.bench import check_fleet_against_baseline
+
+        baseline = json.loads(Path(args.baseline).read_text())
+        if "tiny" in baseline or "full" in baseline:
+            baseline = baseline.get("tiny" if args.tiny else "full", {})
+        spec = baseline.get("fleet")
+        if spec:
+            regressions, skip = check_fleet_against_baseline(
+                {"fleet": payload}, spec)
+            if skip:
+                _report(f"SKIPPED {skip}")
+            elif regressions:
+                for msg in regressions:
+                    _report(f"REGRESSION [fleet] {msg}")
+                return 1
+            else:
+                _report("fleet gate: all metrics within tolerance")
+    return 0
+
+
+def cmd_fleet_smoke(args) -> int:
+    """Fleet fault smoke test (run in CI): a 2-shard fleet survives an
+    injected shard crash mid-load, keeps answering bit-identically to
+    the single-process service, and leaks no child processes."""
+    import multiprocessing as mp
+
+    from repro.core.config import STTransRecConfig
+    from repro.core.model import STTransRec
+    from repro.data.synthetic import foursquare_like
+    from repro.fleet import ShardRouter
+    from repro.parallel import SupervisionConfig
+    from repro.reliability import Fault, FaultPlan
+    from repro.serving.service import RecommendationService
+
+    config = foursquare_like(scale=0.1, seed=args.seed)
+    dataset, _truth = generate_dataset(config)
+    index = dataset.build_index()
+    model = STTransRec(index.num_users, index.num_pois, index.num_words,
+                       STTransRecConfig(embedding_dim=8, seed=args.seed))
+    model.eval()
+    users = sorted(dataset.users)
+    k = 5
+
+    # Reference answers: the single-process engine, cache off, so any
+    # fleet divergence (including after the respawn) is a real bug.
+    with RecommendationService(model, index, dataset, config.target_city,
+                               cache_size=0, use_batcher=False) as service:
+        reference = service.recommend_many(users, k=k)
+
+    plan = FaultPlan([Fault.crash(worker=1, step=2)])
+    supervision = SupervisionConfig(step_timeout=60.0, max_respawns=2,
+                                    respawn_backoff=0.01)
+    with ShardRouter(model, index, dataset, config.target_city,
+                     num_shards=2, fault_plan=plan,
+                     supervision=supervision) as router:
+        for wave in range(4):
+            got = router.recommend_many(users, k=k)
+            if got != reference:
+                _report(f"FAIL: wave {wave} diverged from the "
+                        f"single-process reference")
+                return 1
+        fanout = router.recommend_fanout(users[0], k=k)
+        if fanout != reference[users[0]]:
+            _report("FAIL: fanout top-k merge diverged from reference")
+            return 1
+        stats = router.stats()
+    faults = stats["faults"]
+    _report(f"fleet smoke: {len(users)} users x 4 waves bit-identical, "
+            f"crashes={faults['crashes']} respawns={faults['respawns']} "
+            f"live_shards={stats['live_shards']}")
+    if faults["crashes"] < 1 or faults["respawns"] < 1:
+        _report("FAIL: injected shard crash was not observed")
+        return 1
+    leaked = mp.active_children()
+    if leaked:
+        _report(f"FAIL: {len(leaked)} child process(es) leaked")
+        return 1
+    _report("fleet smoke OK")
     return 0
 
 
@@ -563,13 +700,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-user recommender")
     p.add_argument("--tiny", action="store_true",
                    help="CI smoke configuration (small world, 2 repeats)")
-    p.add_argument("--batch-size", type=int, default=128,
-                   help="users per measured request batch (default 128)")
+    p.add_argument("--batch-size", type=int, default=256,
+                   help="users per measured request batch (default 256)")
     p.add_argument("--k", type=int, default=10,
                    help="top-k list length (default 10)")
     p.add_argument("--repeats", type=int, default=3,
                    help="best-of-N timing repeats (default 3)")
-    p.add_argument("--embedding-dim", type=int, default=32)
+    p.add_argument("--embedding-dim", type=int, default=64)
     p.add_argument("--out",
                    default="benchmarks/results/serving_throughput.txt",
                    help="report path ('-' to skip writing)")
@@ -578,7 +715,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "with telemetry from other runs in the same "
                         "directory)")
     _add_common(p)
-    p.set_defaults(func=cmd_serve_bench)
+    p.set_defaults(func=cmd_serve_bench, scale=3.0)
+
+    p = sub.add_parser("fleet-bench",
+                       help="benchmark the sharded serving fleet "
+                            "(saturation + open-loop Poisson/Zipf "
+                            "latency per shard count) vs a single "
+                            "process; merges rows into "
+                            "BENCH_serving.json")
+    p.add_argument("--tiny", action="store_true",
+                   help="CI smoke configuration (small world, short "
+                        "load, 1+2 shards)")
+    p.add_argument("--shards", type=int, nargs="+", default=None,
+                   metavar="N",
+                   help="fleet sizes to measure (default: 1 2 4)")
+    p.add_argument("--k", type=int, default=10,
+                   help="top-k list length (default 10)")
+    p.add_argument("--dtype", choices=["float32", "float64"],
+                   default="float32",
+                   help="serving parameter dtype (default float32)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered load in users/s (default: half the "
+                        "measured single-process saturation)")
+    p.add_argument("--out", default="BENCH_serving.json",
+                   help="JSON file to merge the fleet rows into "
+                        "('-' to skip writing)")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="gate the fleet scaling bars against committed "
+                        "baselines (skipped below their min_cpus floor)")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="export fleet.* metrics under DIR; shards "
+                        "write per-process logs to DIR/shard-<id>/")
+    _add_common(p)
+    p.set_defaults(func=cmd_fleet_bench, scale=3.0)
+
+    p = sub.add_parser("fleet-smoke",
+                       help="fleet fault smoke test: 2 shards, "
+                            "injected shard crash, answers stay "
+                            "bit-identical to the single process, "
+                            "no leaked children")
+    p.add_argument("--seed", type=int, default=3,
+                   help="world + model seed (default 3)")
+    p.set_defaults(func=cmd_fleet_smoke)
 
     p = sub.add_parser("perf-bench",
                        help="hot-path microbenchmarks: train step "

@@ -1,0 +1,47 @@
+"""Sharded multi-process serving fleet.
+
+Scales :mod:`repro.serving` across processes: N shard workers attach
+**read-only** to one shared-memory block holding the frozen serving
+buffers (:mod:`repro.fleet.params`), a :class:`ShardRouter` hash-
+partitions users across them with supervised failover and
+deterministic partial top-K merge (:mod:`repro.fleet.router`,
+:mod:`repro.fleet.partition`), and an open-loop Poisson/Zipf load
+generator measures the result (:mod:`repro.fleet.loadgen`,
+:mod:`repro.fleet.bench`).
+"""
+
+from repro.fleet.loadgen import (
+    LoadPhase,
+    LoadResult,
+    ZipfUserSampler,
+    measure_saturation,
+    run_open_loop,
+)
+from repro.fleet.params import (
+    FleetManifest,
+    ServingParameterBlock,
+    attach_serving_engine,
+)
+from repro.fleet.partition import (
+    merge_topk,
+    route_user,
+    shard_for_user,
+    split_catalogue,
+)
+from repro.fleet.router import ShardRouter
+
+__all__ = [
+    "FleetManifest",
+    "LoadPhase",
+    "LoadResult",
+    "ServingParameterBlock",
+    "ShardRouter",
+    "ZipfUserSampler",
+    "attach_serving_engine",
+    "measure_saturation",
+    "merge_topk",
+    "route_user",
+    "run_open_loop",
+    "shard_for_user",
+    "split_catalogue",
+]

@@ -1,0 +1,189 @@
+"""Fleet capacity benchmark: saturation and open-loop latency per shard count.
+
+For each fleet size the same two measurements run against the same
+synthetic world and the same request distribution:
+
+* **saturation throughput** — closed-loop back-to-back batches
+  (:func:`~repro.fleet.loadgen.measure_saturation`), the capacity
+  ceiling the scaling bar is computed from;
+* **open-loop latency** — a Poisson/Zipf stream with a burst phase at
+  a fixed offered rate (half the single-process saturation, so every
+  row faces the *same* workload), reporting p50/p99 including queueing
+  delay.
+
+The single-process baseline is a
+:class:`~repro.serving.service.RecommendationService` with the cache
+off: the fleet shards hold no result cache, so the comparison is
+engine capacity vs engine capacity — a result cache layers on top of
+either topology orthogonally.
+
+Honesty note: multi-process scaling is physically bounded by the CPUs
+actually available.  The payload records ``cpu_count`` (the scheduler
+affinity mask, not the machine's nominal core count) precisely so the
+regression gate can skip the scaling bars on starved runners instead
+of recording fictional speedups — see ``benchmarks/perf/
+check_regression.py``'s ``min_cpus`` handling.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+from repro.data.synthetic import foursquare_like, generate_dataset
+from repro.fleet.loadgen import (
+    LoadPhase,
+    measure_saturation,
+    run_open_loop,
+)
+from repro.fleet.router import ShardRouter
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.service import RecommendationService
+from repro.utils.logging import get_logger
+
+__all__ = ["run_fleet_benchmark", "format_fleet_report"]
+
+logger = get_logger("fleet.bench")
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (container-honest)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _burst_phases(load_seconds: float) -> list:
+    """Steady / 3x burst / steady profile over ``load_seconds`` total."""
+    steady = load_seconds * 0.4
+    return [LoadPhase(steady), LoadPhase(load_seconds * 0.2, 3.0),
+            LoadPhase(steady)]
+
+
+def run_fleet_benchmark(*, scale: float = 3.0, embedding_dim: int = 64,
+                        shard_counts: Sequence[int] = (1, 2, 4),
+                        k: int = 10, dtype: str = "float32",
+                        batch_size: int = 256,
+                        saturation_seconds: float = 2.0,
+                        load_seconds: float = 3.0,
+                        rate: Optional[float] = None,
+                        zipf_exponent: float = 1.1, seed: int = 7,
+                        telemetry_dir=None,
+                        registry: Optional[MetricsRegistry] = None) -> Dict:
+    """Measure single-process serving and 1..N-shard fleets; return JSON.
+
+    Parameters mirror the serving bench where they overlap;
+    ``rate=None`` offers half the measured single-process saturation to
+    every backend, so the latency rows are comparable across shard
+    counts.  ``telemetry_dir`` flows to the routers, whose shards save
+    per-shard telemetry under ``<dir>/shard-<id>/``.
+    """
+    config = foursquare_like(scale=scale, seed=seed)
+    dataset, _truth = generate_dataset(config)
+    index = dataset.build_index()
+    model = STTransRec(index.num_users, index.num_pois, index.num_words,
+                       STTransRecConfig(embedding_dim=embedding_dim,
+                                        seed=seed))
+    model.eval()
+    target_city = config.target_city
+    users = sorted(dataset.users)
+    phases = _burst_phases(load_seconds)
+    np_dtype = np.dtype(dtype)
+
+    logger.info("fleet bench: %d users, single-process baseline...",
+                len(users))
+    with RecommendationService(model, index, dataset, target_city,
+                               cache_size=0, use_batcher=False,
+                               dtype=np_dtype) as service:
+        single_saturation = measure_saturation(
+            service, users, k=k, batch_size=batch_size,
+            min_seconds=saturation_seconds, seed=seed)
+        offered_rate = rate if rate is not None else single_saturation / 2.0
+        single_load = run_open_loop(
+            service, users, rate=offered_rate, phases=phases, k=k,
+            zipf_exponent=zipf_exponent, seed=seed, registry=registry)
+        catalogue_size = service.engine.catalogue_size
+
+    payload: Dict = {
+        "cpu_count": _available_cpus(),
+        "workload": {
+            "scale": scale,
+            "num_users": len(users),
+            "catalogue_size": catalogue_size,
+            "embedding_dim": embedding_dim,
+            "dtype": str(np_dtype),
+            "k": k,
+            "batch_size": batch_size,
+            "offered_rate": offered_rate,
+            "zipf_exponent": zipf_exponent,
+            "load_seconds": load_seconds,
+            "saturation_seconds": saturation_seconds,
+        },
+        "single_process": {
+            "saturation_users_per_s": single_saturation,
+            **single_load.to_dict(),
+        },
+        "shards": {},
+    }
+
+    for num_shards in shard_counts:
+        logger.info("fleet bench: %d-shard fleet...", num_shards)
+        with ShardRouter(model, index, dataset, target_city,
+                         num_shards=num_shards, dtype=np_dtype,
+                         telemetry_dir=telemetry_dir,
+                         registry=registry) as router:
+            saturation = measure_saturation(
+                router, users, k=k, batch_size=batch_size,
+                min_seconds=saturation_seconds, seed=seed)
+            load = run_open_loop(
+                router, users, rate=offered_rate, phases=phases, k=k,
+                zipf_exponent=zipf_exponent, seed=seed, registry=registry)
+        payload["shards"][str(num_shards)] = {
+            "num_shards": num_shards,
+            "saturation_users_per_s": saturation,
+            "speedup_vs_single": saturation / single_saturation,
+            **load.to_dict(),
+        }
+    return payload
+
+
+def format_fleet_report(payload: Dict) -> str:
+    """Human-readable fleet-bench report (the CLI output)."""
+    workload = payload["workload"]
+    single = payload["single_process"]
+    lines = [
+        "Fleet benchmark: sharded serving vs single process",
+        "=" * 58,
+        f"world: {workload['num_users']} users, "
+        f"{workload['catalogue_size']} target-city POIs, "
+        f"d={workload['embedding_dim']}, {workload['dtype']}",
+        f"load: Poisson {workload['offered_rate']:.0f} req/s with 3x "
+        f"burst, Zipf s={workload['zipf_exponent']}, top-{workload['k']}",
+        f"cpus available: {payload['cpu_count']}",
+        "",
+        f"{'backend':<16} {'saturation':>12} {'vs single':>10} "
+        f"{'p50':>9} {'p99':>9}",
+        f"{'single process':<16} "
+        f"{single['saturation_users_per_s']:>10.0f}/s {'1.00x':>10} "
+        f"{single['p50_ms']:>7.2f}ms {single['p99_ms']:>7.2f}ms",
+    ]
+    for key in sorted(payload["shards"], key=int):
+        row = payload["shards"][key]
+        lines.append(
+            f"{key + ' shard' + ('s' if key != '1' else ''):<16} "
+            f"{row['saturation_users_per_s']:>10.0f}/s "
+            f"{row['speedup_vs_single']:>9.2f}x "
+            f"{row['p50_ms']:>7.2f}ms {row['p99_ms']:>7.2f}ms")
+    if payload["cpu_count"] < 3:
+        lines += [
+            "",
+            f"note: only {payload['cpu_count']} CPU(s) available — "
+            f"multi-shard scaling is scheduler-bound here, and the "
+            f"regression gate skips the scaling bars (min_cpus).",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,389 @@
+"""The shard router: hash-partitioned serving over supervised processes.
+
+:class:`ShardRouter` is the fleet's front door.  It owns three things:
+
+* the **parameter block** (:class:`~repro.fleet.params.
+  ServingParameterBlock`) every shard attaches to read-only;
+* the **shard processes**, managed by the same
+  :class:`~repro.parallel.supervisor.WorkerSupervisor` the
+  data-parallel trainer uses — dead-shard detection on send and
+  gather, bounded respawn with backoff, graceful degradation to the
+  surviving shards, :class:`WorkerFailure` only when the last shard is
+  gone;
+* the **request semantics**: user-id resolution, visited-POI
+  exclusion, deterministic hash routing with failover
+  (:func:`~repro.fleet.partition.route_user`), bounded re-dispatch of
+  requests whose shard died mid-flight, and deterministic partial
+  top-K merge (:func:`~repro.fleet.partition.merge_topk`).
+
+Two request shapes are served:
+
+* :meth:`recommend_many` — each user goes whole to one shard (its hash
+  home, or a deterministic survivor).  Every shard scores the full
+  catalogue from the same shared buffers with the same code, so the
+  results are identical to a single-process
+  :class:`~repro.serving.service.RecommendationService` no matter
+  which shard answers — degradation and respawn change capacity,
+  never results.
+* :meth:`recommend_fanout` — one user's catalogue is split into
+  contiguous slices scored in parallel across shards, and the partial
+  top-Ks are merged under the engine's exact tie-break.  This is the
+  wide-catalogue path; slices from dead shards are re-dispatched to
+  survivors before merging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.recommend import visited_poi_ids
+from repro.data.dataset import CheckinDataset
+from repro.data.vocabulary import DatasetIndex
+from repro.fleet.params import ServingParameterBlock
+from repro.fleet.partition import group_by_shard, merge_topk, split_catalogue
+from repro.fleet.shard import shard_serve_loop
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.supervisor import (
+    SupervisionConfig,
+    WorkerFailure,
+    WorkerSupervisor,
+)
+from repro.serving.engine import InferenceEngine
+from repro.utils.logging import get_logger
+
+__all__ = ["ShardRouter"]
+
+logger = get_logger("fleet.router")
+
+
+class ShardRouter:
+    """Sharded multi-process recommendation serving behind one object.
+
+    Parameters
+    ----------
+    model, index, dataset, target_city:
+        Same quartet as :class:`RecommendationService`; the model is
+        frozen into serving buffers once and published to the shared
+        block (the router keeps no scoring engine of its own).
+    num_shards:
+        Worker-slot count; capacity degrades toward 1 as slots exhaust
+        their respawn budgets.
+    dtype:
+        Serving arithmetic precision for every shard.
+    supervision:
+        Supervisor policy (timeouts, respawn budget, backoff).
+    fault_plan:
+        Optional :class:`~repro.reliability.faults.FaultPlan` handed to
+        incarnation-0 shards; the step coordinate is each shard's own
+        request sequence number.
+    telemetry_dir:
+        When set, each shard saves its own telemetry under
+        ``telemetry_dir/shard-<id>/`` at graceful shutdown (the layout
+        ``repro metrics-report`` aggregates).
+    registry:
+        Optional router-side registry for ``fleet.router.*`` metrics.
+    """
+
+    def __init__(self, model, index: DatasetIndex, dataset: CheckinDataset,
+                 target_city: str, *, num_shards: int = 2,
+                 dtype=np.float64,
+                 supervision: Optional[SupervisionConfig] = None,
+                 fault_plan=None, telemetry_dir=None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.index = index
+        self.dataset = dataset
+        self.target_city = target_city
+        self.num_shards = num_shards
+        self.registry = registry
+        reference = InferenceEngine.from_model(model, index, dataset,
+                                               target_city, dtype=dtype)
+        self.catalogue_size = reference.catalogue_size
+        self._block = ServingParameterBlock.from_engine(reference)
+        self._telemetry_dir = telemetry_dir
+        self._fault_plan = fault_plan
+        self._ctx = mp.get_context("fork")
+        self._supervisor = WorkerSupervisor(
+            self._spawn_shard, num_shards,
+            supervision or SupervisionConfig())
+        self._step = 0
+        self._request_seq = 0
+        # (shard, incarnation) -> latest cumulative metrics snapshot;
+        # keyed per incarnation so a respawn never erases its
+        # predecessor's counts from the merged view.
+        self._shard_metrics: Dict[Tuple[int, int], dict] = {}
+        if registry is not None:
+            self._latency = registry.histogram(
+                "fleet.router.request_latency_ms")
+            self._redispatches = registry.counter(
+                "fleet.router.redispatches")
+        self._closed = False
+        self._supervisor.start()
+
+    @classmethod
+    def from_checkpoint(cls, path, dataset: CheckinDataset,
+                        target_city: str, **kwargs) -> "ShardRouter":
+        """Build a router (and its fleet) from a saved checkpoint."""
+        from repro.core.checkpoint import load_checkpoint
+
+        model, index = load_checkpoint(path)
+        return cls(model, index, dataset, target_city, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def _spawn_shard(self, shard_id: int, incarnation: int):
+        parent, child = self._ctx.Pipe()
+        plan = self._fault_plan if incarnation == 0 else None
+        process = self._ctx.Process(
+            target=shard_serve_loop,
+            args=(child, self._block.manifest, shard_id, incarnation,
+                  plan, self._telemetry_dir),
+            daemon=True,
+            name=f"repro-fleet-shard-{shard_id}",
+        )
+        process.start()
+        child.close()
+        return parent, process
+
+    @property
+    def num_live(self) -> int:
+        return self._supervisor.num_live
+
+    @property
+    def live_shards(self) -> List[int]:
+        return self._supervisor.live_worker_ids
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _user_index(self, user_id: int) -> int:
+        idx = self.index.users.get(user_id)
+        if idx < 0:
+            raise KeyError(f"user {user_id} unknown to the model")
+        return idx
+
+    def _excluded(self, user_id: int) -> Set[int]:
+        return visited_poi_ids(self.dataset, user_id)
+
+    def _dispatch(self, requests: Dict[int, Tuple[str, object]]
+                  ) -> Dict[int, object]:
+        """One scatter/gather round: ``{shard: (op, payload)}`` in,
+        ``{shard: result}`` out for the shards that replied.
+
+        Send-side deaths are handled by the supervisor inside
+        :meth:`send_to`; gather-side deaths (crash or hang past the
+        deadline) simply leave the shard out of the result, and the
+        caller re-routes its work.
+        """
+        self._step += 1
+        step = self._step
+        sent: Dict[int, int] = {}
+        for shard_id, (op, payload) in requests.items():
+            self._request_seq += 1
+            request_id = self._request_seq
+            if self._supervisor.send_to(shard_id,
+                                        (request_id, op, payload), step):
+                sent[request_id] = shard_id
+        if not sent:
+            return {}
+        replies = self._supervisor.gather(sorted(set(sent.values())), step)
+        out: Dict[int, object] = {}
+        for reply in replies:
+            request_id, result, meta = reply
+            self._shard_metrics[(meta["shard"], meta["incarnation"])] = \
+                meta["metrics"]
+            shard_id = sent.get(request_id)
+            if shard_id is not None:
+                out[shard_id] = result
+        return out
+
+    def _record_latency(self, start: float) -> None:
+        if self.registry is not None:
+            self._latency.observe((time.perf_counter() - start) * 1000.0)
+
+    def _note_redispatch(self, count: int) -> None:
+        if self.registry is not None:
+            self._redispatches.inc(count)
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+    def recommend(self, user_id: int, k: int = 10,
+                  exclude_visited: bool = True) -> List[Tuple[int, float]]:
+        """Top-k for one user (raises ``KeyError`` for unknown users)."""
+        self._user_index(user_id)       # unknown users raise, like the
+        return self.recommend_many(     # single-process service
+            [user_id], k, exclude_visited)[user_id]
+
+    def recommend_many(self, user_ids: Sequence[int], k: int = 10,
+                       exclude_visited: bool = True
+                       ) -> Dict[int, List[Tuple[int, float]]]:
+        """Top-k lists for many users, hash-partitioned across shards.
+
+        Unknown users are skipped (absence in the result, matching the
+        single-process service).  Requests whose shard dies mid-flight
+        are re-dispatched to the survivors — the routing function
+        degrades deterministically, and every shard computes identical
+        results, so a degraded fleet returns exactly what a healthy one
+        would, just slower.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        start = time.perf_counter()
+        pending: List[Tuple[int, int]] = []
+        for user_id in dict.fromkeys(user_ids):
+            idx = self.index.users.get(user_id)
+            if idx >= 0:
+                pending.append((user_id, idx))
+        out: Dict[int, List[Tuple[int, float]]] = {}
+        # Every round either completes requests or consumes a respawn /
+        # removal, so num_shards * (budget + 1) rounds is a safe bound.
+        max_rounds = self.num_shards * \
+            (self._supervisor.supervision.max_respawns + 1) + 1
+        for round_no in range(max_rounds):
+            if not pending:
+                break
+            groups = group_by_shard(pending, self.num_shards,
+                                    self.live_shards)
+            requests = {}
+            for shard_id, entries in groups.items():
+                indices = [idx for _uid, idx in entries]
+                exclude = [self._excluded(uid) if exclude_visited else None
+                           for uid, _idx in entries]
+                requests[shard_id] = ("topk_users", (indices, k, exclude))
+            results = self._dispatch(requests)
+            pending = []
+            for shard_id, entries in groups.items():
+                rows = results.get(shard_id)
+                if rows is None:
+                    pending.extend(entries)
+                    continue
+                for (user_id, _idx), row in zip(entries, rows):
+                    out[user_id] = [(int(p), float(s)) for p, s in row]
+            if pending:
+                self._note_redispatch(len(pending))
+                logger.warning(
+                    "re-dispatching %d requests after shard loss "
+                    "(round %d)", len(pending), round_no + 1)
+        if pending:
+            raise WorkerFailure(
+                self._step,
+                reason=f"{len(pending)} requests undeliverable after "
+                       f"{max_rounds} dispatch rounds")
+        self._record_latency(start)
+        return out
+
+    def recommend_fanout(self, user_id: int, k: int = 10,
+                         exclude_visited: bool = True
+                         ) -> List[Tuple[int, float]]:
+        """Top-k for one user via catalogue-slice fanout + merge.
+
+        The catalogue is split into contiguous slices, each scored on a
+        different shard, and the partial top-Ks are merged under the
+        engine's exact ordering — deterministic regardless of reply
+        order or which shards survived to score which slices.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        start = time.perf_counter()
+        idx = self._user_index(user_id)
+        exclude = self._excluded(user_id) if exclude_visited else None
+        pending = split_catalogue(self.catalogue_size,
+                                  max(1, self.num_live))
+        partials: List[Tuple[int, int, float]] = []
+        max_rounds = self.num_shards * \
+            (self._supervisor.supervision.max_respawns + 1) + 1
+        for round_no in range(max_rounds):
+            if not pending:
+                break
+            live = self.live_shards
+            # Round-robin the outstanding slices over the live shards;
+            # one request per shard per round, possibly several slices.
+            assignment: Dict[int, List[Tuple[int, int]]] = {}
+            for i, piece in enumerate(pending):
+                assignment.setdefault(live[i % len(live)], []).append(piece)
+            requests = {
+                shard_id: ("topk_slices", (idx, k, pieces, exclude))
+                for shard_id, pieces in assignment.items()
+            }
+            results = self._dispatch(requests)
+            pending = []
+            for shard_id, pieces in assignment.items():
+                rows = results.get(shard_id)
+                if rows is None:
+                    pending.extend(pieces)
+                    continue
+                for piece_partials in rows:
+                    partials.extend(piece_partials)
+            if pending:
+                self._note_redispatch(len(pending))
+                logger.warning(
+                    "re-dispatching %d catalogue slices after shard loss "
+                    "(round %d)", len(pending), round_no + 1)
+        if pending:
+            raise WorkerFailure(
+                self._step,
+                reason=f"{len(pending)} catalogue slices unscored after "
+                       f"{max_rounds} dispatch rounds")
+        self._record_latency(start)
+        return merge_topk(partials, k)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def merged_shard_registry(self) -> MetricsRegistry:
+        """All shards' metrics merged (cumulative across incarnations)."""
+        return MetricsRegistry.merge_all(
+            MetricsRegistry.from_dict(snapshot)
+            for _key, snapshot in sorted(self._shard_metrics.items()))
+
+    def stats(self) -> dict:
+        """Fleet topology, supervision counters, and shard activity."""
+        supervisor = self._supervisor.stats
+        merged = self.merged_shard_registry()
+        shard_requests = sum(
+            metric.value for key, metric in merged.items()
+            if key.startswith("fleet.shard.requests"))
+        return {
+            "num_shards": self.num_shards,
+            "live_shards": self.live_shards,
+            "catalogue_size": self.catalogue_size,
+            "faults": {
+                "crashes": supervisor.crashes,
+                "hangs": supervisor.hangs,
+                "respawns": supervisor.respawns,
+                "removals": supervisor.removals,
+            },
+            "shard_requests": shard_requests,
+        }
+
+    def close(self) -> None:
+        """Stop every shard and release the parameter block (idempotent).
+
+        Shutdown order matters: shards must exit (graceful ``None``
+        sentinel, then the supervisor's escalation) *before* the block
+        is unlinked, so no shard ever scores against a vanished
+        mapping.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._supervisor.shutdown()
+        self._block.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ShardRouter(city={self.target_city!r}, "
+                f"shards={self.num_live}/{self.num_shards}, "
+                f"catalogue={self.catalogue_size})")

@@ -1,0 +1,140 @@
+"""The shard worker process: attach read-only, score, reply.
+
+A shard is deliberately thin.  It holds **no** model, dataset, or
+routing state — just an :class:`InferenceEngine` whose buffers are
+zero-copy views into the router's shared parameter block, plus a pipe.
+All request semantics (user resolution, visited-POI exclusion, retry,
+merge) live router-side, so a shard can be killed and respawned at any
+moment without losing anything but in-flight replies.
+
+Protocol (one pipe per shard, router is the only peer)::
+
+    router -> shard   (request_id, op, payload)   or None (shutdown)
+    shard  -> router  (request_id, result, meta)
+
+``meta`` carries ``{"shard", "incarnation", "metrics"}`` on every
+reply; the metrics snapshot is cumulative for this incarnation, so the
+router's telemetry harvest stays correct even when the *next* request
+kills the shard (kill-safe accounting, same trick as the data-parallel
+worker loop).
+
+Fault injection: a :class:`~repro.reliability.faults.FaultPlan` is
+consulted once per request with the shard's request sequence number as
+the step coordinate — only in incarnation 0, by the same contract the
+trainer uses, so an injected crash cannot loop a respawned shard.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.fleet.params import FleetManifest, attach_serving_engine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+from repro.serving.engine import InferenceEngine
+
+__all__ = ["shard_serve_loop", "slice_topk"]
+
+# Keep percentile windows modest: a snapshot rides every reply.
+_SHARD_HIST_WINDOW = 1024
+
+
+def slice_topk(engine: InferenceEngine, user_index: int, k: int,
+               lo: int, hi: int,
+               exclude_poi_ids: Optional[Set[int]] = None
+               ) -> List[Tuple[int, int, float]]:
+    """Partial top-K of catalogue slice ``[lo, hi)`` for one user.
+
+    Returns ``(global_position, poi_id, score)`` triples so the router
+    can merge partials from different shards under the engine's exact
+    tie-break (score desc, catalogue position asc) — the global
+    position, not the slice-local one, is what makes cross-shard ties
+    deterministic.
+    """
+    row = engine.score_catalogue([user_index], lo=lo, hi=hi)[0]
+    ids = engine.catalogue_poi_ids[lo:hi]
+    positions = np.arange(lo, hi, dtype=np.int64)
+    if exclude_poi_ids:
+        keep = ~np.isin(ids, np.fromiter(exclude_poi_ids, dtype=np.int64,
+                                         count=len(exclude_poi_ids)))
+        ids, row, positions = ids[keep], row[keep], positions[keep]
+    order = np.argsort(-row, kind="stable")[:k]
+    return [(int(positions[j]), int(ids[j]), float(row[j]))
+            for j in order]
+
+
+def _execute(engine: InferenceEngine, op: str, payload):
+    if op == "topk_users":
+        user_indices, k, exclude = payload
+        return engine.top_k_catalogue(user_indices, k,
+                                      exclude_poi_ids=exclude)
+    if op == "topk_slices":
+        user_index, k, slices, exclude = payload
+        return [slice_topk(engine, user_index, k, lo, hi, exclude)
+                for lo, hi in slices]
+    if op == "stats":
+        return engine.stats()
+    if op == "ping":
+        return {"catalogue_size": engine.catalogue_size}
+    raise ValueError(f"unknown fleet op {op!r}")
+
+
+def _payload_users(op: str, payload) -> int:
+    if op == "topk_users":
+        return len(payload[0])
+    if op == "topk_slices":
+        return 1
+    return 0
+
+
+def shard_serve_loop(pipe, manifest: FleetManifest, shard_id: int,
+                     incarnation: int = 0, fault_plan=None,
+                     telemetry_dir=None) -> None:
+    """Body of one shard process (the fleet's ``SpawnFn`` target)."""
+    telemetry = None
+    if telemetry_dir is not None:
+        telemetry = Telemetry(Path(telemetry_dir) / f"shard-{shard_id}",
+                              run_name=f"fleet-shard{shard_id}")
+    registry = telemetry.registry if telemetry is not None \
+        else MetricsRegistry()
+    label = str(shard_id)
+    requests = registry.counter("fleet.shard.requests", shard=label)
+    users = registry.counter("fleet.shard.users", shard=label)
+    batch_ms = registry.histogram("fleet.shard.batch_ms", shard=label,
+                                  window=_SHARD_HIST_WINDOW)
+    engine, client = attach_serving_engine(manifest)
+    seq = 0
+    try:
+        while True:
+            try:
+                message = pipe.recv()
+            except (EOFError, OSError):
+                return                      # router died; just exit
+            if message is None:             # graceful shutdown
+                return
+            request_id, op, payload = message
+            if fault_plan is not None:
+                fault_plan.execute_pre_step(shard_id, seq)
+            seq += 1
+            start = time.perf_counter()
+            result = _execute(engine, op, payload)
+            batch_ms.observe((time.perf_counter() - start) * 1000.0)
+            requests.inc()
+            users.inc(_payload_users(op, payload))
+            meta = {"shard": shard_id, "incarnation": incarnation,
+                    "metrics": registry.to_dict()}
+            try:
+                pipe.send((request_id, result, meta))
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        if telemetry is not None:
+            try:
+                telemetry.save()
+            except OSError:
+                pass
+        client.close()

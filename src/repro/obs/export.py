@@ -34,12 +34,18 @@ from repro.obs.metrics import (
 from repro.obs.tracing import Tracer
 
 __all__ = [
+    "EVENTS_FILENAME",
     "JsonlExporter",
+    "find_event_logs",
     "load_events",
     "load_run_state",
+    "load_run_state_tree",
     "render_prometheus",
     "render_console_summary",
 ]
+
+# Canonical event-log filename (re-exported by repro.obs.telemetry).
+EVENTS_FILENAME = "events.jsonl"
 
 
 class JsonlExporter:
@@ -107,6 +113,49 @@ def load_run_state(path) -> Tuple[MetricsRegistry, Tracer, int]:
         if spans:
             tracer = tracer.merged_with(Tracer.from_dict(spans))
     return registry, tracer, len(latest)
+
+
+def find_event_logs(root) -> List[Path]:
+    """Event logs under a telemetry directory: root + immediate subdirs.
+
+    Multi-process runs shard their telemetry into per-process
+    subdirectories (the serving fleet writes ``<dir>/shard-<id>/
+    events.jsonl``; the coordinating process may write ``<dir>/
+    events.jsonl`` directly), so a report over ``<dir>`` must sweep one
+    level down.  Subdirectories are visited in sorted order for stable
+    output.
+    """
+    root = Path(root)
+    logs: List[Path] = []
+    direct = root / EVENTS_FILENAME
+    if direct.exists():
+        logs.append(direct)
+    if root.is_dir():
+        for sub in sorted(root.iterdir()):
+            candidate = sub / EVENTS_FILENAME
+            if sub.is_dir() and candidate.exists():
+                logs.append(candidate)
+    return logs
+
+
+def load_run_state_tree(root) -> Tuple[MetricsRegistry, Tracer, int, int]:
+    """Aggregate every event log under ``root`` (one level deep).
+
+    Returns ``(registry, tracer, num_runs, num_logs)``.  Run ids are
+    globally unique (pid + wall clock), so summing run counts across
+    logs never double-counts, and the metric merge is the same
+    commutative fold :func:`load_run_state` does within one log.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    num_runs = 0
+    logs = find_event_logs(root)
+    for log in logs:
+        log_registry, log_tracer, runs = load_run_state(log)
+        registry = registry.merged_with(log_registry)
+        tracer = tracer.merged_with(log_tracer)
+        num_runs += runs
+    return registry, tracer, num_runs, len(logs)
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.obs.export import (
+    EVENTS_FILENAME,
     JsonlExporter,
     load_run_state,
     render_console_summary,
@@ -35,7 +36,7 @@ from repro.obs.tracing import Tracer
 
 __all__ = ["Telemetry", "span"]
 
-EVENTS_FILE = "events.jsonl"
+EVENTS_FILE = EVENTS_FILENAME
 PROM_FILE = "metrics.prom"
 SUMMARY_FILE = "summary.txt"
 

@@ -195,6 +195,32 @@ class WorkerSupervisor:
             raise WorkerFailure(step, reason="all replicas lost")
         return expected
 
+    def send_to(self, worker_id: int, payload, step: int) -> bool:
+        """Send ``payload`` to one live worker (scatter pattern).
+
+        The serving-fleet router partitions work across workers, so
+        unlike :meth:`broadcast` each worker gets its own payload.
+        Returns ``True`` when the send succeeded (a reply is expected);
+        a dead pipe is handled exactly like a broadcast-time death —
+        respawn or removal — and ``False`` is returned so the caller
+        can re-route the payload to a surviving worker.
+        """
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            return False
+        try:
+            handle.pipe.send(payload)
+            return True
+        except (BrokenPipeError, OSError):
+            self.stats.crashes += 1
+            self.stats.record(
+                f"worker {worker_id} dead at send (step {step})")
+            self._dispose(handle)
+            self._respawn_or_remove(worker_id, step)
+            if not self._handles:
+                raise WorkerFailure(step, reason="all replicas lost")
+            return False
+
     def gather(self, expected: List[int], step: int) -> List[object]:
         """Collect one reply per expected worker, against a shared deadline.
 

@@ -27,6 +27,21 @@ Fallback: :class:`ShmTransport` creation is attempted once at trainer
 construction; any failure (platform without ``/dev/shm``, exhausted
 segments) falls back to the original pickled-pipe path automatically.
 
+Serving reuse
+-------------
+The serving fleet (:mod:`repro.fleet`) attaches N recommendation
+shards to one **params-only** block (``num_slots=0`` skips the
+gradient slots entirely) in **read-only** mode:
+``WorkerTransportClient(layout, read_only=True)`` maps the params
+segment through a read-only ``memoryview``, so every array view handed
+out is non-writeable at the numpy level — a buggy shard that assigns
+into a parameter raises ``ValueError`` instead of corrupting the block
+every other shard serves from — and :meth:`~WorkerTransportClient.
+write_grads` raises :class:`ReadOnlyTransportError` outright.
+``read_params(copy=False)`` returns zero-copy views, which is what
+lets N shard processes share a single physical copy of the
+user/POI embedding tables.
+
 Layout
 ------
 Every parameter gets a fixed-size slot in each gradient block::
@@ -51,6 +66,11 @@ from repro.nn.sparse import SparseRowGrad
 from repro.utils.logging import get_logger
 
 logger = get_logger("perf.transport")
+
+
+class ReadOnlyTransportError(RuntimeError):
+    """A write was attempted through a read-only transport attachment."""
+
 
 GRAD_KIND_DENSE = 0
 GRAD_KIND_SPARSE = 1
@@ -178,13 +198,18 @@ def _read_grad_slot(buf: memoryview, slot: ParamSlot):
 
 
 class ShmTransport:
-    """Master-side owner of the shared params and per-slot grad blocks."""
+    """Master-side owner of the shared params and per-slot grad blocks.
+
+    ``num_slots=0`` creates a **params-only** transport: just the
+    broadcast block, no gradient slots.  That is the serving-fleet
+    shape — many readers, one writer, nothing flowing back.
+    """
 
     def __init__(self,
                  param_specs: Sequence[Tuple[str, Tuple[int, ...], str]],
                  num_slots: int) -> None:
-        if num_slots < 1:
-            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        if num_slots < 0:
+            raise ValueError(f"num_slots must be >= 0, got {num_slots}")
         layout = GradientLayout.build(param_specs)
         self._params_shm = shared_memory.SharedMemory(
             create=True, size=max(1, layout.params_nbytes))
@@ -248,27 +273,63 @@ class WorkerTransportClient:
     never unlink a live block.  (A ``spawn`` start method would give
     each worker its own tracker and break that invariant; the trainer
     forks by construction.)
+
+    Parameters
+    ----------
+    layout:
+        The manifest naming the shared blocks.
+    slot_index:
+        This worker's gradient slot.  ``None`` attaches to the params
+        block only (a params-only transport has no slots to claim).
+    read_only:
+        Serving-consumer mode: the params block is mapped through a
+        read-only ``memoryview``, so every view handed out by
+        :meth:`read_params` is non-writeable (assignment raises
+        ``ValueError``), and :meth:`write_grads` raises
+        :class:`ReadOnlyTransportError`.  A slot cannot be claimed in
+        this mode — a reader has nothing to write.
     """
 
-    def __init__(self, layout: GradientLayout, slot_index: int) -> None:
+    def __init__(self, layout: GradientLayout,
+                 slot_index: Optional[int] = None,
+                 read_only: bool = False) -> None:
+        if read_only and slot_index is not None:
+            raise ValueError(
+                "read_only attachments cannot claim a gradient slot")
+        if not read_only and slot_index is None:
+            raise ValueError(
+                "writable attachments must claim a gradient slot "
+                "(pass read_only=True for params-only consumers)")
         self.layout = layout
         self.slot_index = slot_index
+        self.read_only = read_only
         self._params_shm = shared_memory.SharedMemory(
             name=layout.params_name)
-        try:
-            self._grad_shm = shared_memory.SharedMemory(
-                name=layout.grad_names[slot_index])
-        except Exception:
-            self._params_shm.close()
-            raise
+        self._grad_shm = None
+        if slot_index is not None:
+            try:
+                self._grad_shm = shared_memory.SharedMemory(
+                    name=layout.grad_names[slot_index])
+            except Exception:
+                self._params_shm.close()
+                raise
 
-    def read_params(self) -> Dict[str, np.ndarray]:
-        """Copy current parameter values out of the params block.
-
-        Copies (rather than aliases) so a late or killed worker can
-        never observe a torn mid-write state after its step ended.
-        """
+    def _params_buf(self) -> memoryview:
         buf = self._params_shm.buf
+        return buf.toreadonly() if self.read_only else buf
+
+    def read_params(self, copy: bool = True) -> Dict[str, np.ndarray]:
+        """Current parameter values out of the params block.
+
+        With ``copy=True`` (default) the returned arrays are private
+        copies, so a late or killed worker can never observe a torn
+        mid-write state after its step ended.  ``copy=False`` returns
+        zero-copy views into the shared segment — the mode the serving
+        fleet runs in, where N read-only shards share one physical copy
+        of the tables and the owner never rewrites them mid-flight.
+        Views from a read-only attachment are non-writeable.
+        """
+        buf = self._params_buf()
         out: Dict[str, np.ndarray] = {}
         shapes = {s.name: (s.shape, s.dtype) for s in self.layout.slots}
         for name, offset in self.layout.params_offsets:
@@ -276,17 +337,27 @@ class WorkerTransportClient:
             view = np.frombuffer(buf, dtype=dtype,
                                  count=int(np.prod(shape, dtype=np.int64)),
                                  offset=offset)
-            out[name] = view.reshape(shape).copy()
+            view = view.reshape(shape)
+            out[name] = view.copy() if copy else view
         return out
 
     def write_grads(self, grads: Dict[str, np.ndarray]) -> None:
+        if self._grad_shm is None:
+            raise ReadOnlyTransportError(
+                "cannot write gradients through a read-only "
+                "(params-only) transport attachment")
         buf = self._grad_shm.buf
         for slot in self.layout.slots:
             _write_grad_slot(buf, slot, grads[slot.name])
 
     def close(self) -> None:
+        # BufferError: zero-copy views (read_params(copy=False)) may
+        # still alias the mapping at shutdown; the process exit that
+        # follows releases it, and the owner does the unlinking.
         for shm in (self._params_shm, self._grad_shm):
+            if shm is None:
+                continue
             try:
                 shm.close()
-            except OSError:
+            except (OSError, BufferError):
                 pass

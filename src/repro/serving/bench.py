@@ -93,9 +93,9 @@ def _best_time(fn, repeats: int) -> float:
     return best
 
 
-def run_serving_benchmark(scale: float = 0.5, batch_size: int = 128,
+def run_serving_benchmark(scale: float = 3.0, batch_size: int = 256,
                           k: int = 10, repeats: int = 3, seed: int = 0,
-                          embedding_dim: int = 32,
+                          embedding_dim: int = 64,
                           checkpoint_path=None,
                           registry=None) -> ServingBenchResult:
     """Benchmark serving against the naive offline path.
@@ -259,9 +259,9 @@ def format_report(result: ServingBenchResult) -> str:
     return "\n".join(lines)
 
 
-def run_and_report(scale: float = 0.5, batch_size: int = 128, k: int = 10,
+def run_and_report(scale: float = 3.0, batch_size: int = 256, k: int = 10,
                    repeats: int = 3, seed: int = 0,
-                   embedding_dim: int = 32,
+                   embedding_dim: int = 64,
                    out_path=None, registry=None) -> str:
     """Run the benchmark, optionally persist the report, return it."""
     result = run_serving_benchmark(scale=scale, batch_size=batch_size,

@@ -30,7 +30,7 @@ The engine is numerically equivalent to the model it was built from
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -119,6 +119,92 @@ class InferenceEngine:
                               dtype=dtype)
 
     # ------------------------------------------------------------------
+    # Frozen-buffer export / attach (the serving-fleet path)
+    # ------------------------------------------------------------------
+    def serving_state(self) -> Dict[str, np.ndarray]:
+        """Every frozen buffer this engine scores with, as named arrays.
+
+        The flat dict (stable names, fixed shapes) is the manifest the
+        sharded fleet publishes into a shared-memory parameter block:
+        it contains the materialized *serving* view — split first-layer
+        weights and catalogue-side precomputations included — so an
+        attached engine does no arithmetic at build time.  Catalogue
+        identity rides along as int64 arrays.
+        """
+        with self._lock:
+            state = {
+                "user_emb": self._user_emb,
+                "poi_emb": self._poi_emb,
+                "poi_bias": self._poi_bias,
+                "w1_user": self._w1_user,
+                "w1_poi": self._w1_poi,
+                "b1": self._b1,
+                "head_w": self._head_w,
+                "head_b": self._head_b,
+                "cat_emb": self._cat_emb,
+                "cat_first": self._cat_first,
+                "cat_bias": self._cat_bias,
+                "catalogue_poi_ids": self.catalogue_poi_ids,
+                "catalogue_poi_indices": self.catalogue_poi_indices,
+            }
+            if self._w1_prod is not None:
+                state["w1_prod"] = self._w1_prod
+            for i, (w, b) in enumerate(self._hidden_rest):
+                state[f"hidden.{i}.weight"] = w
+                state[f"hidden.{i}.bias"] = b
+        return state
+
+    @classmethod
+    def from_serving_state(cls, state: Dict[str, np.ndarray],
+                           dtype=np.float64) -> "InferenceEngine":
+        """Build an engine directly over externally-owned buffers.
+
+        The inverse of :meth:`serving_state`: no model, no
+        materialization — the arrays are installed as-is, which is what
+        lets fleet shards score out of read-only shared-memory views
+        without ever holding a private copy of the tables.  An engine
+        built this way cannot :meth:`refresh` (it has no source model,
+        and its buffers may be non-writeable by design).
+        """
+        engine = cls.__new__(cls)
+        engine.dtype = np.dtype(dtype)
+        engine._model = None
+        engine.index = None
+        engine.catalogue_poi_ids = np.asarray(state["catalogue_poi_ids"],
+                                              dtype=np.int64)
+        engine.catalogue_poi_indices = np.asarray(
+            state["catalogue_poi_indices"], dtype=np.int64)
+        engine._catalogue_position = {
+            int(p): i for i, p in enumerate(engine.catalogue_poi_ids)
+        }
+        engine._lock = threading.RLock()
+        engine._user_emb = state["user_emb"]
+        engine._poi_emb = state["poi_emb"]
+        engine._poi_bias = state["poi_bias"]
+        engine._w1_user = state["w1_user"]
+        engine._w1_poi = state["w1_poi"]
+        engine._w1_prod = state.get("w1_prod")
+        engine._b1 = state["b1"]
+        engine._head_w = state["head_w"]
+        engine._head_b = state["head_b"]
+        engine._cat_emb = state["cat_emb"]
+        engine._cat_first = state["cat_first"]
+        engine._cat_bias = state["cat_bias"]
+        engine.embedding_dim = int(engine._w1_user.shape[0])
+        engine._product_features = engine._w1_prod is not None
+        hidden: List[Tuple[np.ndarray, np.ndarray]] = []
+        for i in range(len(state)):
+            if f"hidden.{i}.weight" not in state:
+                break
+            hidden.append((state[f"hidden.{i}.weight"],
+                           state[f"hidden.{i}.bias"]))
+        engine._hidden_rest = hidden
+        engine.batches_scored = 0
+        engine.users_scored = 0
+        engine.pairs_scored = 0
+        return engine
+
+    # ------------------------------------------------------------------
     # Parameter materialization
     # ------------------------------------------------------------------
     def _materialize(self, model: STTransRec) -> None:
@@ -167,6 +253,12 @@ class InferenceEngine:
 
     def refresh(self) -> None:
         """Re-copy *all* parameters from the source model."""
+        if self._model is None:
+            raise RuntimeError(
+                "engine was attached to external serving buffers "
+                "(from_serving_state); it has no source model to "
+                "refresh from — republish through the parameter block "
+                "owner instead")
         with self._lock:
             self._materialize(self._model)
 
@@ -177,6 +269,11 @@ class InferenceEngine:
         mutates only the updated user's row, so this is the only buffer
         that must be resynchronized after an online update.
         """
+        if self._model is None:
+            raise RuntimeError(
+                "engine was attached to external serving buffers "
+                "(from_serving_state); per-user refresh must go through "
+                "the parameter block owner")
         with self._lock:
             row = self._model.user_embeddings.weight.data[user_index]
             self._user_emb[user_index] = row.astype(self.dtype)
@@ -197,40 +294,56 @@ class InferenceEngine:
         return (h @ self._head_w).reshape(h.shape[:-1]) \
             + self._head_b[0] + poi_bias
 
-    def score_catalogue(self, user_indices: Sequence[int]) -> np.ndarray:
+    def score_catalogue(self, user_indices: Sequence[int],
+                        lo: int = 0,
+                        hi: Optional[int] = None) -> np.ndarray:
         """Sigmoid scores of every catalogue POI for a batch of users.
 
         Returns an array of shape ``(len(user_indices),
         catalogue_size)``; row ``i`` matches
         ``model.score_pois_for_user(user_indices[i],
         catalogue_poi_indices)``.
+
+        ``lo``/``hi`` restrict scoring to the contiguous catalogue slice
+        ``[lo, hi)`` — the fleet's partial-top-K fanout path.  The slice
+        reads the same precomputed catalogue constants as the full pass
+        (just narrowed), so per-pair scores are unchanged by slicing.
         """
         user_indices = np.asarray(user_indices, dtype=np.int64)
         if user_indices.ndim != 1:
             raise ValueError("user_indices must be one-dimensional")
-        cat = self.catalogue_size
+        if hi is None:
+            hi = self.catalogue_size
+        if not 0 <= lo < hi <= self.catalogue_size:
+            raise ValueError(
+                f"invalid catalogue slice [{lo}, {hi}) for catalogue of "
+                f"{self.catalogue_size}")
+        cat = hi - lo
         with self._lock:
+            cat_first = self._cat_first[lo:hi]
+            cat_emb = self._cat_emb[lo:hi]
+            cat_bias = self._cat_bias[lo:hi]
             batch = len(user_indices)
             logits = np.empty((batch, cat), dtype=self.dtype)
             # Chunk users so the flattened (chunk·P, h) intermediates
             # stay cache/memory friendly for huge catalogues.
             chunk = max(1, _CHUNK_ROWS // cat)
-            for lo in range(0, batch, chunk):
-                rows = user_indices[lo:lo + chunk]
+            for row0 in range(0, batch, chunk):
+                rows = user_indices[row0:row0 + chunk]
                 users = self._user_emb[rows]              # (C, d)
                 # First layer, decomposed by input block and flattened
                 # to single BLAS calls over all (user, POI) pairs.
-                first = self._cat_first[np.newaxis, :, :] \
+                first = cat_first[np.newaxis, :, :] \
                     + (users @ self._w1_user)[:, np.newaxis, :]
                 if self._w1_prod is not None:
-                    pairs = (self._cat_emb[np.newaxis, :, :]
+                    pairs = (cat_emb[np.newaxis, :, :]
                              * users[:, np.newaxis, :])   # (C, P, d)
                     first += (pairs.reshape(-1, self.embedding_dim)
                               @ self._w1_prod).reshape(first.shape)
                 flat = self._hidden_to_logits(
                     first.reshape(-1, first.shape[-1]),
-                    np.tile(self._cat_bias, len(rows)))
-                logits[lo:lo + len(rows)] = flat.reshape(len(rows), cat)
+                    np.tile(cat_bias, len(rows)))
+                logits[row0:row0 + len(rows)] = flat.reshape(len(rows), cat)
             self.batches_scored += 1
             self.users_scored += batch
             self.pairs_scored += logits.size

@@ -95,8 +95,23 @@ class TestCommands:
     def test_serve_bench_parses_defaults(self):
         args = build_parser().parse_args(["serve-bench"])
         assert args.tiny is False
-        assert args.batch_size == 128
+        assert args.batch_size == 256
+        assert args.embedding_dim == 64
+        assert args.scale == 3.0
         assert args.out == "benchmarks/results/serving_throughput.txt"
+
+    def test_fleet_bench_parses_defaults(self):
+        args = build_parser().parse_args(["fleet-bench"])
+        assert args.tiny is False
+        assert args.shards is None
+        assert args.dtype == "float32"
+        assert args.rate is None
+        assert args.scale == 3.0
+        assert args.out == "BENCH_serving.json"
+
+    def test_fleet_smoke_parses(self):
+        args = build_parser().parse_args(["fleet-smoke"])
+        assert args.seed == 3
 
     def test_perf_bench_parses_defaults(self):
         args = build_parser().parse_args(["perf-bench"])

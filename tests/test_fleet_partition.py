@@ -1,0 +1,132 @@
+"""Deterministic partitioning and top-K merge rules for the fleet."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.partition import (
+    group_by_shard,
+    merge_topk,
+    route_user,
+    shard_for_user,
+    split_catalogue,
+)
+
+
+class TestShardForUser:
+    def test_stable_and_in_range(self):
+        for idx in range(200):
+            shard = shard_for_user(idx, 4)
+            assert 0 <= shard < 4
+            assert shard == shard_for_user(idx, 4)
+
+    def test_sequential_indices_spread(self):
+        # The multiplicative hash must break up contiguous index
+        # ranges: 64 sequential users should hit every one of 4 shards.
+        shards = {shard_for_user(i, 4) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_single_shard_world(self):
+        assert all(shard_for_user(i, 1) == 0 for i in range(16))
+
+    def test_invalid_num_shards(self):
+        with pytest.raises(ValueError):
+            shard_for_user(0, 0)
+
+
+class TestRouteUser:
+    def test_home_shard_when_alive(self):
+        for idx in range(50):
+            home = shard_for_user(idx, 4)
+            assert route_user(idx, 4, [0, 1, 2, 3]) == home
+
+    def test_failover_is_deterministic_and_live(self):
+        live = [0, 2, 3]
+        for idx in range(50):
+            routed = route_user(idx, 4, live)
+            assert routed in live
+            assert routed == route_user(idx, 4, list(reversed(live)))
+
+    def test_all_users_of_dead_shard_move_together(self):
+        dead_home = {i for i in range(100)
+                     if shard_for_user(i, 4) == 1}
+        routed = {route_user(i, 4, [0, 2, 3]) for i in dead_home}
+        assert len(routed) == 1
+
+    def test_no_live_shards_raises(self):
+        with pytest.raises(ValueError):
+            route_user(0, 4, [])
+
+
+class TestGroupByShard:
+    def test_preserves_input_order_within_group(self):
+        entries = [(100 + i, i) for i in range(40)]
+        groups = group_by_shard(entries, 4, [0, 1, 2, 3])
+        assert sorted(sum(groups.values(), [])) == sorted(entries)
+        for shard, members in groups.items():
+            positions = [entries.index(m) for m in members]
+            assert positions == sorted(positions)
+            assert all(shard_for_user(idx, 4) == shard
+                       for _uid, idx in members)
+
+
+class TestSplitCatalogue:
+    def test_covers_catalogue_contiguously(self):
+        for size, parts in [(10, 3), (17, 4), (5, 5), (100, 7)]:
+            slices = split_catalogue(size, parts)
+            assert slices[0][0] == 0 and slices[-1][1] == size
+            for (a_lo, a_hi), (b_lo, b_hi) in zip(slices, slices[1:]):
+                assert a_hi == b_lo
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [hi - lo for lo, hi in split_catalogue(17, 4)]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(s > 0 for s in sizes)
+
+    def test_more_parts_than_items(self):
+        slices = split_catalogue(3, 8)
+        assert slices == [(0, 1), (1, 2), (2, 3)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_catalogue(0, 2)
+        with pytest.raises(ValueError):
+            split_catalogue(4, 0)
+
+
+class TestMergeTopk:
+    def _partials(self, scores):
+        # (position, poi_id, score) with poi_id = 1000 + position
+        return [(pos, 1000 + pos, float(s))
+                for pos, s in enumerate(scores)]
+
+    def test_matches_engine_stable_argsort(self):
+        rng = np.random.default_rng(7)
+        scores = rng.standard_normal(50)
+        scores[3] = scores[30]              # force a tie
+        scores[11] = scores[40]
+        order = np.argsort(-scores, kind="stable")[:10]
+        expected = [(1000 + int(p), float(scores[p])) for p in order]
+        assert merge_topk(self._partials(scores), 10) == expected
+
+    def test_independent_of_supply_order(self):
+        rng = np.random.default_rng(11)
+        scores = rng.standard_normal(30)
+        partials = self._partials(scores)
+        merged = merge_topk(partials, 5)
+        for seed in range(5):
+            shuffled = list(partials)
+            np.random.default_rng(seed).shuffle(shuffled)
+            assert merge_topk(shuffled, 5) == merged
+
+    def test_ties_break_by_catalogue_position(self):
+        partials = [(5, 1005, 1.0), (2, 1002, 1.0), (9, 1009, 1.0)]
+        assert merge_topk(partials, 3) == \
+            [(1002, 1.0), (1005, 1.0), (1009, 1.0)]
+
+    def test_k_larger_than_pool(self):
+        partials = [(0, 1000, 2.0), (1, 1001, 1.0)]
+        assert len(merge_topk(partials, 10)) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            merge_topk([], 0)

@@ -1,0 +1,218 @@
+"""The serving fleet: shared-parameter attach, routing parity with the
+single-process service, and degradation under injected shard crashes."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+from repro.fleet.params import ServingParameterBlock, attach_serving_engine
+from repro.fleet.router import ShardRouter
+from repro.parallel.supervisor import SupervisionConfig
+from repro.reliability import Fault, FaultPlan
+from repro.serving.engine import InferenceEngine
+from repro.serving.service import RecommendationService
+
+TARGET = "shelbyville"
+K = 5
+
+
+@pytest.fixture(scope="module")
+def world(tiny_dataset):
+    dataset, _truth = tiny_dataset
+    index = dataset.build_index()
+    model = STTransRec(index.num_users, index.num_pois, index.num_words,
+                       STTransRecConfig(embedding_dim=8, seed=3))
+    model.eval()
+    return model, index, dataset
+
+
+@pytest.fixture(scope="module")
+def reference(world):
+    """Single-process answers with the cache off: the parity oracle."""
+    model, index, dataset = world
+    with RecommendationService(model, index, dataset, TARGET,
+                               cache_size=0, use_batcher=False) as service:
+        users = sorted(dataset.users)
+        return users, service.recommend_many(users, k=K)
+
+
+class TestServingParameterBlock:
+    def test_attached_engine_scores_bit_identically(self, world):
+        model, index, dataset = world
+        engine = InferenceEngine.from_model(model, index, dataset, TARGET)
+        indices = list(range(min(6, index.num_users)))
+        expected = engine.top_k_catalogue(indices, K)
+        with ServingParameterBlock.from_engine(engine) as block:
+            attached, client = attach_serving_engine(block.manifest)
+            try:
+                assert attached.top_k_catalogue(indices, K) == expected
+            finally:
+                # The engine's buffers alias the client's mapping; drop
+                # them first so the mapping can unmap cleanly in-process.
+                del attached
+                client.close()
+
+    def test_attached_views_are_read_only(self, world):
+        model, index, dataset = world
+        engine = InferenceEngine.from_model(model, index, dataset, TARGET)
+        with ServingParameterBlock.from_engine(engine) as block:
+            attached, client = attach_serving_engine(block.manifest)
+            try:
+                state = attached.serving_state()
+                assert any(not arr.flags.writeable
+                           for arr in state.values())
+            finally:
+                del state, attached
+                client.close()
+
+    def test_republish_is_visible_through_attached_views(self, world):
+        model, index, dataset = world
+        engine = InferenceEngine.from_model(model, index, dataset, TARGET)
+        state = engine.serving_state()
+        with ServingParameterBlock.from_engine(engine) as block:
+            attached, client = attach_serving_engine(block.manifest)
+            try:
+                bumped = {name: (arr + 1.0
+                                 if np.issubdtype(arr.dtype, np.floating)
+                                 else arr)
+                          for name, arr in state.items()}
+                block.publish(bumped)
+                new_state = attached.serving_state()
+                for name, arr in bumped.items():
+                    np.testing.assert_array_equal(new_state[name], arr)
+                del new_state
+            finally:
+                del attached
+                client.close()
+
+
+class TestRouterParity:
+    def test_recommend_many_bit_identical_to_single_process(
+            self, world, reference):
+        model, index, dataset = world
+        users, expected = reference
+        for num_shards in (1, 2, 3):
+            with ShardRouter(model, index, dataset, TARGET,
+                             num_shards=num_shards) as router:
+                assert router.recommend_many(users, k=K) == expected
+
+    def test_recommend_single_user_and_unknowns(self, world, reference):
+        model, index, dataset = world
+        users, expected = reference
+        with ShardRouter(model, index, dataset, TARGET,
+                         num_shards=2) as router:
+            probe = users[0]
+            assert router.recommend(probe, k=K) == expected[probe]
+            with pytest.raises(KeyError):
+                router.recommend(10**9, k=K)
+            # Unknown users are skipped, not raised, in the batch path.
+            got = router.recommend_many([probe, 10**9], k=K)
+            assert set(got) == {probe}
+            with pytest.raises(ValueError):
+                router.recommend_many(users, k=0)
+
+    def test_fanout_matches_whole_catalogue_ranking(
+            self, world, reference):
+        model, index, dataset = world
+        users, expected = reference
+        with ShardRouter(model, index, dataset, TARGET,
+                         num_shards=3) as router:
+            for user in users[:6]:
+                assert router.recommend_fanout(user, k=K) == expected[user]
+
+    def test_duplicate_users_collapse(self, world, reference):
+        model, index, dataset = world
+        users, expected = reference
+        probe = users[1]
+        with ShardRouter(model, index, dataset, TARGET,
+                         num_shards=2) as router:
+            got = router.recommend_many([probe, probe, probe], k=K)
+        assert got == {probe: expected[probe]}
+
+
+class TestRouterDegradation:
+    def _supervision(self):
+        return SupervisionConfig(step_timeout=60.0, max_respawns=2,
+                                 respawn_backoff=0.01)
+
+    def test_shard_crash_respawn_keeps_answers_identical(
+            self, world, reference):
+        model, index, dataset = world
+        users, expected = reference
+        plan = FaultPlan([Fault.crash(worker=1, step=2)])
+        with ShardRouter(model, index, dataset, TARGET, num_shards=2,
+                         fault_plan=plan,
+                         supervision=self._supervision()) as router:
+            for _wave in range(4):
+                assert router.recommend_many(users, k=K) == expected
+            stats = router.stats()
+        assert stats["faults"]["crashes"] >= 1
+        assert stats["faults"]["respawns"] >= 1
+        assert sorted(stats["live_shards"]) == [0, 1]
+        assert stats["shard_requests"] > 0
+        assert not mp.active_children()
+
+    def test_fanout_survives_shard_crash(self, world, reference):
+        model, index, dataset = world
+        users, expected = reference
+        # The shard's request sequence is the step coordinate (0-based):
+        # the very first fanout request to shard 0 kills it.
+        plan = FaultPlan([Fault.crash(worker=0, step=0)])
+        with ShardRouter(model, index, dataset, TARGET, num_shards=2,
+                         fault_plan=plan,
+                         supervision=self._supervision()) as router:
+            probe = users[2]
+            assert router.recommend_fanout(probe, k=K) == expected[probe]
+            stats = router.stats()
+        assert stats["faults"]["crashes"] >= 1
+
+    def test_close_is_idempotent_and_leaks_nothing(self, world):
+        model, index, dataset = world
+        router = ShardRouter(model, index, dataset, TARGET, num_shards=2)
+        router.recommend_many(sorted(dataset.users)[:4], k=K)
+        router.close()
+        router.close()
+        assert not mp.active_children()
+
+    def test_invalid_num_shards(self, world):
+        model, index, dataset = world
+        with pytest.raises(ValueError):
+            ShardRouter(model, index, dataset, TARGET, num_shards=0)
+
+
+class TestShardTelemetry:
+    def test_per_shard_logs_aggregate_through_metrics_report(
+            self, world, tmp_path):
+        from repro.obs.export import load_run_state_tree
+
+        model, index, dataset = world
+        users = sorted(dataset.users)
+        with ShardRouter(model, index, dataset, TARGET, num_shards=2,
+                         telemetry_dir=tmp_path) as router:
+            router.recommend_many(users, k=K)
+        logs = sorted(p.parent.name for p in tmp_path.glob("*/events.jsonl"))
+        assert logs == ["shard-0", "shard-1"]
+        registry, _tracer, num_runs, num_logs = load_run_state_tree(tmp_path)
+        assert num_logs == 2 and num_runs == 2
+        total = sum(metric.value for key, metric in registry.items()
+                    if key.startswith("fleet.shard.users"))
+        assert total == len(users)
+
+    def test_router_registry_sees_shard_counters(self, world):
+        from repro.obs.metrics import MetricsRegistry
+
+        model, index, dataset = world
+        users = sorted(dataset.users)
+        registry = MetricsRegistry()
+        with ShardRouter(model, index, dataset, TARGET, num_shards=2,
+                         registry=registry) as router:
+            router.recommend_many(users, k=K)
+            merged = router.merged_shard_registry()
+        shard_users = sum(metric.value for key, metric in merged.items()
+                          if key.startswith("fleet.shard.users"))
+        assert shard_users == len(users)
+        assert registry.histogram(
+            "fleet.router.request_latency_ms").count == 1

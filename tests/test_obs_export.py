@@ -6,8 +6,10 @@ import pytest
 
 from repro.obs.export import (
     JsonlExporter,
+    find_event_logs,
     load_events,
     load_run_state,
+    load_run_state_tree,
     render_console_summary,
     render_prometheus,
 )
@@ -158,3 +160,49 @@ class TestTelemetryFacade:
         # ids must still differ or a shared dir would drop one run.
         a, b = Telemetry(run_name="x"), Telemetry(run_name="x")
         assert a.run_id != b.run_id
+
+
+class TestTelemetryTree:
+    """Aggregation across per-process subdirectories (the fleet layout)."""
+
+    def _save_run(self, directory, value):
+        telemetry = Telemetry(directory)
+        telemetry.counter("fleet.shard.requests").inc(value)
+        telemetry.save()
+
+    def test_find_event_logs_sweeps_root_and_subdirs(self, tmp_path):
+        self._save_run(tmp_path, 1)
+        self._save_run(tmp_path / "shard-0", 2)
+        self._save_run(tmp_path / "shard-1", 3)
+        (tmp_path / "empty-subdir").mkdir()
+        logs = find_event_logs(tmp_path)
+        assert [log.parent.name for log in logs] == \
+            [tmp_path.name, "shard-0", "shard-1"]
+
+    def test_tree_merges_runs_across_logs(self, tmp_path):
+        self._save_run(tmp_path, 1)
+        self._save_run(tmp_path / "shard-0", 2)
+        self._save_run(tmp_path / "shard-1", 3)
+        registry, _tracer, num_runs, num_logs = \
+            load_run_state_tree(tmp_path)
+        assert (num_runs, num_logs) == (3, 3)
+        assert registry.counter("fleet.shard.requests").value == 6
+
+    def test_tree_without_root_log(self, tmp_path):
+        self._save_run(tmp_path / "shard-0", 5)
+        registry, _tracer, num_runs, num_logs = \
+            load_run_state_tree(tmp_path)
+        assert (num_runs, num_logs) == (1, 1)
+        assert registry.counter("fleet.shard.requests").value == 5
+
+    def test_empty_tree(self, tmp_path):
+        registry, _tracer, num_runs, num_logs = \
+            load_run_state_tree(tmp_path)
+        assert (num_runs, num_logs) == (0, 0)
+        assert len(registry) == 0
+
+    def test_nested_logs_below_one_level_are_ignored(self, tmp_path):
+        self._save_run(tmp_path / "shard-0" / "deeper", 7)
+        _registry, _tracer, _runs, num_logs = \
+            load_run_state_tree(tmp_path)
+        assert num_logs == 0

@@ -9,6 +9,7 @@ from repro.perf.bench import (
     bench_train_step,
     bench_transport,
     check_against_baseline,
+    check_fleet_against_baseline,
 )
 
 
@@ -65,6 +66,37 @@ class TestCheckAgainstBaseline:
         assert check_against_baseline({"anything": 1}, {}) == []
 
 
+class TestCheckFleetAgainstBaseline:
+    SPEC = {"tolerance": 0.0, "min_cpus": 3,
+            "metrics": {"fleet.shards.2.speedup_vs_single": 1.6}}
+
+    def _payload(self, cpus, speedup):
+        return {"fleet": {"cpu_count": cpus,
+                          "shards": {"2": {"speedup_vs_single": speedup}}}}
+
+    def test_skips_below_cpu_floor(self):
+        regressions, skip = check_fleet_against_baseline(
+            self._payload(cpus=1, speedup=0.4), self.SPEC)
+        assert regressions == []
+        assert skip is not None and "1 CPU" in skip
+
+    def test_gates_at_or_above_cpu_floor(self):
+        regressions, skip = check_fleet_against_baseline(
+            self._payload(cpus=4, speedup=1.7), self.SPEC)
+        assert (regressions, skip) == ([], None)
+        regressions, skip = check_fleet_against_baseline(
+            self._payload(cpus=4, speedup=1.2), self.SPEC)
+        assert skip is None
+        assert len(regressions) == 1
+        assert "speedup_vs_single" in regressions[0]
+
+    def test_missing_fleet_payload_skips_when_starved(self):
+        # No fleet section at all reads as cpu_count 0 -> skip, never a
+        # silent pass of the metrics.
+        regressions, skip = check_fleet_against_baseline({}, self.SPEC)
+        assert regressions == [] and skip is not None
+
+
 class TestCommittedBaselines:
     def test_baselines_file_is_well_formed(self):
         import json
@@ -79,8 +111,22 @@ class TestCommittedBaselines:
                 assert 0.0 <= spec["tolerance"] < 1.0
                 assert spec["metrics"]
                 for dotted, value in spec["metrics"].items():
-                    assert dotted.endswith(".speedup")
+                    assert ".speedup" in dotted
                     assert value > 0
+
+    def test_full_fleet_bar_requires_multicore_and_1_6x(self):
+        """The 2-shard scaling bar is >= 1.6x, gated only where the
+        hardware can express it (min_cpus floor)."""
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "benchmarks" / \
+            "perf" / "baselines.json"
+        spec = json.loads(path.read_text())["full"]["fleet"]
+        floor = spec["metrics"]["fleet.shards.2.speedup_vs_single"] \
+            * (1.0 - spec["tolerance"])
+        assert floor >= 1.6
+        assert spec["min_cpus"] >= 3
 
     def test_full_profile_enforces_acceptance_bar(self):
         """The committed floor for the 2-worker train step is >= 1.5x."""

@@ -10,6 +10,7 @@ from repro.parallel.data_parallel import DataParallelTrainer
 from repro.perf.config import PerfConfig, enable_sparse_embedding_grads
 from repro.perf.transport import (
     GradientLayout,
+    ReadOnlyTransportError,
     ShmTransport,
     WorkerTransportClient,
 )
@@ -148,7 +149,85 @@ class TestShmRoundtrip:
 
     def test_invalid_num_slots(self):
         with pytest.raises(ValueError):
-            ShmTransport(SPECS, num_slots=0)
+            ShmTransport(SPECS, num_slots=-1)
+
+
+class TestReadOnlyAttach:
+    """Params-only blocks and read-only consumers (the serving fleet)."""
+
+    def _state(self, seed=5):
+        rng = np.random.default_rng(seed)
+        return {name: rng.standard_normal(shape)
+                for name, shape, _ in SPECS}
+
+    def test_params_only_block_roundtrip(self):
+        state = self._state()
+        with ShmTransport(SPECS, num_slots=0) as transport:
+            assert transport.num_slots == 0
+            client = WorkerTransportClient(transport.layout,
+                                           read_only=True)
+            try:
+                transport.write_params(state)
+                back = client.read_params()
+            finally:
+                client.close()
+        for name in state:
+            np.testing.assert_array_equal(back[name], state[name])
+
+    def test_read_only_client_rejects_grad_writes(self):
+        with ShmTransport(SPECS, num_slots=0) as transport:
+            client = WorkerTransportClient(transport.layout,
+                                           read_only=True)
+            try:
+                with pytest.raises(ReadOnlyTransportError):
+                    client.write_grads(
+                        {name: np.zeros(shape)
+                         for name, shape, _ in SPECS})
+            finally:
+                client.close()
+
+    def test_read_only_views_are_not_writable(self):
+        with ShmTransport(SPECS, num_slots=0) as transport:
+            transport.write_params(self._state())
+            client = WorkerTransportClient(transport.layout,
+                                           read_only=True)
+            try:
+                view = client.read_params(copy=False)
+                assert not view["emb.weight"].flags.writeable
+                with pytest.raises(ValueError):
+                    view["emb.weight"][0, 0] = 1.0
+            finally:
+                # Views alias the mapping; drop them before unmapping
+                # so the in-process SharedMemory can close cleanly.
+                del view
+                client.close()
+
+    def test_zero_copy_view_tracks_republished_params(self):
+        state = self._state()
+        with ShmTransport(SPECS, num_slots=0) as transport:
+            transport.write_params(state)
+            client = WorkerTransportClient(transport.layout,
+                                           read_only=True)
+            try:
+                view = client.read_params(copy=False)
+                transport.write_params(
+                    {n: np.ones_like(v) for n, v in state.items()})
+                np.testing.assert_array_equal(view["emb.weight"], 1.0)
+            finally:
+                del view
+                client.close()
+
+    def test_client_constructor_validation(self):
+        layout = GradientLayout.build(SPECS)
+        with pytest.raises(ValueError, match="slot"):
+            WorkerTransportClient(layout, 0, read_only=True)
+        with pytest.raises(ValueError, match="slot"):
+            WorkerTransportClient(layout)
+
+    def test_grad_slots_rejected_on_params_only_block(self):
+        with ShmTransport(SPECS, num_slots=0) as transport:
+            with pytest.raises(IndexError):
+                transport.read_grads(0)
 
 
 class TestPerfConfig:
