@@ -27,6 +27,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.fleet.chaos import check_chaos_against_baseline  # noqa: E402
 from repro.perf.bench import (  # noqa: E402
     check_against_baseline,
     check_fleet_against_baseline,
@@ -53,6 +54,7 @@ def main(argv=None) -> int:
 
     regressions = []
     skipped = []
+    gated = 0
     for name, path in (("train", args.train), ("serving", args.serving)):
         spec = profile.get(name)
         if spec is None:
@@ -60,27 +62,30 @@ def main(argv=None) -> int:
         payload = json.loads(Path(path).read_text())
         regressions += [f"[{name}] {msg}"
                         for msg in check_against_baseline(payload, spec)]
+        gated += len(spec.get("metrics", {}))
 
-    # Fleet scaling metrics live in the serving payload but gate
-    # separately: they are skipped (not failed) on runners whose CPU
-    # affinity can't physically express multi-shard speedup.
-    fleet_spec = profile.get("fleet")
-    if fleet_spec is not None:
-        payload = json.loads(Path(args.serving).read_text())
-        fleet_regressions, skip_reason = check_fleet_against_baseline(
-            payload, fleet_spec)
+    # Fleet scaling and chaos resilience metrics live in the serving
+    # payload but gate separately: each can be skipped (not failed) —
+    # fleet/chaos bars need enough CPUs to be physically measurable,
+    # and chaos rows only exist after `repro chaos-bench` has run.
+    serving_payload = json.loads(Path(args.serving).read_text())
+    for name, checker in (("fleet", check_fleet_against_baseline),
+                          ("chaos", check_chaos_against_baseline)):
+        spec = profile.get(name)
+        if spec is None:
+            continue
+        section_regressions, skip_reason = checker(serving_payload, spec)
         if skip_reason:
             skipped.append(skip_reason)
-        regressions += [f"[fleet] {msg}" for msg in fleet_regressions]
+        else:
+            gated += len(spec.get("metrics", {}))
+        regressions += [f"[{name}] {msg}" for msg in section_regressions]
 
     if regressions:
         for msg in regressions:
             print(f"REGRESSION {msg}")
         return 1
-    gated = sum(len(profile.get(n, {}).get("metrics", {}))
-                for n in ("train", "serving", "fleet"))
     for reason in skipped:
-        gated -= len(fleet_spec.get("metrics", {}))
         print(f"SKIPPED {reason}")
     print(f"perf gate ({args.profile}): {gated} metrics within tolerance")
     return 0

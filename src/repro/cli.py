@@ -514,6 +514,90 @@ def cmd_fleet_smoke(args) -> int:
     return 0
 
 
+def cmd_chaos_bench(args) -> int:
+    """Chaos benchmark: serving availability under injected faults.
+
+    ``--tiny`` is the CI smoke shape: a 2-shard fleet under the
+    standard slow-shard + crash-under-load plan must keep availability
+    at >= 99% with every response truthfully quality-tagged, and leak
+    no child processes.  The full run measures 1/2/4 shards and merges
+    the rows under ``"chaos"`` in ``BENCH_serving.json``.
+    """
+    import multiprocessing as mp
+
+    from repro.fleet.chaos import (
+        check_chaos_against_baseline,
+        format_chaos_report,
+        run_chaos_benchmark,
+    )
+
+    telemetry = _make_telemetry(args, "chaos-bench")
+    kwargs = dict(
+        k=args.k, seed=args.seed, rate=args.rate,
+        deadline_ms=args.deadline_ms,
+        telemetry_dir=getattr(args, "telemetry_dir", None),
+        registry=telemetry.registry if telemetry is not None else None)
+    if args.shards:
+        kwargs["shard_counts"] = tuple(args.shards)
+    if args.tiny:
+        kwargs.setdefault("shard_counts", (2,))
+        payload = run_chaos_benchmark(
+            scale=0.1, embedding_dim=8, load_seconds=1.5, **kwargs)
+    else:
+        payload = run_chaos_benchmark(scale=args.scale, dtype=args.dtype,
+                                      load_seconds=args.load_seconds,
+                                      extended_faults=True, **kwargs)
+    _report(format_chaos_report(payload))
+    if telemetry is not None:
+        telemetry.save()
+        _progress(f"telemetry written to {telemetry.dir}")
+    failed = False
+    if args.tiny:
+        for key, row in payload["shards"].items():
+            if row["availability"] < 0.99:
+                _report(f"FAIL: {key}-shard availability "
+                        f"{row['availability']:.1%} < 99%")
+                failed = True
+            tagged = sum(row["quality_counts"].values())
+            if tagged != row["answered"]:
+                _report(f"FAIL: {key}-shard has {row['answered']} answers "
+                        f"but {tagged} quality tags")
+                failed = True
+            if row["faults"]["crashes"] + row["faults"]["hangs"] < 1:
+                _report(f"FAIL: {key}-shard saw no injected fault land")
+                failed = True
+        leaked = mp.active_children()
+        if leaked:
+            _report(f"FAIL: {len(leaked)} child process(es) leaked")
+            failed = True
+        if not failed:
+            _report("chaos smoke OK")
+    if args.out and args.out != "-" and not args.tiny:
+        out = Path(args.out)
+        doc = json.loads(out.read_text()) if out.exists() else {}
+        doc["chaos"] = payload
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        _progress(f"merged chaos rows into {out}")
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        if "tiny" in baseline or "full" in baseline:
+            baseline = baseline.get("tiny" if args.tiny else "full", {})
+        spec = baseline.get("chaos")
+        if spec:
+            regressions, skip = check_chaos_against_baseline(
+                {"chaos": payload}, spec)
+            if skip:
+                _report(f"SKIPPED {skip}")
+            elif regressions:
+                for msg in regressions:
+                    _report(f"REGRESSION [chaos] {msg}")
+                return 1
+            else:
+                _report("chaos gate: all metrics within tolerance")
+    return 1 if failed else 0
+
+
 def cmd_fault_smoke(args) -> int:
     """Fault-injection smoke test: crash + NaN survival, then a
     loss-neutral resume proof (run in CI)."""
@@ -757,6 +841,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=3,
                    help="world + model seed (default 3)")
     p.set_defaults(func=cmd_fleet_smoke)
+
+    p = sub.add_parser("chaos-bench",
+                       help="serving-tier chaos benchmark: availability, "
+                            "deadline-hit rate, and per-quality latency "
+                            "under injected slow/crash/flap faults; "
+                            "--tiny is the CI chaos-smoke gate")
+    p.add_argument("--tiny", action="store_true",
+                   help="CI smoke configuration (small world, 2 shards, "
+                        "asserts availability >= 99%% and no leaked "
+                        "processes)")
+    p.add_argument("--shards", type=int, nargs="+", default=None,
+                   metavar="N",
+                   help="fleet sizes to measure (default: 1 2 4; "
+                        "tiny: 2)")
+    p.add_argument("--k", type=int, default=10,
+                   help="top-k list length (default 10)")
+    p.add_argument("--dtype", choices=["float32", "float64"],
+                   default="float32",
+                   help="serving parameter dtype (default float32)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered load in users/s (default: half the "
+                        "measured single-process saturation)")
+    p.add_argument("--deadline-ms", type=float, default=250.0,
+                   help="per-request deadline budget (default 250)")
+    p.add_argument("--load-seconds", type=float, default=4.0,
+                   help="open-loop duration per shard count (default 4)")
+    p.add_argument("--out", default="BENCH_serving.json",
+                   help="JSON file to merge the chaos rows into "
+                        "('-' to skip writing; tiny mode never writes)")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="gate availability/deadline metrics against "
+                        "committed baselines (skipped below min_cpus)")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="export fleet.chaos.* metrics under DIR; shards "
+                        "write per-process logs to DIR/shard-<id>/")
+    _add_common(p)
+    p.set_defaults(func=cmd_chaos_bench, scale=1.0)
 
     p = sub.add_parser("perf-bench",
                        help="hot-path microbenchmarks: train step "

@@ -10,11 +10,18 @@ generator measures the result (:mod:`repro.fleet.loadgen`,
 :mod:`repro.fleet.bench`).
 """
 
+from repro.fleet.chaos import (
+    default_chaos_plan,
+    format_chaos_report,
+    run_chaos_benchmark,
+)
 from repro.fleet.loadgen import (
+    ChaosResult,
     LoadPhase,
     LoadResult,
     ZipfUserSampler,
     measure_saturation,
+    run_chaos_loop,
     run_open_loop,
 )
 from repro.fleet.params import (
@@ -28,19 +35,25 @@ from repro.fleet.partition import (
     shard_for_user,
     split_catalogue,
 )
-from repro.fleet.router import ShardRouter
+from repro.fleet.router import FleetUnavailableError, ShardRouter
 
 __all__ = [
+    "ChaosResult",
     "FleetManifest",
+    "FleetUnavailableError",
     "LoadPhase",
     "LoadResult",
     "ServingParameterBlock",
     "ShardRouter",
     "ZipfUserSampler",
     "attach_serving_engine",
+    "default_chaos_plan",
+    "format_chaos_report",
     "measure_saturation",
     "merge_topk",
     "route_user",
+    "run_chaos_benchmark",
+    "run_chaos_loop",
     "run_open_loop",
     "shard_for_user",
     "split_catalogue",

@@ -1,0 +1,264 @@
+"""Serving-tier chaos benchmark: availability under injected faults.
+
+The capacity bench (:mod:`repro.fleet.bench`) asks *how fast* the
+fleet is when everything works; this harness asks *how available* it
+stays when things break.  Each row runs the same open-loop Poisson/
+Zipf stream through :meth:`~repro.fleet.router.ShardRouter.
+recommend_resilient` while a :class:`~repro.reliability.faults.
+ChaosPlan` injects a slow window on shard 0 and a crash-under-load on
+the last shard (plus flapping and jittered delay when enough shards
+exist).  Reported per shard count:
+
+* **availability** — fraction of offered requests that got *any*
+  response (the resilience layer's whole job is keeping this at 1.0);
+* **deadline-hit rate** — fraction answered within their budget;
+* **p50/p99 per quality tier** — the latency price of each degraded
+  tier, and proof that router p99 is bounded by the deadline budget
+  rather than the injected fault duration;
+* the recovery counters — hedges, shed, breaker opens, restarts,
+  respawns — that explain *how* availability was held.
+
+The same honesty rule as the capacity bench applies: the payload
+records the CPU affinity count, and the regression gate can skip
+shard-scaling expectations on starved runners (``min_cpus``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+from repro.data.synthetic import foursquare_like, generate_dataset
+from repro.fleet.bench import _available_cpus
+from repro.fleet.loadgen import measure_saturation, run_chaos_loop
+from repro.fleet.router import ShardRouter
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.supervisor import SupervisionConfig
+from repro.reliability.faults import ChaosPlan, WindowFault
+from repro.resilience import QUALITY_TIERS, ResilienceConfig
+from repro.serving.service import RecommendationService
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "default_chaos_plan",
+    "run_chaos_benchmark",
+    "format_chaos_report",
+    "check_chaos_against_baseline",
+]
+
+logger = get_logger("fleet.chaos")
+
+# Window faults stay open to "forever": recovery comes from the system
+# (breaker-triggered restart / crash respawn replaces the incarnation
+# that carries the plan), not from the fault politely expiring.
+_OPEN_ENDED = 1_000_000
+
+
+def default_chaos_plan(num_shards: int, *, slow_seconds: float,
+                       slow_start: int = 3, crash_start: int = 8,
+                       extended: bool = False, seed: int = 0) -> ChaosPlan:
+    """The bench's standard fault mix for a ``num_shards`` fleet.
+
+    Shard 0 turns slow from its ``slow_start``-th request *onwards*
+    (the breaker must open and the restart must clear it — the window
+    never closes on its own) and the last shard crashes under load at
+    its ``crash_start``-th request.  ``extended=True`` adds a flapping
+    shard and a jitter-delayed shard when enough shards exist, for the
+    full-profile mix.
+    """
+    windows: List[WindowFault] = [
+        WindowFault.slow_shard(0, slow_start, _OPEN_ENDED, slow_seconds),
+        WindowFault.crash_under_load(max(0, num_shards - 1), crash_start,
+                                     crash_start + 1),
+    ]
+    if extended and num_shards >= 3:
+        windows.append(WindowFault.flapping(
+            1, slow_start, _OPEN_ENDED, slow_seconds, period=2))
+    if extended and num_shards >= 4:
+        windows.append(WindowFault.jittered_delay(
+            2, slow_start, _OPEN_ENDED, slow_seconds, seed=seed))
+    return ChaosPlan(windows=windows)
+
+
+def _resilience_config(deadline_ms: float) -> ResilienceConfig:
+    """Bench policy: every timing knob scales off the deadline budget."""
+    return ResilienceConfig(
+        deadline_ms=deadline_ms,
+        hop_timeout_ms=deadline_ms * 0.4,
+        hedge_after_ms=deadline_ms * 0.12,
+        poll_interval_ms=max(1.0, deadline_ms * 0.02),
+        finalize_margin_ms=max(1.0, deadline_ms * 0.02),
+        breaker_probe_backoff_ms=deadline_ms,
+    )
+
+
+def run_chaos_benchmark(*, scale: float = 1.0, embedding_dim: int = 32,
+                        shard_counts: Sequence[int] = (1, 2, 4),
+                        k: int = 10, dtype: str = "float32",
+                        load_seconds: float = 4.0,
+                        rate: Optional[float] = None,
+                        deadline_ms: float = 250.0,
+                        slow_seconds: Optional[float] = None,
+                        zipf_exponent: float = 1.1, seed: int = 7,
+                        extended_faults: bool = False,
+                        telemetry_dir=None,
+                        registry: Optional[MetricsRegistry] = None) -> Dict:
+    """Measure degraded-mode serving per shard count; return JSON.
+
+    ``rate=None`` offers half the single-process saturation (measured
+    fresh), like the capacity bench, so every row faces a load that
+    genuinely stresses the admission controller.  ``slow_seconds``
+    defaults to 2x the deadline budget — an injected stall that *must*
+    be routed around, not waited out, for the deadline-hit bar to hold.
+    """
+    config = foursquare_like(scale=scale, seed=seed)
+    dataset, _truth = generate_dataset(config)
+    index = dataset.build_index()
+    model = STTransRec(index.num_users, index.num_pois, index.num_words,
+                       STTransRecConfig(embedding_dim=embedding_dim,
+                                        seed=seed))
+    model.eval()
+    target_city = config.target_city
+    users = sorted(dataset.users)
+    np_dtype = np.dtype(dtype)
+    if slow_seconds is None:
+        slow_seconds = 2.0 * deadline_ms / 1000.0
+
+    logger.info("chaos bench: %d users, measuring baseline capacity...",
+                len(users))
+    with RecommendationService(model, index, dataset, target_city,
+                               cache_size=0, use_batcher=False,
+                               dtype=np_dtype) as service:
+        saturation = measure_saturation(service, users, k=k,
+                                        min_seconds=1.0, seed=seed)
+        catalogue_size = service.engine.catalogue_size
+    # Half the single-process saturation stresses the deadline path,
+    # but capped: this bench measures availability under faults, not
+    # capacity, and an uncapped rate on a fast tiny world would just
+    # drown the accounting in millions of identical arrivals.
+    offered_rate = rate if rate is not None \
+        else min(max(2.0, saturation / 2.0), 2000.0)
+
+    payload: Dict = {
+        "cpu_count": _available_cpus(),
+        "workload": {
+            "scale": scale,
+            "num_users": len(users),
+            "catalogue_size": catalogue_size,
+            "embedding_dim": embedding_dim,
+            "dtype": str(np_dtype),
+            "k": k,
+            "offered_rate": offered_rate,
+            "deadline_ms": deadline_ms,
+            "slow_seconds": slow_seconds,
+            "zipf_exponent": zipf_exponent,
+            "load_seconds": load_seconds,
+        },
+        "shards": {},
+    }
+
+    for num_shards in shard_counts:
+        logger.info("chaos bench: %d-shard fleet under faults...",
+                    num_shards)
+        plan = default_chaos_plan(num_shards, slow_seconds=slow_seconds,
+                                  extended=extended_faults, seed=seed)
+        with ShardRouter(model, index, dataset, target_city,
+                         num_shards=num_shards, dtype=np_dtype,
+                         supervision=SupervisionConfig(
+                             step_timeout=30.0, max_respawns=3,
+                             respawn_backoff=0.01),
+                         fault_plan=plan,
+                         telemetry_dir=telemetry_dir,
+                         registry=registry,
+                         resilience=_resilience_config(deadline_ms)
+                         ) as router:
+            result = run_chaos_loop(
+                router, users, rate=offered_rate,
+                duration_s=load_seconds, k=k, deadline_ms=deadline_ms,
+                zipf_exponent=zipf_exponent, seed=seed,
+                registry=registry)
+            resilience = router.resilience_stats()
+            fleet = router.stats()
+        payload["shards"][str(num_shards)] = {
+            "num_shards": num_shards,
+            "injected_faults": len(plan.windows),
+            **result.to_dict(),
+            "hedges": resilience["hedges"],
+            "retries": resilience["retries"],
+            "breaker_opens": resilience["breaker_opens"],
+            "breaker_restarts": resilience["breaker_restarts"],
+            "responses_by_quality": resilience["responses_by_quality"],
+            "faults": fleet["faults"],
+        }
+    return payload
+
+
+def format_chaos_report(payload: Dict) -> str:
+    """Human-readable chaos-bench report (the CLI output)."""
+    workload = payload["workload"]
+    lines = [
+        "Chaos benchmark: serving resilience under injected faults",
+        "=" * 62,
+        f"world: {workload['num_users']} users, "
+        f"{workload['catalogue_size']} target-city POIs, "
+        f"d={workload['embedding_dim']}, {workload['dtype']}",
+        f"load: Poisson {workload['offered_rate']:.0f} req/s, Zipf "
+        f"s={workload['zipf_exponent']}, top-{workload['k']}, "
+        f"deadline {workload['deadline_ms']:.0f}ms",
+        f"faults: slow shard ({workload['slow_seconds'] * 1000:.0f}ms "
+        f"stall) + crash under load; cpus: {payload['cpu_count']}",
+        "",
+        f"{'fleet':<9} {'avail':>7} {'in-dl':>7} {'p50':>9} {'p99':>9} "
+        f"{'shed':>5} {'hedge':>6} {'opens':>6} {'respawn':>8}",
+    ]
+    for key in sorted(payload["shards"], key=int):
+        row = payload["shards"][key]
+        lines.append(
+            f"{key + ' shard' + ('s' if key != '1' else ''):<9} "
+            f"{row['availability']:>6.1%} "
+            f"{row['deadline_hit_rate']:>6.1%} "
+            f"{row['p50_ms']:>7.1f}ms {row['p99_ms']:>7.1f}ms "
+            f"{row['shed']:>5d} {row['hedges']:>6d} "
+            f"{row['breaker_opens']:>6d} "
+            f"{row['faults']['respawns'] + row['faults']['restarts']:>8d}")
+    lines.append("")
+    lines.append("per-quality latency (p50 / p99 ms):")
+    for key in sorted(payload["shards"], key=int):
+        row = payload["shards"][key]
+        tiers = []
+        for tier in QUALITY_TIERS:
+            stats = row["latency_by_quality"].get(tier)
+            if stats:
+                tiers.append(f"{tier} {stats['p50_ms']:.1f}/"
+                             f"{stats['p99_ms']:.1f} (n={stats['count']})")
+        lines.append(f"  {key} shard{'s' if key != '1' else ''}: "
+                     + ("; ".join(tiers) if tiers else "no answers"))
+    return "\n".join(lines)
+
+
+def check_chaos_against_baseline(payload: Dict, spec: Dict
+                                 ) -> Tuple[List[str], Optional[str]]:
+    """Gate the chaos availability/deadline metrics, honestly.
+
+    ``payload`` is the merged ``BENCH_serving.json``; chaos rows live
+    under its ``"chaos"`` key.  Two skip conditions (reason returned,
+    no failure): the rows are absent entirely (the perf bench
+    regenerates the file without them — only ``repro chaos-bench``
+    adds them), or the runner has fewer CPUs than ``min_cpus`` (the
+    same physics rule as the fleet scaling gate).
+    """
+    from repro.perf.bench import check_against_baseline
+
+    chaos = payload.get("chaos")
+    if not chaos:
+        return [], ("chaos gate skipped: no chaos rows in payload "
+                    "(run `repro chaos-bench` to produce them)")
+    min_cpus = int(spec.get("min_cpus", 0))
+    cpus = int(chaos.get("cpu_count", 0))
+    if cpus < min_cpus:
+        return [], (f"chaos gate skipped: {cpus} CPU(s) in the affinity "
+                    f"mask, bar needs >= {min_cpus}")
+    return check_against_baseline(payload, spec), None

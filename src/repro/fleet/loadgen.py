@@ -35,18 +35,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience import QUALITY_TIERS, Deadline
 
 __all__ = [
+    "ChaosResult",
     "LoadPhase",
     "LoadResult",
     "ZipfUserSampler",
     "poisson_schedule",
     "run_open_loop",
+    "run_chaos_loop",
     "measure_saturation",
 ]
 
@@ -219,6 +222,164 @@ def run_open_loop(backend, user_ids: Sequence[int], *, rate: float,
         p99_ms=latency.percentile(99),
         mean_ms=latency.lifetime_mean,
         max_ms=latency.max if latency.count else 0.0,
+        batches=batches,
+        phases=phases,
+    )
+
+
+@dataclass
+class ChaosResult:
+    """Everything one deadline-bounded chaos run reports.
+
+    ``availability`` counts *any* response (including shed requests
+    answered from the fallback chain); ``deadline_hit_rate`` counts
+    only responses delivered within the request's budget.  Both are
+    fractions of the offered load, so a lost request hurts both.
+    """
+
+    offered: int
+    answered: int
+    deadline_hits: int
+    shed: int
+    duration_s: float
+    offered_rate: float
+    deadline_ms: float
+    quality_counts: Dict[str, int]
+    latency_by_quality: Dict[str, Dict[str, float]]
+    p50_ms: float
+    p99_ms: float
+    batches: int
+    phases: List[LoadPhase] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        return self.answered / self.offered if self.offered else 0.0
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        return self.deadline_hits / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "answered": self.answered,
+            "availability": self.availability,
+            "deadline_hits": self.deadline_hits,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "shed": self.shed,
+            "duration_s": self.duration_s,
+            "offered_rate": self.offered_rate,
+            "deadline_ms": self.deadline_ms,
+            "quality_counts": dict(self.quality_counts),
+            "latency_by_quality": {
+                tier: dict(stats)
+                for tier, stats in self.latency_by_quality.items()},
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "batches": self.batches,
+        }
+
+
+def run_chaos_loop(backend, user_ids: Sequence[int], *, rate: float,
+                   duration_s: Optional[float] = None, k: int = 10,
+                   deadline_ms: float = 50.0, zipf_exponent: float = 1.1,
+                   phases: Optional[Sequence[LoadPhase]] = None,
+                   exclude_visited: bool = True, seed: int = 0,
+                   registry: Optional[MetricsRegistry] = None
+                   ) -> ChaosResult:
+    """Drive a resilient backend open-loop, accounting per quality tier.
+
+    Same arrival/identity model as :func:`run_open_loop`, but requests
+    go through ``backend.recommend_resilient`` carrying
+    :class:`~repro.resilience.Deadline` objects anchored at each
+    request's *scheduled arrival* — time spent queued behind a slow
+    batch counts against the budget, exactly as a front door would
+    experience it.
+
+    Duplicate users inside one batch are deduplicated by the backend
+    (the earliest arrival's deadline governs); accounting here stays
+    per *request*: each arrival is charged its own latency and judged
+    against its own deadline, sharing the response of its user.
+    """
+    if phases is None:
+        if duration_s is None:
+            raise ValueError("pass duration_s or phases")
+        phases = [LoadPhase(duration_s)]
+    phases = list(phases)
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_schedule(rate, phases, rng)
+    sampler = ZipfUserSampler(user_ids, zipf_exponent, seed=seed + 1)
+    users = sampler.sample(len(arrivals))
+    registry = registry if registry is not None else MetricsRegistry()
+    window = max(4096, len(arrivals))
+    overall = registry.histogram("fleet.chaos.latency_ms", window=window)
+    by_quality = {
+        tier: registry.histogram("fleet.chaos.latency_ms", window=window,
+                                 quality=tier)
+        for tier in QUALITY_TIERS
+    }
+    registry.counter("fleet.chaos.offered").inc(len(arrivals))
+
+    answered = 0
+    deadline_hits = 0
+    shed = 0
+    quality_counts: Dict[str, int] = {tier: 0 for tier in QUALITY_TIERS}
+    batches = 0
+    i = 0
+    n = len(arrivals)
+    t0 = time.perf_counter()
+    while i < n:
+        now = time.perf_counter() - t0
+        if arrivals[i] > now:
+            time.sleep(min(arrivals[i] - now, 0.05))
+            continue
+        j = i
+        while j < n and arrivals[j] <= now:
+            j += 1
+        batch_users = [int(u) for u in users[i:j]]
+        deadlines = [Deadline(deadline_ms, start=t0 + arrivals[idx])
+                     for idx in range(i, j)]
+        results = backend.recommend_resilient(
+            batch_users, k, exclude_visited, deadlines=deadlines)
+        done = time.perf_counter() - t0
+        for user_id, t_arrival in zip(batch_users, arrivals[i:j]):
+            response = results.get(user_id)
+            if response is None:
+                continue
+            answered += 1
+            latency_ms = (done - t_arrival) * 1000.0
+            overall.observe(latency_ms)
+            tier = response.quality
+            quality_counts[tier] = quality_counts.get(tier, 0) + 1
+            by_quality[tier].observe(latency_ms)
+            if latency_ms <= deadline_ms:
+                deadline_hits += 1
+            if response.shed:
+                shed += 1
+        batches += 1
+        i = j
+    elapsed = time.perf_counter() - t0
+    registry.counter("fleet.chaos.answered").inc(answered)
+    latency_by_quality = {
+        tier: {
+            "count": hist.count,
+            "p50_ms": hist.percentile(50),
+            "p99_ms": hist.percentile(99),
+        }
+        for tier, hist in by_quality.items() if hist.count
+    }
+    return ChaosResult(
+        offered=n,
+        answered=answered,
+        deadline_hits=deadline_hits,
+        shed=shed,
+        duration_s=elapsed,
+        offered_rate=rate,
+        deadline_ms=deadline_ms,
+        quality_counts=quality_counts,
+        latency_by_quality=latency_by_quality,
+        p50_ms=overall.percentile(50),
+        p99_ms=overall.percentile(99),
         batches=batches,
         phases=phases,
     )

@@ -8,15 +8,15 @@
   :class:`~repro.parallel.supervisor.WorkerSupervisor` the
   data-parallel trainer uses — dead-shard detection on send and
   gather, bounded respawn with backoff, graceful degradation to the
-  surviving shards, :class:`WorkerFailure` only when the last shard is
-  gone;
+  surviving shards, :class:`FleetUnavailableError` only when the last
+  shard is gone;
 * the **request semantics**: user-id resolution, visited-POI
   exclusion, deterministic hash routing with failover
   (:func:`~repro.fleet.partition.route_user`), bounded re-dispatch of
   requests whose shard died mid-flight, and deterministic partial
   top-K merge (:func:`~repro.fleet.partition.merge_topk`).
 
-Two request shapes are served:
+Three request shapes are served:
 
 * :meth:`recommend_many` — each user goes whole to one shard (its hash
   home, or a deterministic survivor).  Every shard scores the full
@@ -30,6 +30,13 @@ Two request shapes are served:
   top-Ks are merged under the engine's exact tie-break.  This is the
   wide-catalogue path; slices from dead shards are re-dispatched to
   survivors before merging.
+* :meth:`recommend_resilient` — the deadline-bounded path (enabled by
+  passing a :class:`~repro.resilience.ResilienceConfig`): admission
+  control at the door, slice fanout across breaker-approved shards
+  with per-hop timeouts and hedged retries, and a degraded-fallback
+  chain (partial merge → stale cache → popularity) so *every* admitted
+  request gets an answer within its budget, truthfully tagged
+  ``full | partial | cached | fallback``.
 """
 
 from __future__ import annotations
@@ -52,12 +59,46 @@ from repro.parallel.supervisor import (
     WorkerFailure,
     WorkerSupervisor,
 )
+from repro.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    FallbackChain,
+    PopularityFallback,
+    QUALITY_FULL,
+    ResilienceConfig,
+    ResilientResponse,
+)
+from repro.serving.cache import TopKCache
 from repro.serving.engine import InferenceEngine
 from repro.utils.logging import get_logger
 
-__all__ = ["ShardRouter"]
+__all__ = ["FleetUnavailableError", "ShardRouter"]
 
 logger = get_logger("fleet.router")
+
+# Stale-reply bookkeeping is bounded: abandoned request ids whose
+# replies never arrive (their shard died) are pruned oldest-first past
+# this cap, so the map cannot grow without bound under chaos.
+_STALE_CAP = 4096
+
+
+class FleetUnavailableError(WorkerFailure):
+    """Every shard slot is gone: nothing left to route to.
+
+    Subclasses :class:`WorkerFailure` (it *is* a total-loss condition)
+    but names the last-known state of every shard slot, so the caller
+    sees *why* the fleet is empty — removed after exhausted respawn
+    budgets, dead, or never started — instead of a bare pipe error.
+    """
+
+    def __init__(self, step: int, shard_states: Dict[int, str]) -> None:
+        described = "; ".join(
+            f"shard {shard_id}: {state}"
+            for shard_id, state in sorted(shard_states.items()))
+        super().__init__(
+            step, reason=f"no live shards to route to [{described}]")
+        self.shard_states = dict(shard_states)
 
 
 class ShardRouter:
@@ -77,7 +118,8 @@ class ShardRouter:
     supervision:
         Supervisor policy (timeouts, respawn budget, backoff).
     fault_plan:
-        Optional :class:`~repro.reliability.faults.FaultPlan` handed to
+        Optional :class:`~repro.reliability.faults.FaultPlan` (or
+        :class:`~repro.reliability.faults.ChaosPlan`) handed to
         incarnation-0 shards; the step coordinate is each shard's own
         request sequence number.
     telemetry_dir:
@@ -85,7 +127,14 @@ class ShardRouter:
         ``telemetry_dir/shard-<id>/`` at graceful shutdown (the layout
         ``repro metrics-report`` aggregates).
     registry:
-        Optional router-side registry for ``fleet.router.*`` metrics.
+        Optional router-side registry for ``fleet.router.*`` and
+        ``fleet.resilience.*`` metrics.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`.  ``None``
+        (the default) leaves the router byte-for-byte on its plain
+        paths; when set, :meth:`recommend_resilient` becomes available
+        and the router builds its breakers, admission controller,
+        result cache, and fallback chain.
     """
 
     def __init__(self, model, index: DatasetIndex, dataset: CheckinDataset,
@@ -93,9 +142,11 @@ class ShardRouter:
                  dtype=np.float64,
                  supervision: Optional[SupervisionConfig] = None,
                  fault_plan=None, telemetry_dir=None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 resilience: Optional[ResilienceConfig] = None) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self._closed = False
         self.index = index
         self.dataset = dataset
         self.target_city = target_city
@@ -117,13 +168,54 @@ class ShardRouter:
         # keyed per incarnation so a respawn never erases its
         # predecessor's counts from the merged view.
         self._shard_metrics: Dict[Tuple[int, int], dict] = {}
+        # Abandoned request ids whose replies may still arrive (hedge
+        # losers, timed-out attempts): rid -> shard last sent to.
+        self._stale: Dict[int, int] = {}
         if registry is not None:
             self._latency = registry.histogram(
                 "fleet.router.request_latency_ms")
             self._redispatches = registry.counter(
                 "fleet.router.redispatches")
-        self._closed = False
-        self._supervisor.start()
+        self._resilience = resilience
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._admission: Optional[AdmissionController] = None
+        self._chain: Optional[FallbackChain] = None
+        self._res_cache: Optional[TopKCache] = None
+        self._res_counters = {"hedges": 0, "retries": 0, "breaker_opens": 0,
+                              "deadline_hits": 0, "deadline_misses": 0,
+                              "breaker_restarts": 0}
+        self._rr = 0                    # rotation offset for shard picks
+        if resilience is not None:
+            self._breakers = {
+                shard: CircuitBreaker(
+                    resilience.breaker_failure_threshold,
+                    resilience.breaker_probe_backoff_ms,
+                    resilience.breaker_backoff_factor,
+                    resilience.breaker_max_backoff_ms)
+                for shard in range(num_shards)
+            }
+            self._admission = AdmissionController(
+                resilience.admission_queue_limit,
+                resilience.codel_target_ms,
+                resilience.codel_interval_ms)
+            if resilience.cache_size > 0:
+                self._res_cache = TopKCache(
+                    resilience.cache_size, resilience.cache_ttl_seconds,
+                    registry=registry)
+            popularity = None
+            if resilience.popularity_fallback:
+                popularity = PopularityFallback(
+                    dataset.visit_counts(), reference.catalogue_poi_ids)
+            self._chain = FallbackChain(cache=self._res_cache,
+                                        popularity=popularity,
+                                        serve_stale=resilience.serve_stale)
+        try:
+            self._supervisor.start()
+        except BaseException:
+            # A failed spawn must not leak the shards that did start,
+            # nor the shared-memory block.
+            self.close()
+            raise
 
     @classmethod
     def from_checkpoint(cls, path, dataset: CheckinDataset,
@@ -171,36 +263,90 @@ class ShardRouter:
     def _excluded(self, user_id: int) -> Set[int]:
         return visited_poi_ids(self.dataset, user_id)
 
+    def _require_live(self) -> List[int]:
+        live = self.live_shards
+        if not live:
+            raise FleetUnavailableError(self._step,
+                                        self._supervisor.slot_states())
+        return live
+
+    def _next_rid(self) -> int:
+        self._request_seq += 1
+        return self._request_seq
+
+    def _mark_stale(self, rid: int, shard_id: int) -> None:
+        self._stale[rid] = shard_id
+        if len(self._stale) > _STALE_CAP:
+            for old in sorted(self._stale)[:len(self._stale) - _STALE_CAP]:
+                del self._stale[old]
+
+    def _absorb_reply(self, reply) -> Optional[Tuple[int, object]]:
+        """Record a raw shard reply's metrics; drop it if stale.
+
+        Returns ``(request_id, result)`` for live replies, ``None`` for
+        stale ones (hedge losers and timed-out attempts finally
+        answering — harvested for telemetry, discarded as data).
+        """
+        request_id, result, meta = reply
+        self._shard_metrics[(meta["shard"], meta["incarnation"])] = \
+            meta["metrics"]
+        if request_id in self._stale:
+            del self._stale[request_id]
+            return None
+        return request_id, result
+
     def _dispatch(self, requests: Dict[int, Tuple[str, object]]
                   ) -> Dict[int, object]:
         """One scatter/gather round: ``{shard: (op, payload)}`` in,
         ``{shard: result}`` out for the shards that replied.
 
-        Send-side deaths are handled by the supervisor inside
-        :meth:`send_to`; gather-side deaths (crash or hang past the
-        deadline) simply leave the shard out of the result, and the
-        caller re-routes its work.
+        Replies are matched by request id, not arrival order, so stale
+        replies from abandoned resilient attempts interleave harmlessly
+        with this synchronous path.  Send-side deaths are handled by
+        the supervisor inside ``send_to``; a shard that stays silent
+        past the supervision step timeout is declared hung (killed and
+        respawned); either way the shard is simply absent from the
+        result and the caller re-routes its work.
         """
         self._step += 1
         step = self._step
         sent: Dict[int, int] = {}
         for shard_id, (op, payload) in requests.items():
-            self._request_seq += 1
-            request_id = self._request_seq
+            request_id = self._next_rid()
             if self._supervisor.send_to(shard_id,
                                         (request_id, op, payload), step):
                 sent[request_id] = shard_id
-        if not sent:
-            return {}
-        replies = self._supervisor.gather(sorted(set(sent.values())), step)
         out: Dict[int, object] = {}
-        for reply in replies:
-            request_id, result, meta = reply
-            self._shard_metrics[(meta["shard"], meta["incarnation"])] = \
-                meta["metrics"]
-            shard_id = sent.get(request_id)
-            if shard_id is not None:
-                out[shard_id] = result
+        if not sent:
+            return out
+        deadline = time.monotonic() + self._supervisor.supervision.step_timeout
+        outstanding: Set[int] = set(sent)
+        while outstanding:
+            waiting_on = sorted({sent[rid] for rid in outstanding})
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for shard_id in waiting_on:
+                    self._supervisor.declare_hung(shard_id, step)
+                break
+            ready = self._supervisor.wait_any(waiting_on,
+                                              min(remaining, 0.05))
+            for shard_id in ready:
+                while True:
+                    status, message = self._supervisor.try_recv(
+                        shard_id, step)
+                    if status == "message":
+                        absorbed = self._absorb_reply(message)
+                        if absorbed is None:
+                            continue        # stale: keep draining
+                        request_id, result = absorbed
+                        if request_id in outstanding:
+                            outstanding.discard(request_id)
+                            out[sent[request_id]] = result
+                        break
+                    if status == "dead":
+                        outstanding -= {rid for rid in outstanding
+                                        if sent[rid] == shard_id}
+                    break                   # empty or dead: next shard
         return out
 
     def _record_latency(self, start: float) -> None:
@@ -212,7 +358,7 @@ class ShardRouter:
             self._redispatches.inc(count)
 
     # ------------------------------------------------------------------
-    # Serving API
+    # Serving API (plain paths: no deadlines, bit-identical results)
     # ------------------------------------------------------------------
     def recommend(self, user_id: int, k: int = 10,
                   exclude_visited: bool = True) -> List[Tuple[int, float]]:
@@ -231,7 +377,8 @@ class ShardRouter:
         are re-dispatched to the survivors — the routing function
         degrades deterministically, and every shard computes identical
         results, so a degraded fleet returns exactly what a healthy one
-        would, just slower.
+        would, just slower.  A fleet with zero live shards raises
+        :class:`FleetUnavailableError` naming the slot states.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -249,15 +396,15 @@ class ShardRouter:
         for round_no in range(max_rounds):
             if not pending:
                 break
-            groups = group_by_shard(pending, self.num_shards,
-                                    self.live_shards)
+            live = self._require_live()
+            groups = group_by_shard(pending, self.num_shards, live)
             requests = {}
             for shard_id, entries in groups.items():
                 indices = [idx for _uid, idx in entries]
                 exclude = [self._excluded(uid) if exclude_visited else None
                            for uid, _idx in entries]
                 requests[shard_id] = ("topk_users", (indices, k, exclude))
-            results = self._dispatch(requests)
+            results = self._dispatch_or_unavailable(requests)
             pending = []
             for shard_id, entries in groups.items():
                 rows = results.get(shard_id)
@@ -278,6 +425,16 @@ class ShardRouter:
                        f"{max_rounds} dispatch rounds")
         self._record_latency(start)
         return out
+
+    def _dispatch_or_unavailable(self, requests):
+        """Dispatch, translating total replica loss into the clear error."""
+        try:
+            return self._dispatch(requests)
+        except FleetUnavailableError:
+            raise
+        except WorkerFailure as failure:
+            raise FleetUnavailableError(
+                self._step, self._supervisor.slot_states()) from failure
 
     def recommend_fanout(self, user_id: int, k: int = 10,
                          exclude_visited: bool = True
@@ -302,7 +459,7 @@ class ShardRouter:
         for round_no in range(max_rounds):
             if not pending:
                 break
-            live = self.live_shards
+            live = self._require_live()
             # Round-robin the outstanding slices over the live shards;
             # one request per shard per round, possibly several slices.
             assignment: Dict[int, List[Tuple[int, int]]] = {}
@@ -312,7 +469,7 @@ class ShardRouter:
                 shard_id: ("topk_slices", (idx, k, pieces, exclude))
                 for shard_id, pieces in assignment.items()
             }
-            results = self._dispatch(requests)
+            results = self._dispatch_or_unavailable(requests)
             pending = []
             for shard_id, pieces in assignment.items():
                 rows = results.get(shard_id)
@@ -333,6 +490,386 @@ class ShardRouter:
                        f"{max_rounds} dispatch rounds")
         self._record_latency(start)
         return merge_topk(partials, k)
+
+    # ------------------------------------------------------------------
+    # Serving API (resilient path: deadlines, hedging, degraded answers)
+    # ------------------------------------------------------------------
+    def recommend_resilient(self, user_ids: Sequence[int], k: int = 10,
+                            exclude_visited: bool = True, *,
+                            deadlines: Optional[Sequence[Deadline]] = None,
+                            deadline_ms: Optional[float] = None
+                            ) -> Dict[int, ResilientResponse]:
+        """Deadline-bounded top-k with hedging, shedding, and fallback.
+
+        Every *known* user gets a :class:`ResilientResponse` — this
+        path never raises on shard failure.  Admitted requests are
+        scored by catalogue-slice fanout across breaker-approved
+        shards: all slices merged is bit-identical to the plain path
+        (``quality="full"``); a subset merged is a valid degraded
+        ranking (``"partial"``); zero slices falls back to the stale
+        cache (``"cached"``) and then the popularity baseline
+        (``"fallback"``).  Shed requests are answered from the fallback
+        chain immediately and flagged ``shed=True``.
+
+        Parameters
+        ----------
+        deadlines:
+            Optional per-request :class:`Deadline` aligned with
+            ``user_ids`` (the load generator anchors them at scheduled
+            arrival).  Defaults to fresh deadlines of ``deadline_ms``
+            (or the config's ``deadline_ms``) starting now.
+        """
+        cfg = self._resilience
+        if cfg is None:
+            raise RuntimeError(
+                "router was built without resilience=ResilienceConfig(...); "
+                "recommend_resilient is unavailable")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        budget = deadline_ms if deadline_ms is not None else cfg.deadline_ms
+        per_user: Dict[int, Deadline] = {}
+        for i, user_id in enumerate(user_ids):
+            given = deadlines[i] if deadlines is not None else None
+            current = per_user.get(user_id)
+            if current is None:
+                per_user[user_id] = given if given is not None \
+                    else Deadline(budget)
+            elif given is not None and given.start < current.start:
+                per_user[user_id] = given   # duplicate: earliest arrival
+        batch_start = time.perf_counter()
+        out: Dict[int, ResilientResponse] = {}
+        known: List[Tuple[int, int]] = []
+        for user_id in per_user:
+            idx = self.index.users.get(user_id)
+            if idx >= 0:
+                known.append((user_id, idx))
+        # 1. Admission: shed at the door what cannot be served in time.
+        admitted: List[Tuple[int, int]] = []
+        assert self._admission is not None
+        for user_id, idx in known:
+            deadline = per_user[user_id]
+            ok, reason = self._admission.admit(
+                deadline.remaining_ms(), deadline.elapsed_ms(),
+                len(admitted))
+            if ok:
+                admitted.append((user_id, idx))
+            else:
+                out[user_id] = self._degraded_response(
+                    user_id, k, exclude_visited, per_user[user_id],
+                    partial_items=None, shed=True, shed_reason=reason)
+        if not admitted:
+            return out
+        # 2. Slice fanout + event loop; answers land in ``out``.
+        self._resilient_fanout(admitted, per_user, k, exclude_visited, out)
+        self._admission.note_service(
+            (time.perf_counter() - batch_start) * 1000.0)
+        return out
+
+    # -- resilient-path helpers ----------------------------------------
+    def _allowed_live_shards(self) -> List[int]:
+        """Live shards whose breaker admits traffic right now.
+
+        Every half-open grant returned here MUST be used (one slice
+        sent) or cancelled by the caller via ``cancel_probe``.
+        """
+        allowed = []
+        for shard_id in self.live_shards:
+            breaker = self._breakers.get(shard_id)
+            if breaker is None or breaker.allow():
+                allowed.append(shard_id)
+        return allowed
+
+    def _pick_shard(self, exclude: Set[int]) -> Optional[int]:
+        """One breaker-approved live shard outside ``exclude`` (rotating)."""
+        live = self.live_shards
+        if not live:
+            return None
+        self._rr += 1
+        for offset in range(len(live)):
+            shard_id = live[(self._rr + offset) % len(live)]
+            if shard_id in exclude:
+                continue
+            breaker = self._breakers.get(shard_id)
+            if breaker is None or breaker.allow():
+                return shard_id
+        return None
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self._res_counters[name] += amount
+        if self.registry is not None:
+            self.registry.counter(f"fleet.resilience.{name}").inc(amount)
+
+    def _note_response(self, response: ResilientResponse) -> None:
+        if response.deadline_met:
+            self._count("deadline_hits")
+        else:
+            self._count("deadline_misses")
+        if self.registry is not None:
+            self.registry.counter("fleet.resilience.responses",
+                                  quality=response.quality).inc()
+            if response.shed:
+                self.registry.counter("fleet.resilience.shed",
+                                      reason=response.shed_reason).inc()
+            self.registry.histogram("fleet.resilience.latency_ms",
+                                    quality=response.quality).observe(
+                                        response.latency_ms)
+
+    def _degraded_response(self, user_id: int, k: int,
+                           exclude_visited: bool, deadline: Deadline,
+                           partial_items, shed: bool = False,
+                           shed_reason: str = "") -> ResilientResponse:
+        assert self._chain is not None
+        exclude = self._excluded(user_id) if exclude_visited else None
+        items, quality = self._chain.answer(
+            user_id, k, exclude_visited=exclude_visited,
+            partial_items=partial_items, exclude=exclude)
+        response = ResilientResponse(
+            user_id=user_id, items=items, quality=quality,
+            deadline_met=not deadline.expired(),
+            latency_ms=deadline.elapsed_ms(), shed=shed,
+            shed_reason=shed_reason)
+        self._note_response(response)
+        return response
+
+    def _resilient_fanout(self, admitted: List[Tuple[int, int]],
+                          per_user: Dict[int, Deadline], k: int,
+                          exclude_visited: bool,
+                          out: Dict[int, ResilientResponse]) -> None:
+        """Score one admitted batch by slice fanout under deadlines.
+
+        The whole batch shares one set of catalogue slices; each slice
+        is one RPC carrying every admitted user.  The event loop
+        harvests replies as they arrive, hedges slices that stay silent
+        past ``hedge_after_ms``, strikes breakers (and optionally
+        restarts shards) on ``hop_timeout_ms``, and finalizes each user
+        individually when their budget runs down to the margin — so one
+        straggling slice can cost *partial* quality but never a blown
+        deadline.
+        """
+        cfg = self._resilience
+        assert cfg is not None
+        self._step += 1
+        step = self._step
+        indices = [idx for _uid, idx in admitted]
+        excludes = [self._excluded(uid) if exclude_visited else None
+                    for uid, _idx in admitted]
+        user_pos = {uid: i for i, (uid, _idx) in enumerate(admitted)}
+        participants = self._allowed_live_shards()
+        num_slices = min(len(participants), self.catalogue_size) \
+            if participants else 0
+        # Cancel probe grants we are not going to use.
+        for shard_id in participants[num_slices:]:
+            breaker = self._breakers.get(shard_id)
+            if breaker is not None:
+                breaker.cancel_probe()
+        participants = participants[:num_slices]
+        unanswered: List[int] = [uid for uid, _idx in admitted]
+        if num_slices == 0:
+            for uid in unanswered:
+                out[uid] = self._degraded_response(
+                    uid, k, exclude_visited, per_user[uid], None)
+            return
+        slices = split_catalogue(self.catalogue_size, num_slices)
+        slice_rows: List[Optional[list]] = [None] * num_slices
+        slice_failed = [False] * num_slices
+        hedges_used = [0] * num_slices
+        inflight: Dict[int, dict] = {}          # rid -> attempt
+        slice_rids: List[Set[int]] = [set() for _ in range(num_slices)]
+        all_lost = False
+
+        def send_attempt(slice_id: int, shard_id: int) -> bool:
+            rid = self._next_rid()
+            lo, hi = slices[slice_id]
+            payload = (indices, k, lo, hi, excludes)
+            ok = self._supervisor.send_to(
+                shard_id, (rid, "topk_users_slice", payload), step)
+            if ok:
+                inflight[rid] = {"slice": slice_id, "shard": shard_id,
+                                 "sent_at": time.perf_counter()}
+                slice_rids[slice_id].add(rid)
+            return ok
+
+        def abandon(rid: int, track_stale: bool) -> None:
+            attempt = inflight.pop(rid, None)
+            if attempt is None:
+                return
+            slice_rids[attempt["slice"]].discard(rid)
+            if track_stale:
+                self._mark_stale(rid, attempt["shard"])
+            # A stale probe reply is dropped without credit, so return
+            # an in-flight half-open grant rather than wedging it.
+            breaker = self._breakers.get(attempt["shard"])
+            if breaker is not None:
+                breaker.cancel_probe()
+
+        def fail_attempt(rid: int, track_stale: bool = True,
+                         allow_restart: bool = True) -> None:
+            attempt = inflight.pop(rid, None)
+            if attempt is None:
+                return
+            shard_id = attempt["shard"]
+            slice_rids[attempt["slice"]].discard(rid)
+            if track_stale:
+                self._mark_stale(rid, shard_id)
+            breaker = self._breakers.get(shard_id)
+            if breaker is not None and breaker.record_failure():
+                self._count("breaker_opens")
+                # Restart only a shard that is still serving (a crash
+                # was already respawned by the supervisor — recycling
+                # the fresh incarnation would punish the replacement).
+                if allow_restart and cfg.breaker_restart_shard and \
+                        shard_id in self.live_shards:
+                    self._count("breaker_restarts")
+                    self._supervisor.restart_worker(
+                        shard_id, step, "circuit breaker opened")
+
+        def finalize(uid: int) -> None:
+            unanswered.remove(uid)
+            pos = user_pos[uid]
+            done = [i for i in range(num_slices)
+                    if slice_rows[i] is not None]
+            if len(done) == num_slices:
+                partials = [triple for i in done
+                            for triple in slice_rows[i][pos]]
+                items = merge_topk(partials, k)
+                assert self._chain is not None
+                self._chain.note_full()
+                if self._res_cache is not None:
+                    self._res_cache.put(uid, k, items, exclude_visited)
+                deadline = per_user[uid]
+                response = ResilientResponse(
+                    user_id=uid, items=items, quality=QUALITY_FULL,
+                    deadline_met=not deadline.expired(),
+                    latency_ms=deadline.elapsed_ms())
+                self._note_response(response)
+                out[uid] = response
+                return
+            partial_items = None
+            if done:
+                partials = [triple for i in done
+                            for triple in slice_rows[i][pos]]
+                partial_items = merge_topk(partials, k)
+            out[uid] = self._degraded_response(
+                uid, k, exclude_visited, per_user[uid], partial_items)
+
+        try:
+            for slice_id, shard_id in enumerate(participants):
+                if not send_attempt(slice_id, shard_id):
+                    fallback_shard = self._pick_shard({shard_id})
+                    if fallback_shard is None or \
+                            not send_attempt(slice_id, fallback_shard):
+                        slice_failed[slice_id] = True
+            while unanswered:
+                now = time.perf_counter()
+                # Finalize users whose budget ran down to the margin.
+                for uid in list(unanswered):
+                    if per_user[uid].remaining_ms() <= \
+                            cfg.finalize_margin_ms:
+                        finalize(uid)
+                if not unanswered:
+                    break
+                if all_lost or all(
+                        slice_rows[i] is not None or slice_failed[i]
+                        for i in range(num_slices)):
+                    for uid in list(unanswered):
+                        finalize(uid)
+                    break
+                # Re-dispatch slices with no attempt in flight.
+                for slice_id in range(num_slices):
+                    if slice_rows[slice_id] is not None or \
+                            slice_failed[slice_id] or \
+                            slice_rids[slice_id]:
+                        continue
+                    shard_id = self._pick_shard(set())
+                    if shard_id is None or \
+                            not send_attempt(slice_id, shard_id):
+                        slice_failed[slice_id] = True
+                    else:
+                        self._count("retries")
+                # Wait for the earliest edge: a reply, a hedge point, a
+                # hop timeout, or a user's finalize margin.
+                horizon = cfg.poll_interval_ms
+                for uid in unanswered:
+                    horizon = min(horizon, per_user[uid].remaining_ms()
+                                  - cfg.finalize_margin_ms)
+                for rid, attempt in inflight.items():
+                    age_ms = (now - attempt["sent_at"]) * 1000.0
+                    slice_id = attempt["slice"]
+                    if hedges_used[slice_id] < cfg.max_hedges and \
+                            len(slice_rids[slice_id]) == 1:
+                        horizon = min(horizon,
+                                      cfg.hedge_after_ms - age_ms)
+                    horizon = min(horizon, cfg.hop_timeout_ms - age_ms)
+                waiting_on = sorted({attempt["shard"]
+                                     for attempt in inflight.values()})
+                ready = self._supervisor.wait_any(
+                    waiting_on, max(0.0, horizon) / 1000.0) \
+                    if waiting_on else []
+                for shard_id in ready:
+                    while True:
+                        status, message = self._supervisor.try_recv(
+                            shard_id, step)
+                        if status == "message":
+                            absorbed = self._absorb_reply(message)
+                            if absorbed is None:
+                                continue    # stale: keep draining
+                            rid, result = absorbed
+                            attempt = inflight.pop(rid, None)
+                            if attempt is None:
+                                continue
+                            slice_id = attempt["slice"]
+                            slice_rids[slice_id].discard(rid)
+                            breaker = self._breakers.get(attempt["shard"])
+                            if breaker is not None:
+                                breaker.record_success()
+                            if slice_rows[slice_id] is None:
+                                slice_rows[slice_id] = result
+                            win_time = time.perf_counter()
+                            for loser in list(slice_rids[slice_id]):
+                                # A shard out-raced by a hedge was
+                                # silent past hedge_after: that is a
+                                # slowness strike, so a persistently
+                                # slow shard trips its breaker even
+                                # when hedging hides the latency.
+                                lost = inflight.get(loser)
+                                age_ms = (win_time - lost["sent_at"]) \
+                                    * 1000.0 if lost else 0.0
+                                if age_ms >= cfg.hedge_after_ms:
+                                    fail_attempt(loser)
+                                else:
+                                    abandon(loser, track_stale=True)
+                            continue        # drain everything queued
+                        if status == "dead":
+                            # Replies sent to the dead incarnation are
+                            # gone with its pipe: no stale tracking.
+                            for rid in [r for r, a in inflight.items()
+                                        if a["shard"] == shard_id]:
+                                fail_attempt(rid, track_stale=False,
+                                             allow_restart=False)
+                        break
+                # Hedges and hop timeouts, against a fresh clock.
+                now = time.perf_counter()
+                for rid, attempt in list(inflight.items()):
+                    age_ms = (now - attempt["sent_at"]) * 1000.0
+                    slice_id = attempt["slice"]
+                    if age_ms >= cfg.hop_timeout_ms:
+                        fail_attempt(rid)
+                        continue
+                    if age_ms >= cfg.hedge_after_ms and \
+                            hedges_used[slice_id] < cfg.max_hedges and \
+                            len(slice_rids[slice_id]) == 1:
+                        other = self._pick_shard({attempt["shard"]})
+                        if other is not None and \
+                                send_attempt(slice_id, other):
+                            hedges_used[slice_id] += 1
+                            self._count("hedges")
+        except WorkerFailure:
+            all_lost = True
+            for uid in list(unanswered):
+                finalize(uid)
+        finally:
+            for rid in list(inflight):
+                abandon(rid, track_stale=True)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -359,23 +896,47 @@ class ShardRouter:
                 "hangs": supervisor.hangs,
                 "respawns": supervisor.respawns,
                 "removals": supervisor.removals,
+                "restarts": supervisor.restarts,
             },
             "shard_requests": shard_requests,
         }
 
-    def close(self) -> None:
-        """Stop every shard and release the parameter block (idempotent).
+    def resilience_stats(self) -> dict:
+        """Resilience-layer counters (requires ``resilience=`` config)."""
+        if self._resilience is None:
+            raise RuntimeError("router has no resilience layer")
+        assert self._admission is not None and self._chain is not None
+        return {
+            "responses_by_quality": dict(self._chain.answers_by_quality),
+            "admission": self._admission.stats(),
+            "breakers": {shard_id: breaker.stats()
+                         for shard_id, breaker in self._breakers.items()},
+            "cache": (self._res_cache.stats()
+                      if self._res_cache is not None else None),
+            **{name: value for name, value in self._res_counters.items()},
+        }
 
-        Shutdown order matters: shards must exit (graceful ``None``
-        sentinel, then the supervisor's escalation) *before* the block
-        is unlinked, so no shard ever scores against a vanished
-        mapping.
+    def close(self) -> None:
+        """Stop every shard and release the parameter block.
+
+        Idempotent and exception-safe: a double close is a no-op, and a
+        close after a failed construction (some shards spawned, some
+        not) still shuts down whatever exists and unlinks the block —
+        the supervisor shutdown and the block release are each
+        attempted exactly once, in that order (shards must exit before
+        the mapping they score against vanishes).
         """
         if self._closed:
             return
         self._closed = True
-        self._supervisor.shutdown()
-        self._block.close()
+        try:
+            supervisor = getattr(self, "_supervisor", None)
+            if supervisor is not None:
+                supervisor.shutdown()
+        finally:
+            block = getattr(self, "_block", None)
+            if block is not None:
+                block.close()
 
     def __enter__(self) -> "ShardRouter":
         return self

@@ -37,7 +37,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import Telemetry
 from repro.serving.engine import InferenceEngine
 
-__all__ = ["shard_serve_loop", "slice_topk"]
+__all__ = ["shard_serve_loop", "slice_topk", "slice_topk_batch"]
 
 # Keep percentile windows modest: a snapshot rides every reply.
 _SHARD_HIST_WINDOW = 1024
@@ -67,6 +67,36 @@ def slice_topk(engine: InferenceEngine, user_index: int, k: int,
             for j in order]
 
 
+def slice_topk_batch(engine: InferenceEngine, user_indices: Sequence[int],
+                     k: int, lo: int, hi: int,
+                     exclude_poi_ids: Optional[Sequence[Optional[Set[int]]]]
+                     = None) -> List[List[Tuple[int, int, float]]]:
+    """Partial top-K of slice ``[lo, hi)`` for a *batch* of users.
+
+    The resilient router fans one admitted batch out as one slice per
+    shard, so the whole batch is scored per slice in a single
+    vectorised ``score_catalogue`` call instead of per-user loops.
+    Returns one ``(global_position, poi_id, score)`` triple list per
+    user, same contract as :func:`slice_topk`.
+    """
+    scores = engine.score_catalogue(user_indices, lo=lo, hi=hi)
+    ids = engine.catalogue_poi_ids[lo:hi]
+    positions = np.arange(lo, hi, dtype=np.int64)
+    out: List[List[Tuple[int, int, float]]] = []
+    for i in range(len(user_indices)):
+        row, row_ids, row_pos = scores[i], ids, positions
+        exclude = exclude_poi_ids[i] if exclude_poi_ids else None
+        if exclude:
+            keep = ~np.isin(row_ids,
+                            np.fromiter(exclude, dtype=np.int64,
+                                        count=len(exclude)))
+            row_ids, row, row_pos = row_ids[keep], row[keep], row_pos[keep]
+        order = np.argsort(-row, kind="stable")[:k]
+        out.append([(int(row_pos[j]), int(row_ids[j]), float(row[j]))
+                    for j in order])
+    return out
+
+
 def _execute(engine: InferenceEngine, op: str, payload):
     if op == "topk_users":
         user_indices, k, exclude = payload
@@ -76,6 +106,9 @@ def _execute(engine: InferenceEngine, op: str, payload):
         user_index, k, slices, exclude = payload
         return [slice_topk(engine, user_index, k, lo, hi, exclude)
                 for lo, hi in slices]
+    if op == "topk_users_slice":
+        user_indices, k, lo, hi, exclude = payload
+        return slice_topk_batch(engine, user_indices, k, lo, hi, exclude)
     if op == "stats":
         return engine.stats()
     if op == "ping":
@@ -84,7 +117,7 @@ def _execute(engine: InferenceEngine, op: str, payload):
 
 
 def _payload_users(op: str, payload) -> int:
-    if op == "topk_users":
+    if op in ("topk_users", "topk_users_slice"):
         return len(payload[0])
     if op == "topk_slices":
         return 1

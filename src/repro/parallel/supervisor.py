@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.utils.logging import get_logger
@@ -57,6 +58,7 @@ class FaultStats:
     hangs: int = 0
     respawns: int = 0
     removals: int = 0
+    restarts: int = 0
     nonfinite_contributions: int = 0
     skipped_steps: int = 0
     events: List[str] = field(default_factory=list)
@@ -77,6 +79,7 @@ class FaultStats:
             hangs=self.hangs + other.hangs,
             respawns=self.respawns + other.respawns,
             removals=self.removals + other.removals,
+            restarts=self.restarts + other.restarts,
             nonfinite_contributions=(self.nonfinite_contributions
                                      + other.nonfinite_contributions),
             skipped_steps=self.skipped_steps + other.skipped_steps,
@@ -264,6 +267,117 @@ class WorkerSupervisor:
         if not self._handles:
             raise WorkerFailure(step, reason="all replicas lost")
         return replies
+
+    # ------------------------------------------------------------------
+    # Event-loop primitives for the resilient serving path.  The gather
+    # protocol above is step-synchronous (one reply per worker per
+    # step); a deadline-driven request loop instead needs to harvest
+    # whichever reply arrives first, declare individual attempts hung,
+    # and proactively recycle a shard the circuit breaker gave up on.
+
+    def try_recv(self, worker_id: int, step: int,
+                 timeout: float = 0.0) -> Tuple[str, object]:
+        """Poll one worker for a single reply without a shared deadline.
+
+        Returns ``(status, message)`` where status is ``"message"`` (a
+        reply was read), ``"empty"`` (alive but nothing queued within
+        ``timeout``), or ``"dead"`` (the pipe broke — the slot is
+        disposed and respawned/removed exactly like a gather-time
+        crash, so a replacement joins for future requests).
+        """
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            return "dead", None
+        try:
+            if handle.pipe.poll(timeout):
+                return "message", handle.pipe.recv()
+            return "empty", None
+        except (EOFError, BrokenPipeError, OSError):
+            self.stats.crashes += 1
+            self.stats.record(
+                f"worker {worker_id} crashed (step {step})")
+            self._dispose(handle)
+            self._respawn_or_remove(worker_id, step)
+            return "dead", None
+
+    def wait_any(self, worker_ids: List[int],
+                 timeout: float) -> List[int]:
+        """Worker ids with a readable pipe, waiting up to ``timeout``.
+
+        A thin wrapper over :func:`multiprocessing.connection.wait`, so
+        one slow shard never serialises reads from the fast ones.  Ids
+        without a live handle are ignored; readability includes EOF
+        (the subsequent :meth:`try_recv` classifies dead vs. message).
+        """
+        pipes = {}
+        for worker_id in worker_ids:
+            handle = self._handles.get(worker_id)
+            if handle is not None:
+                pipes[handle.pipe] = worker_id
+        if not pipes:
+            return []
+        try:
+            ready = mp_connection.wait(list(pipes), timeout=timeout)
+        except OSError:
+            return list(pipes.values())
+        return [pipes[conn] for conn in ready]
+
+    def declare_hung(self, worker_id: int, step: int) -> None:
+        """Kill a silent-but-alive worker and respawn/remove its slot.
+
+        The per-request analogue of gather's deadline escalation: the
+        caller decided this worker blew its (hop) timeout.
+        """
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            return
+        if handle.process.is_alive():
+            self.stats.hangs += 1
+            self.stats.record(
+                f"worker {worker_id} declared hung (step {step}); killing")
+            handle.process.kill()
+        else:
+            self.stats.crashes += 1
+            self.stats.record(
+                f"worker {worker_id} found dead (step {step})")
+        self._dispose(handle)
+        self._respawn_or_remove(worker_id, step)
+
+    def restart_worker(self, worker_id: int, step: int,
+                       reason: str = "restart requested") -> bool:
+        """Proactively recycle a live worker (circuit-breaker feed).
+
+        Kills the current incarnation and spends one unit of the slot's
+        respawn budget on a replacement.  Returns ``True`` when the
+        slot survives (a fresh incarnation is live), ``False`` when the
+        budget was exhausted and the slot was removed.
+        """
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            return False
+        self.stats.restarts += 1
+        self.stats.record(
+            f"worker {worker_id} restarted: {reason} (step {step})")
+        handle.process.kill()
+        self._dispose(handle)
+        self._respawn_or_remove(worker_id, step)
+        return worker_id in self._handles
+
+    def slot_states(self) -> Dict[int, str]:
+        """Human-readable state of every worker slot (for diagnostics)."""
+        states: Dict[int, str] = {}
+        for worker_id in range(self.num_workers):
+            handle = self._handles.get(worker_id)
+            if handle is not None:
+                alive = ("alive" if handle.process.is_alive() else "dead")
+                states[worker_id] = (
+                    f"live (incarnation {handle.incarnation}, {alive})")
+            elif worker_id in self._removed:
+                used = self._respawns_used.get(worker_id, 0)
+                states[worker_id] = f"removed after {used} respawns"
+            else:
+                states[worker_id] = "lost"
+        return states
 
     # ------------------------------------------------------------------
     def _dispose(self, handle: _Handle) -> None:

@@ -10,7 +10,7 @@ supervision machinery that reacts to worker death lives next to the
 trainer in :mod:`repro.parallel.supervisor`.
 """
 
-from repro.reliability.faults import Fault, FaultPlan
+from repro.reliability.faults import ChaosPlan, Fault, FaultPlan, WindowFault
 from repro.reliability.guards import (
     DivergenceDetector,
     GradientGuard,
@@ -19,8 +19,10 @@ from repro.reliability.guards import (
 )
 
 __all__ = [
+    "ChaosPlan",
     "Fault",
     "FaultPlan",
+    "WindowFault",
     "DivergenceDetector",
     "GradientGuard",
     "TrainingDiverged",

@@ -130,3 +130,154 @@ class FaultPlan:
 
     def __repr__(self) -> str:
         return f"FaultPlan({self._faults!r})"
+
+
+# ----------------------------------------------------------------------
+# Serving-tier faults: windows of requests instead of single steps.
+# ----------------------------------------------------------------------
+
+WINDOW_FAULT_KINDS = ("slow", "jitter", "flap", "crash")
+
+# Knuth's multiplicative constants — the same family the fleet's user
+# partitioner uses — give a cheap deterministic per-request hash for
+# jitter without touching any RNG state in the shard process.
+_JITTER_MULT = 2654435761
+_JITTER_WORKER_MULT = 40503
+
+
+@dataclass(frozen=True)
+class WindowFault:
+    """One serving-tier fault active over a *window* of requests.
+
+    Training faults fire at one exact step; serving faults are
+    conditions that persist — a shard is slow for a while, flaps, or
+    dies under load.  A window fault is keyed ``(worker, [start,
+    stop))`` on the shard's request sequence number and fires on every
+    request inside the window (modulated per kind).
+
+    Parameters
+    ----------
+    kind:
+        ``slow``   — add ``seconds`` of latency to every request in the
+        window (a degraded shard: think page-cache loss or a noisy
+        neighbour);
+        ``jitter`` — add a deterministic pseudo-random fraction of
+        ``seconds`` per request (tail-latency noise);
+        ``flap``   — alternate ``period`` slow requests with ``period``
+        fast ones (a link or GC flapping);
+        ``crash``  — SIGKILL the shard on the first request inside the
+        window (death *under load*, after serving ``start`` requests).
+    worker:
+        Shard index the fault targets (0-based).
+    start / stop:
+        Request-sequence window ``[start, stop)`` on that shard.
+    seconds:
+        Added latency (full for ``slow``/``flap``, maximum for
+        ``jitter``); unused for ``crash``.
+    period:
+        Flap half-period in requests (``flap`` only).
+    seed:
+        Perturbs the ``jitter`` hash so two jitter faults differ.
+    """
+
+    kind: str
+    worker: int
+    start: int
+    stop: int
+    seconds: float = 0.0
+    period: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WINDOW_FAULT_KINDS:
+            raise ValueError(
+                f"unknown window fault kind {self.kind!r}; expected one "
+                f"of {WINDOW_FAULT_KINDS}")
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})")
+        if self.kind in ("slow", "jitter", "flap") and self.seconds <= 0:
+            raise ValueError(
+                f"{self.kind} fault needs seconds > 0, got {self.seconds}")
+        if self.kind == "flap" and self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+
+    def active(self, worker: int, seq: int) -> bool:
+        """Is this fault in force for request ``seq`` on ``worker``?"""
+        return worker == self.worker and self.start <= seq < self.stop
+
+    def delay_seconds(self, seq: int) -> float:
+        """Latency this fault adds to request ``seq`` (0 for crash)."""
+        if self.kind == "slow":
+            return self.seconds
+        if self.kind == "jitter":
+            h = (seq * _JITTER_MULT + self.worker * _JITTER_WORKER_MULT
+                 + self.seed) & 0xFFFF
+            return self.seconds * (h / float(0xFFFF))
+        if self.kind == "flap":
+            phase = (seq - self.start) // self.period
+            return self.seconds if phase % 2 == 0 else 0.0
+        return 0.0
+
+    # Convenience constructors ----------------------------------------
+    @classmethod
+    def slow_shard(cls, worker: int, start: int, stop: int,
+                   seconds: float) -> "WindowFault":
+        return cls("slow", worker, start, stop, seconds)
+
+    @classmethod
+    def jittered_delay(cls, worker: int, start: int, stop: int,
+                       seconds: float, seed: int = 0) -> "WindowFault":
+        return cls("jitter", worker, start, stop, seconds, seed=seed)
+
+    @classmethod
+    def flapping(cls, worker: int, start: int, stop: int, seconds: float,
+                 period: int = 2) -> "WindowFault":
+        return cls("flap", worker, start, stop, seconds, period=period)
+
+    @classmethod
+    def crash_under_load(cls, worker: int, start: int,
+                         stop: int) -> "WindowFault":
+        return cls("crash", worker, start, stop)
+
+
+class ChaosPlan(FaultPlan):
+    """A :class:`FaultPlan` that also carries serving window faults.
+
+    Shard serve loops call the same ``execute_pre_step(shard, seq)``
+    hook as training workers, so a ``ChaosPlan`` drops into the
+    existing fleet plumbing unchanged: point faults (``Fault``) fire at
+    exact sequence numbers, window faults (:class:`WindowFault`) fire
+    across ranges.  Like every plan, it rides only into a shard's
+    **first incarnation** — a respawned shard carries no plan, which is
+    exactly what lets the chaos bench observe recovery.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = (),
+                 windows: Iterable[WindowFault] = ()) -> None:
+        super().__init__(faults)
+        self._windows: List[WindowFault] = list(windows)
+
+    @property
+    def windows(self) -> List[WindowFault]:
+        return list(self._windows)
+
+    def active_windows(self, worker: int, seq: int) -> List[WindowFault]:
+        """Window faults in force for request ``seq`` on ``worker``."""
+        return [w for w in self._windows if w.active(worker, seq)]
+
+    def execute_pre_step(self, worker: int, step: int) -> None:
+        delay = 0.0
+        for fault in self.active_windows(worker, step):
+            if fault.kind == "crash":
+                os.kill(os.getpid(), signal.SIGKILL)
+            delay += fault.delay_seconds(step)
+        if delay > 0:
+            time.sleep(delay)
+        super().execute_pre_step(worker, step)
+
+    def __repr__(self) -> str:
+        return (f"ChaosPlan(faults={self._faults!r}, "
+                f"windows={self._windows!r})")

@@ -1,0 +1,165 @@
+"""Deadline-aware admission control (bounded queue + CoDel-style drop).
+
+Without admission control an open-loop overload makes *every* request
+slow: work the server cannot finish in time still consumes capacity,
+so p99 collapses for the whole population.  The controller sheds the
+requests that were going to miss their deadline anyway, which keeps
+the served remainder fast — the CoDel insight applied to request
+deadlines instead of queue occupancy:
+
+* **bounded queue** — at most ``queue_limit`` requests are admitted
+  per arriving batch; the overflow is shed immediately (answered from
+  the fallback chain rather than silently dropped);
+* **sojourn monitoring** — each request's *sojourn* (time already
+  spent queued, i.e. ``deadline.elapsed_ms`` at admission) feeds a
+  windowed minimum.  If even the **minimum** sojourn over a full
+  interval exceeds the target, queueing delay is structural, not a
+  burst — the controller enters its overloaded state;
+* **deadline-aware drop** — while overloaded, a request whose
+  remaining budget is smaller than the current service-time estimate
+  (EWMA of recent batch service times) is shed at the door: serving
+  it would burn capacity to produce a late answer.
+
+Everything is driven by values the caller passes in (sojourn,
+remaining budget) plus an injectable clock, so the state machine is
+unit-testable without sleeping.  Single-threaded by design, like the
+router request path that owns it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+__all__ = ["AdmissionController"]
+
+# Shed reasons (returned so the router can count them separately).
+SHED_EXPIRED = "expired"
+SHED_QUEUE_FULL = "queue_full"
+SHED_OVERLOAD = "overload"
+ADMITTED = "ok"
+
+
+class AdmissionController:
+    """Bounded-queue, CoDel-flavoured admission for the request path.
+
+    Parameters
+    ----------
+    queue_limit:
+        Maximum admissions per batch (see :meth:`admit`'s
+        ``queued_ahead``).
+    target_ms:
+        Sojourn target: sustained minimum sojourn above this means
+        overload.
+    interval_ms:
+        Observation window for the minimum-sojourn test.
+    ewma_alpha:
+        Smoothing for the service-time estimate.
+    clock:
+        Monotonic seconds source (injectable for tests).
+    """
+
+    def __init__(self, queue_limit: int = 1024, target_ms: float = 10.0,
+                 interval_ms: float = 100.0, ewma_alpha: float = 0.3,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if target_ms <= 0:
+            raise ValueError(f"target_ms must be positive, got {target_ms}")
+        if interval_ms <= 0:
+            raise ValueError(
+                f"interval_ms must be positive, got {interval_ms}")
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.queue_limit = queue_limit
+        self.target_ms = float(target_ms)
+        self.interval_ms = float(interval_ms)
+        self.ewma_alpha = float(ewma_alpha)
+        self._clock = clock
+        self._service_estimate_ms = 0.0
+        self._interval_start: float = clock()
+        self._min_sojourn_ms = float("inf")
+        self._overloaded = False
+        self.admitted = 0
+        self.shed = 0
+        self.shed_by_reason = {SHED_EXPIRED: 0, SHED_QUEUE_FULL: 0,
+                               SHED_OVERLOAD: 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def service_estimate_ms(self) -> float:
+        """EWMA of recent batch service times (0 before any sample)."""
+        return self._service_estimate_ms
+
+    @property
+    def overloaded(self) -> bool:
+        return self._overloaded
+
+    def note_service(self, elapsed_ms: float) -> None:
+        """Feed one observed batch service time into the estimate."""
+        if elapsed_ms < 0:
+            return
+        if self._service_estimate_ms == 0.0:
+            self._service_estimate_ms = float(elapsed_ms)
+        else:
+            self._service_estimate_ms += self.ewma_alpha * (
+                float(elapsed_ms) - self._service_estimate_ms)
+
+    # ------------------------------------------------------------------
+    def _update_overload(self, sojourn_ms: float) -> None:
+        now = self._clock()
+        self._min_sojourn_ms = min(self._min_sojourn_ms, sojourn_ms)
+        if (now - self._interval_start) * 1000.0 >= self.interval_ms:
+            # The interval closed: even the best-queued request waited
+            # longer than the target ⇒ structural overload.
+            self._overloaded = self._min_sojourn_ms > self.target_ms
+            self._interval_start = now
+            self._min_sojourn_ms = float("inf")
+
+    def admit(self, remaining_ms: float, sojourn_ms: float,
+              queued_ahead: int) -> Tuple[bool, str]:
+        """Admit-or-shed one request, in arrival order.
+
+        Parameters
+        ----------
+        remaining_ms:
+            The request's remaining deadline budget.
+        sojourn_ms:
+            Time the request already spent queued (its deadline's
+            elapsed time at admission).
+        queued_ahead:
+            Requests admitted ahead of this one in the current batch.
+
+        Returns ``(admitted, reason)`` with ``reason`` one of
+        ``"ok" | "expired" | "queue_full" | "overload"``.
+        """
+        self._update_overload(sojourn_ms)
+        if remaining_ms <= 0:
+            return self._shed(SHED_EXPIRED)
+        if queued_ahead >= self.queue_limit:
+            return self._shed(SHED_QUEUE_FULL)
+        if self._overloaded and remaining_ms < max(
+                self._service_estimate_ms, self.target_ms):
+            return self._shed(SHED_OVERLOAD)
+        self.admitted += 1
+        return True, ADMITTED
+
+    def _shed(self, reason: str) -> Tuple[bool, str]:
+        self.shed += 1
+        self.shed_by_reason[reason] += 1
+        return False, reason
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "overloaded": self._overloaded,
+            "service_estimate_ms": self._service_estimate_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController(admitted={self.admitted}, "
+                f"shed={self.shed}, overloaded={self._overloaded})")

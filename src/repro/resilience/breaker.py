@@ -1,0 +1,171 @@
+"""Per-shard circuit breaker: closed / open / half-open.
+
+The breaker answers one question for the router — *should new work be
+routed to this shard right now?* — from nothing but the shard's recent
+reply history:
+
+* **closed** — healthy; every request allowed.  ``threshold``
+  consecutive failures (timeouts, crashes, send errors) trip it open.
+* **open** — no requests at all until the probe backoff elapses.  The
+  backoff grows exponentially with consecutive trips (``backoff *
+  factor**(trips-1)``, capped), so a persistently sick shard is probed
+  ever more rarely instead of hammered.
+* **half-open** — exactly one probe request is allowed through.  A
+  success closes the breaker (and resets the trip count); a failure
+  re-opens it with the next-longer backoff.
+
+The clock is injectable, so the whole state machine is testable with
+zero sleeps.  The breaker holds no lock: the router drives it from a
+single thread (the request path), which is the only writer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState:
+    """The three breaker states (plain strings, JSON-friendly)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with exponential probe backoff.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    probe_backoff_ms:
+        Wait before the first half-open probe after a trip.
+    backoff_factor / max_backoff_ms:
+        The n-th consecutive trip waits ``probe_backoff_ms *
+        backoff_factor**(n-1)`` (capped at ``max_backoff_ms``).
+    clock:
+        Monotonic seconds source (injectable for tests).
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 probe_backoff_ms: float = 50.0,
+                 backoff_factor: float = 2.0,
+                 max_backoff_ms: float = 2000.0,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if probe_backoff_ms <= 0:
+            raise ValueError(
+                f"probe_backoff_ms must be positive, got {probe_backoff_ms}")
+        if backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {backoff_factor}")
+        self.failure_threshold = failure_threshold
+        self.probe_backoff_ms = float(probe_backoff_ms)
+        self.backoff_factor = float(backoff_factor)
+        self.max_backoff_ms = float(max_backoff_ms)
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._failures = 0          # consecutive, while closed
+        self._trips = 0             # consecutive opens (resets on close)
+        self._opened_at = 0.0
+        self.opens = 0              # lifetime count (never resets)
+        self.probes = 0
+        self.successes = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def current_backoff_ms(self) -> float:
+        """Probe backoff in force for the current open period."""
+        if self._trips == 0:
+            return self.probe_backoff_ms
+        raw = self.probe_backoff_ms * \
+            self.backoff_factor ** (self._trips - 1)
+        return min(raw, self.max_backoff_ms)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request be routed to this shard right now?
+
+        An open breaker whose backoff has elapsed transitions to
+        half-open and grants exactly one probe; call
+        :meth:`cancel_probe` if the grant ends up unused so the breaker
+        does not wait a full extra backoff for nothing.
+        """
+        if self._state == BreakerState.CLOSED:
+            return True
+        if self._state == BreakerState.OPEN:
+            elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+            if elapsed_ms >= self.current_backoff_ms():
+                self._state = BreakerState.HALF_OPEN
+                self.probes += 1
+                return True
+            return False
+        # HALF_OPEN: one probe already in flight.
+        return False
+
+    def cancel_probe(self) -> None:
+        """Return an unused half-open grant to the open state.
+
+        The probe window is *not* penalized: the open timer keeps its
+        original start, so the next :meth:`allow` re-grants promptly.
+        """
+        if self._state == BreakerState.HALF_OPEN:
+            self._state = BreakerState.OPEN
+            self.probes -= 1
+
+    def record_success(self) -> None:
+        """A routed request completed; closes a half-open breaker."""
+        self.successes += 1
+        if self._state == BreakerState.HALF_OPEN:
+            self._state = BreakerState.CLOSED
+            self._trips = 0
+        self._failures = 0
+
+    def record_failure(self) -> bool:
+        """A routed request failed; returns ``True`` when this strike
+        *trips* the breaker (closed→open or a failed half-open probe).
+        """
+        self.failures += 1
+        if self._state == BreakerState.CLOSED:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+                return True
+            return False
+        if self._state == BreakerState.HALF_OPEN:
+            self._trip()
+            return True
+        return False                # already open: strike is moot
+
+    def _trip(self) -> None:
+        self._trips += 1
+        self.opens += 1
+        self._failures = 0
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "state": self._state,
+            "opens": self.opens,
+            "probes": self.probes,
+            "successes": self.successes,
+            "failures": self.failures,
+            "consecutive_failures": self._failures,
+            "current_backoff_ms": self.current_backoff_ms(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self._state}, "
+                f"opens={self.opens}, failures={self.failures})")

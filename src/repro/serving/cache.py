@@ -67,6 +67,7 @@ class TopKCache:
         self._user_keys: Dict[Hashable, Set[CacheKey]] = {}
         self.hits = 0
         self.misses = 0
+        self.stale_hits = 0
         self.evictions = 0
         self.expirations = 0
         self.invalidations = 0
@@ -118,6 +119,35 @@ class TopKCache:
             self.hits += 1
             self._export("hits")
             return value
+
+    def get_stale(self, user_id: Hashable, k: int,
+                  exclude_visited: bool = True
+                  ) -> Optional[Tuple[Any, bool]]:
+        """Stale-while-revalidate lookup: ``(value, fresh)`` or ``None``.
+
+        Unlike :meth:`get`, an expired entry is *returned* (with
+        ``fresh=False``) rather than dropped — a degraded-mode reader
+        prefers a stale exact answer over no answer, and keeping the
+        entry lets a later revalidation overwrite it in place.  Stale
+        reads count as ``stale_hits``, not ordinary hits, so the cache
+        hit rate still reflects fresh traffic only.
+        """
+        key = self._key(user_id, k, exclude_visited)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            inserted_at, value = entry
+            fresh = (self.ttl_seconds is None
+                     or self._clock() - inserted_at <= self.ttl_seconds)
+            self._entries.move_to_end(key)
+            if fresh:
+                self.hits += 1
+                self._export("hits")
+            else:
+                self.stale_hits += 1
+                self._export("stale_hits")
+            return value, fresh
 
     def put(self, user_id: Hashable, k: int, value: Any,
             exclude_visited: bool = True) -> None:
@@ -179,6 +209,7 @@ class TopKCache:
                 "ttl_seconds": self.ttl_seconds,
                 "hits": self.hits,
                 "misses": self.misses,
+                "stale_hits": self.stale_hits,
                 "hit_rate": self.hit_rate,
                 "evictions": self.evictions,
                 "expirations": self.expirations,

@@ -224,3 +224,35 @@ class TestResumableTraining:
         args = build_parser().parse_args(["fault-smoke", "--seed", "5"])
         assert args.seed == 5
         assert args.func.__name__ == "cmd_fault_smoke"
+
+
+class TestChaosBenchParser:
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["chaos-bench"])
+        assert args.tiny is False
+        assert args.shards is None
+        assert args.deadline_ms == 250.0
+        assert args.load_seconds == 4.0
+        assert args.rate is None
+        assert args.out == "BENCH_serving.json"
+        assert args.baseline is None
+
+    def test_tiny_and_overrides(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["chaos-bench", "--tiny", "--shards", "1", "2",
+             "--deadline-ms", "100", "--rate", "50", "--dtype", "float64"])
+        assert args.tiny is True
+        assert args.shards == [1, 2]
+        assert args.deadline_ms == 100.0
+        assert args.rate == 50.0
+        assert args.dtype == "float64"
+
+    def test_rejects_unknown_dtype(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos-bench", "--dtype", "float16"])

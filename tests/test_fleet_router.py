@@ -216,3 +216,74 @@ class TestShardTelemetry:
         assert shard_users == len(users)
         assert registry.histogram(
             "fleet.router.request_latency_ms").count == 1
+
+
+class TestFleetUnavailable:
+    def test_total_loss_names_every_shard_slot(self, world):
+        from repro.fleet.router import FleetUnavailableError
+
+        model, index, dataset = world
+        users = sorted(dataset.users)
+        # Both shards crash on their first request with no respawn
+        # budget: the plain path must say *which* slots died and why,
+        # not surface a bare pipe error.
+        plan = FaultPlan([Fault.crash(worker=0, step=0),
+                          Fault.crash(worker=1, step=0)])
+        with ShardRouter(model, index, dataset, TARGET, num_shards=2,
+                         fault_plan=plan,
+                         supervision=SupervisionConfig(
+                             step_timeout=60.0, max_respawns=0,
+                             respawn_backoff=0.01)) as router:
+            with pytest.raises(FleetUnavailableError) as excinfo:
+                router.recommend_many(users, k=K)
+        message = str(excinfo.value)
+        assert "no live shards" in message
+        assert "shard 0" in message and "shard 1" in message
+        assert set(excinfo.value.shard_states) == {0, 1}
+        assert not mp.active_children()
+
+    def test_fleet_unavailable_is_a_worker_failure(self):
+        from repro.fleet.router import FleetUnavailableError
+        from repro.parallel.supervisor import WorkerFailure
+
+        error = FleetUnavailableError(3, {0: "removed after 2 respawns"})
+        assert isinstance(error, WorkerFailure)
+        assert "removed after 2 respawns" in str(error)
+
+
+class TestCloseSafety:
+    def test_close_after_failed_spawn_leaks_nothing(self, world,
+                                                    monkeypatch):
+        model, index, dataset = world
+        original = ShardRouter._spawn_shard
+
+        def failing_spawn(self, shard_id, incarnation):
+            if shard_id == 1:
+                raise RuntimeError("spawn exploded")
+            return original(self, shard_id, incarnation)
+
+        monkeypatch.setattr(ShardRouter, "_spawn_shard", failing_spawn)
+        # Shard 0 starts, shard 1's spawn raises: the constructor must
+        # propagate the error but reap shard 0 and free the shm block.
+        with pytest.raises(RuntimeError, match="spawn exploded"):
+            ShardRouter(model, index, dataset, TARGET, num_shards=2)
+        assert not mp.active_children()
+
+    def test_double_close_after_failed_spawn_is_safe(self, world,
+                                                     monkeypatch):
+        model, index, dataset = world
+        created = []
+
+        def exploding_spawn(self, shard_id, incarnation):
+            created.append(self)
+            raise RuntimeError("no shards at all")
+
+        monkeypatch.setattr(ShardRouter, "_spawn_shard", exploding_spawn)
+        with pytest.raises(RuntimeError, match="no shards at all"):
+            ShardRouter(model, index, dataset, TARGET, num_shards=2)
+        # The constructor already closed once on its failure path;
+        # closing the half-built router again must be a no-op.
+        router = created[0]
+        router.close()
+        router.close()
+        assert not mp.active_children()

@@ -107,12 +107,18 @@ class TestCommittedBaselines:
         baselines = json.loads(path.read_text())
         assert set(baselines) == {"tiny", "full"}
         for profile in baselines.values():
-            for spec in profile.values():
+            for name, spec in profile.items():
                 assert 0.0 <= spec["tolerance"] < 1.0
                 assert spec["metrics"]
                 for dotted, value in spec["metrics"].items():
-                    assert ".speedup" in dotted
-                    assert value > 0
+                    if name == "chaos":
+                        # Chaos rows gate rates (availability,
+                        # deadline-hit), not speedups: floors in (0, 1].
+                        assert dotted.startswith("chaos.")
+                        assert 0.0 < value <= 1.0
+                    else:
+                        assert ".speedup" in dotted
+                        assert value > 0
 
     def test_full_fleet_bar_requires_multicore_and_1_6x(self):
         """The 2-shard scaling bar is >= 1.6x, gated only where the

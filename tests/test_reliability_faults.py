@@ -65,3 +65,139 @@ class TestFaultPlan:
         clone = pickle.loads(pickle.dumps(plan))
         assert clone.wants_nan_gradients(0, 1)
         assert clone.lookup(1, 2)[0].seconds == 0.5
+
+
+class TestWindowFaultValidation:
+    def test_unknown_kind_rejected(self):
+        from repro.reliability import WindowFault
+
+        with pytest.raises(ValueError, match="unknown window fault kind"):
+            WindowFault("meteor", worker=0, start=0, stop=1)
+
+    def test_window_bounds_rejected(self):
+        from repro.reliability import WindowFault
+
+        with pytest.raises(ValueError):
+            WindowFault.slow_shard(0, 5, 5, 0.1)       # empty window
+        with pytest.raises(ValueError):
+            WindowFault.slow_shard(0, -1, 5, 0.1)
+        with pytest.raises(ValueError):
+            WindowFault.crash_under_load(-1, 0, 1)
+
+    def test_delay_kinds_need_positive_seconds(self):
+        from repro.reliability import WindowFault
+
+        for kind in ("slow", "jitter", "flap"):
+            with pytest.raises(ValueError, match="seconds"):
+                WindowFault(kind, worker=0, start=0, stop=1, seconds=0.0)
+        with pytest.raises(ValueError, match="period"):
+            WindowFault.flapping(0, 0, 4, 0.1, period=0)
+
+
+class TestWindowFaultBehaviour:
+    def test_active_only_inside_the_window_on_the_right_shard(self):
+        from repro.reliability import WindowFault
+
+        fault = WindowFault.slow_shard(1, 3, 6, 0.2)
+        assert not fault.active(1, 2)
+        assert fault.active(1, 3)
+        assert fault.active(1, 5)
+        assert not fault.active(1, 6)       # stop is exclusive
+        assert not fault.active(0, 4)       # wrong shard
+
+    def test_slow_adds_constant_delay(self):
+        from repro.reliability import WindowFault
+
+        fault = WindowFault.slow_shard(0, 0, 10, 0.25)
+        assert fault.delay_seconds(0) == 0.25
+        assert fault.delay_seconds(9) == 0.25
+
+    def test_jitter_is_deterministic_bounded_and_seed_sensitive(self):
+        from repro.reliability import WindowFault
+
+        a = WindowFault.jittered_delay(0, 0, 100, 0.5, seed=1)
+        b = WindowFault.jittered_delay(0, 0, 100, 0.5, seed=2)
+        delays_a = [a.delay_seconds(seq) for seq in range(20)]
+        assert delays_a == [a.delay_seconds(seq) for seq in range(20)]
+        assert all(0.0 <= d <= 0.5 for d in delays_a)
+        assert len(set(delays_a)) > 1       # actually varies by request
+        assert delays_a != [b.delay_seconds(seq) for seq in range(20)]
+
+    def test_flap_alternates_slow_and_fast_half_periods(self):
+        from repro.reliability import WindowFault
+
+        fault = WindowFault.flapping(0, 4, 100, 0.1, period=2)
+        # Phases count from the window start: 2 slow, 2 fast, 2 slow...
+        delays = [fault.delay_seconds(seq) for seq in range(4, 12)]
+        assert delays == [0.1, 0.1, 0.0, 0.0, 0.1, 0.1, 0.0, 0.0]
+
+    def test_crash_adds_no_delay(self):
+        from repro.reliability import WindowFault
+
+        assert WindowFault.crash_under_load(0, 0, 1).delay_seconds(0) == 0.0
+
+
+class TestChaosPlan:
+    def test_active_windows_lookup(self):
+        from repro.reliability import ChaosPlan, WindowFault
+
+        plan = ChaosPlan(windows=[
+            WindowFault.slow_shard(0, 0, 5, 0.1),
+            WindowFault.jittered_delay(0, 3, 8, 0.1),
+            WindowFault.slow_shard(1, 0, 5, 0.1)])
+        assert len(plan.active_windows(0, 4)) == 2
+        assert len(plan.active_windows(0, 6)) == 1
+        assert len(plan.active_windows(1, 1)) == 1
+        assert plan.active_windows(2, 0) == []
+
+    def test_delays_sum_across_overlapping_windows(self, monkeypatch):
+        from repro.reliability import ChaosPlan, WindowFault
+
+        slept = []
+        monkeypatch.setattr(time, "sleep", slept.append)
+        plan = ChaosPlan(windows=[
+            WindowFault.slow_shard(0, 0, 5, 0.2),
+            WindowFault.slow_shard(0, 2, 5, 0.3)])
+        plan.execute_pre_step(0, 3)
+        assert slept == [pytest.approx(0.5)]
+        plan.execute_pre_step(0, 1)
+        assert slept[-1] == pytest.approx(0.2)
+        plan.execute_pre_step(0, 7)         # outside every window
+        assert len(slept) == 2
+
+    def test_point_faults_still_fire(self, monkeypatch):
+        from repro.reliability import ChaosPlan, Fault, WindowFault
+
+        slept = []
+        monkeypatch.setattr(time, "sleep", slept.append)
+        plan = ChaosPlan(faults=[Fault.delay(0, 3, 0.05)],
+                         windows=[WindowFault.slow_shard(0, 0, 5, 0.2)])
+        plan.execute_pre_step(0, 3)
+        # Window delay in one sleep, then the point fault's own sleep.
+        assert slept == [pytest.approx(0.2), pytest.approx(0.05)]
+        assert plan.wants_nan_gradients(0, 3) is False
+
+    def test_crash_window_sigkills_under_load(self):
+        from repro.reliability import ChaosPlan, WindowFault
+
+        plan = ChaosPlan(windows=[WindowFault.crash_under_load(0, 2, 3)])
+        ctx = mp.get_context("fork")
+
+        def serve(plan):
+            for seq in range(5):
+                plan.execute_pre_step(0, seq)
+
+        process = ctx.Process(target=serve, args=(plan,))
+        process.start()
+        process.join(timeout=10)
+        assert process.exitcode == -signal.SIGKILL
+
+    def test_chaos_plan_is_picklable(self):
+        import pickle
+
+        from repro.reliability import ChaosPlan, WindowFault
+
+        plan = ChaosPlan(windows=[WindowFault.flapping(1, 0, 9, 0.1)])
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.windows[0].kind == "flap"
+        assert clone.active_windows(1, 0)

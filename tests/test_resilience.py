@@ -1,0 +1,345 @@
+"""Unit tests for the request-level resilience primitives.
+
+Everything here runs against injected fake clocks — no sleeps, no
+processes.  The integration of these pieces into the serving fleet is
+covered by ``test_fleet_resilience.py``.
+"""
+
+import pytest
+
+from repro.resilience import (
+    AdmissionController,
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    FallbackChain,
+    PopularityFallback,
+    QUALITY_CACHED,
+    QUALITY_FALLBACK,
+    QUALITY_PARTIAL,
+    QUALITY_TIERS,
+    ResilienceConfig,
+)
+from repro.resilience.admission import (
+    ADMITTED,
+    SHED_EXPIRED,
+    SHED_OVERLOAD,
+    SHED_QUEUE_FULL,
+)
+from repro.serving.cache import TopKCache
+
+
+class FakeClock:
+    """Manually advanced monotonic clock (seconds)."""
+
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        # The extra nanosecond keeps float rounding from landing a hair
+        # *short* of an exact boundary (e.g. a 50ms backoff edge).
+        self.now += ms / 1000.0 + 1e-9
+
+
+class TestDeadline:
+    def test_budget_counts_from_anchor(self):
+        clock = FakeClock()
+        deadline = Deadline(50.0, clock=clock)
+        assert deadline.start == clock.now
+        assert deadline.elapsed_ms() == 0.0
+        assert deadline.remaining_ms() == 50.0
+        clock.advance_ms(20.0)
+        assert deadline.elapsed_ms() == pytest.approx(20.0)
+        assert deadline.remaining_ms() == pytest.approx(30.0)
+        assert not deadline.expired()
+        clock.advance_ms(30.0)
+        assert deadline.expired()
+
+    def test_explicit_start_charges_queueing_to_the_budget(self):
+        clock = FakeClock(now=10.0)
+        # Scheduled to arrive 40ms ago: most of the budget is gone.
+        deadline = Deadline(50.0, clock=clock, start=10.0 - 0.040)
+        assert deadline.elapsed_ms() == pytest.approx(40.0)
+        assert deadline.remaining_ms() == pytest.approx(10.0)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-5.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("probe_backoff_ms", 50.0)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.record_failure() is True
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_probe_recovers_on_success(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()          # backoff not yet elapsed
+        clock.advance_ms(50.0)
+        assert breaker.allow()              # the single probe grant
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert not breaker.allow()          # no second probe
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_longer_backoff(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, backoff_factor=2.0,
+                                max_backoff_ms=150.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.current_backoff_ms() == 50.0
+        clock.advance_ms(50.0)
+        assert breaker.allow()
+        assert breaker.record_failure() is True     # probe failed
+        assert breaker.current_backoff_ms() == 100.0
+        clock.advance_ms(50.0)
+        assert not breaker.allow()          # old backoff no longer enough
+        clock.advance_ms(50.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        # Third consecutive trip would be 200ms but is capped at 150ms.
+        assert breaker.current_backoff_ms() == 150.0
+
+    def test_recovery_resets_the_backoff_schedule(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance_ms(50.0)
+        breaker.allow()
+        breaker.record_success()            # closed again, trips reset
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.current_backoff_ms() == 50.0
+
+    def test_cancel_probe_returns_the_grant_without_penalty(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance_ms(50.0)
+        assert breaker.allow()
+        breaker.cancel_probe()
+        assert breaker.state == BreakerState.OPEN
+        # The open timer kept its original start: re-granted at once.
+        assert breaker.allow()
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_stats_and_validation(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_success()
+        stats = breaker.stats()
+        assert stats["state"] == BreakerState.CLOSED
+        assert stats["failures"] == 1 and stats["successes"] == 1
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_backoff_ms=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(backoff_factor=0.5)
+
+
+class TestAdmissionController:
+    def _controller(self, clock, **kwargs):
+        kwargs.setdefault("queue_limit", 4)
+        kwargs.setdefault("target_ms", 10.0)
+        kwargs.setdefault("interval_ms", 100.0)
+        return AdmissionController(clock=clock, **kwargs)
+
+    def test_admits_healthy_requests(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        ok, reason = admission.admit(remaining_ms=40.0, sojourn_ms=1.0,
+                                     queued_ahead=0)
+        assert ok and reason == ADMITTED
+        assert admission.admitted == 1 and admission.shed == 0
+
+    def test_sheds_expired_and_overflow(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        ok, reason = admission.admit(remaining_ms=0.0, sojourn_ms=50.0,
+                                     queued_ahead=0)
+        assert not ok and reason == SHED_EXPIRED
+        ok, reason = admission.admit(remaining_ms=40.0, sojourn_ms=1.0,
+                                     queued_ahead=4)
+        assert not ok and reason == SHED_QUEUE_FULL
+        assert admission.shed_by_reason[SHED_EXPIRED] == 1
+        assert admission.shed_by_reason[SHED_QUEUE_FULL] == 1
+
+    def test_codel_overload_requires_a_full_bad_interval(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        # High sojourns, but one interval has not elapsed yet.
+        admission.admit(remaining_ms=100.0, sojourn_ms=30.0, queued_ahead=0)
+        assert not admission.overloaded
+        clock.advance_ms(100.0)
+        # Interval closes: the *minimum* sojourn (30ms) beat the 10ms
+        # target, so queueing delay is structural.
+        admission.admit(remaining_ms=100.0, sojourn_ms=35.0, queued_ahead=0)
+        assert admission.overloaded
+
+    def test_one_fast_request_clears_the_overload_verdict(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        admission.admit(remaining_ms=100.0, sojourn_ms=30.0, queued_ahead=0)
+        clock.advance_ms(100.0)
+        admission.admit(remaining_ms=100.0, sojourn_ms=30.0, queued_ahead=0)
+        assert admission.overloaded
+        # A single low-sojourn arrival inside the next interval drags
+        # the windowed minimum below target: burst, not overload.
+        admission.admit(remaining_ms=100.0, sojourn_ms=1.0, queued_ahead=0)
+        clock.advance_ms(100.0)
+        admission.admit(remaining_ms=100.0, sojourn_ms=30.0, queued_ahead=0)
+        assert not admission.overloaded
+
+    def test_overloaded_sheds_only_requests_that_cannot_make_it(self):
+        clock = FakeClock()
+        admission = self._controller(clock)
+        admission.note_service(20.0)        # service estimate: 20ms
+        admission.admit(remaining_ms=100.0, sojourn_ms=30.0, queued_ahead=0)
+        clock.advance_ms(100.0)
+        admission.admit(remaining_ms=100.0, sojourn_ms=30.0,
+                        queued_ahead=0)
+        assert admission.overloaded
+        ok, reason = admission.admit(remaining_ms=5.0, sojourn_ms=30.0,
+                                     queued_ahead=0)
+        assert not ok and reason == SHED_OVERLOAD
+        # Plenty of remaining budget is still admitted under overload.
+        ok, reason = admission.admit(remaining_ms=80.0, sojourn_ms=30.0,
+                                     queued_ahead=0)
+        assert ok and reason == ADMITTED
+
+    def test_service_estimate_is_an_ewma(self):
+        clock = FakeClock()
+        admission = self._controller(clock, ewma_alpha=0.5)
+        admission.note_service(10.0)
+        assert admission.service_estimate_ms == 10.0
+        admission.note_service(20.0)
+        assert admission.service_estimate_ms == pytest.approx(15.0)
+        admission.note_service(-1.0)        # ignored
+        assert admission.service_estimate_ms == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=0)
+        with pytest.raises(ValueError):
+            AdmissionController(target_ms=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(ewma_alpha=0.0)
+
+
+class TestPopularityFallback:
+    def test_ranks_by_popularity_then_catalogue_position(self):
+        fallback = PopularityFallback(
+            visit_counts={11: 3, 12: 7, 13: 3, 14: 0},
+            catalogue_poi_ids=[11, 12, 13, 14])
+        items = fallback.top_k(4)
+        assert [p for p, _ in items] == [12, 11, 13, 14]
+        assert [s for _, s in items] == [7.0, 3.0, 3.0, 0.0]
+
+    def test_exclusion_and_bounds(self):
+        fallback = PopularityFallback(
+            visit_counts={11: 3, 12: 7}, catalogue_poi_ids=[11, 12, 13])
+        assert fallback.top_k(0) == []
+        assert [p for p, _ in fallback.top_k(2, exclude={12})] == [11, 13]
+        assert len(fallback.top_k(10)) == fallback.catalogue_size
+
+
+class TestFallbackChain:
+    def _cache(self, clock):
+        return TopKCache(max_size=8, ttl_seconds=1.0, clock=clock)
+
+    def test_tier_order_partial_beats_cached_beats_popularity(self):
+        clock = FakeClock()
+        cache = self._cache(clock)
+        cache.put(7, 3, [(1, 0.9)])
+        popularity = PopularityFallback({2: 5}, [1, 2])
+        chain = FallbackChain(cache=cache, popularity=popularity)
+        items, quality = chain.answer(7, 3, partial_items=[(4, 0.5)])
+        assert quality == QUALITY_PARTIAL and items == [(4, 0.5)]
+        items, quality = chain.answer(7, 3)
+        assert quality == QUALITY_CACHED and items == [(1, 0.9)]
+        items, quality = chain.answer(8, 3)      # no cache entry
+        assert quality == QUALITY_FALLBACK
+        assert [p for p, _ in items] == [2, 1]
+
+    def test_stale_cache_entries_served_only_when_allowed(self):
+        clock = FakeClock()
+        cache = self._cache(clock)
+        cache.put(7, 3, [(1, 0.9)])
+        clock.advance_ms(2000.0)                 # past the 1s TTL
+        strict = FallbackChain(cache=cache, serve_stale=False)
+        items, quality = strict.answer(7, 3)
+        assert quality == QUALITY_FALLBACK and items == []
+        lenient = FallbackChain(cache=cache, serve_stale=True)
+        items, quality = lenient.answer(7, 3)
+        assert quality == QUALITY_CACHED and items == [(1, 0.9)]
+
+    def test_empty_chain_answers_empty_fallback(self):
+        chain = FallbackChain()
+        items, quality = chain.answer(1, 5)
+        assert items == [] and quality == QUALITY_FALLBACK
+
+    def test_quality_tally_covers_every_tier(self):
+        clock = FakeClock()
+        cache = self._cache(clock)
+        cache.put(7, 3, [(1, 0.9)])
+        chain = FallbackChain(cache=cache,
+                              popularity=PopularityFallback({}, [1]))
+        chain.note_full()
+        chain.answer(7, 3, partial_items=[(4, 0.5)])
+        chain.answer(7, 3)
+        chain.answer(9, 3)
+        tally = chain.stats()["answers_by_quality"]
+        assert tally == {tier: 1 for tier in QUALITY_TIERS}
+
+
+class TestResilienceConfig:
+    def test_defaults_are_valid(self):
+        config = ResilienceConfig()
+        assert config.deadline_ms > 0
+        assert config.max_hedges == 1
+
+    def test_rejects_bad_knobs(self):
+        for kwargs in ({"deadline_ms": 0.0}, {"hop_timeout_ms": -1.0},
+                       {"hedge_after_ms": 0.0}, {"max_hedges": -1},
+                       {"finalize_margin_ms": -0.5},
+                       {"breaker_failure_threshold": 0},
+                       {"breaker_backoff_factor": 0.9},
+                       {"admission_queue_limit": 0},
+                       {"cache_size": -1}, {"cache_ttl_seconds": 0.0}):
+            with pytest.raises(ValueError):
+                ResilienceConfig(**kwargs)

@@ -142,3 +142,48 @@ class TestStats:
         assert stats["hits"] == 1
         assert stats["misses"] == 1
         assert stats["hit_rate"] == 0.5
+
+
+class TestStaleReads:
+    def test_get_stale_returns_fresh_flag(self):
+        clock = FakeClock()
+        cache = TopKCache(max_size=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 10, "v")
+        assert cache.get_stale(1, 10) == ("v", True)
+        clock.advance(11.0)
+        assert cache.get_stale(1, 10) == ("v", False)
+        assert cache.get_stale(2, 10) is None
+        assert cache.hits == 1 and cache.stale_hits == 1
+
+    def test_stale_entry_is_kept_for_revalidation(self):
+        clock = FakeClock()
+        cache = TopKCache(max_size=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 10, "old")
+        clock.advance(11.0)
+        # A stale read neither drops the entry nor counts an expiry...
+        assert cache.get_stale(1, 10) == ("old", False)
+        assert len(cache) == 1 and cache.expirations == 0
+        # ...so a later revalidation overwrites it in place.
+        cache.put(1, 10, "new")
+        assert cache.get_stale(1, 10) == ("new", True)
+
+    def test_plain_get_still_drops_expired_entries(self):
+        clock = FakeClock()
+        cache = TopKCache(max_size=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 10, "v")
+        clock.advance(11.0)
+        assert cache.get(1, 10) is None
+        assert cache.get_stale(1, 10) is None
+
+    def test_no_ttl_reads_are_always_fresh(self):
+        cache = TopKCache(max_size=4, ttl_seconds=None)
+        cache.put(1, 10, "v")
+        assert cache.get_stale(1, 10) == ("v", True)
+
+    def test_stale_hits_surface_in_stats(self):
+        clock = FakeClock()
+        cache = TopKCache(max_size=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 10, "v")
+        clock.advance(11.0)
+        cache.get_stale(1, 10)
+        assert cache.stats()["stale_hits"] == 1
