@@ -14,11 +14,16 @@ held to the 5% bound.
 
 import time
 
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
 from repro.core.trainer import STTransRecTrainer
 from repro.data.split import make_crossing_city_split
 from repro.data.synthetic import generate_dataset
+from repro.fleet.router import ShardRouter
 from repro.nn.profile import profile_ops
+from repro.obs.slo import SloTracker, default_serving_slos
 from repro.obs.telemetry import Telemetry
+from repro.resilience import ResilienceConfig
 
 from tests.conftest import tiny_config
 from tests.test_core_trainer import fast_config
@@ -73,3 +78,109 @@ def test_telemetry_overhead_under_five_percent(results_sink):
         f"{MAX_OVERHEAD * 100:.0f}% "
         f"(baseline {baseline * 1000:.2f} ms, "
         f"instrumented {instrumented * 1000:.2f} ms)")
+
+
+# ----------------------------------------------------------------------
+# Request tracing on the serving fleet.
+
+def _serving_world():
+    """A production-shaped catalogue for per-request measurements.
+
+    The tests' tiny world answers a request in ~0.5 ms — dominated by
+    the pipe round trip, ~100x below any real serving request — so a
+    fixed ~0.2 ms tracing cost would read as a huge *relative*
+    overhead there while being irrelevant in practice.  This world
+    gives the target city a few thousand POIs and a 64-dim model, so
+    one request does representative scoring work (several ms) and the
+    overhead ratio means what it says.
+    """
+    from repro.data.synthetic import CitySpec, SyntheticConfig
+
+    config = SyntheticConfig(
+        cities=[
+            CitySpec("springfield", grid_shape=(8, 8), num_regions=4,
+                     num_pois=800, num_local_users=40,
+                     accessibility_skew=1.2, topic_tilt=0.8),
+            CitySpec("shelbyville", grid_shape=(8, 8), num_regions=4,
+                     num_pois=8000, num_local_users=32,
+                     accessibility_skew=1.4, topic_tilt=0.5),
+        ],
+        target_city="shelbyville", num_topics=4,
+        shared_words_per_topic=6, city_words_per_topic=3,
+        num_generic_words=8, generic_fraction=0.15, words_per_poi=5,
+        city_dependent_fraction=0.4, num_crossing_users=10,
+        checkins_per_local_user=15, crossing_target_checkins=4,
+        drift=0.25, trips_per_user=4, preference_concentration=0.25,
+        seed=3)
+    dataset, _truth = generate_dataset(config)
+    index = dataset.build_index()
+    model = STTransRec(index.num_users, index.num_pois, index.num_words,
+                       STTransRecConfig(embedding_dim=64, seed=3))
+    model.eval()
+    return model, index, dataset
+
+
+def _serve_seconds(router, users):
+    # One request per call: the serving arrival pattern.  A whole-batch
+    # call would amortise its single fan-out round trip across every
+    # user and understate the per-request baseline.
+    started = time.perf_counter()
+    for user in users:
+        router.recommend_resilient([user], k=10)
+    return time.perf_counter() - started
+
+
+def test_tracing_overhead_under_five_percent(results_sink):
+    """Per-request tracing + flight recorder + SLO feed stays under 5%.
+
+    Two identical resilient fleets serve the same request stream — one
+    with the full tracing stack (span emits, tail-sampling judgement,
+    SLO recording), one plain.  Rounds interleave and compare
+    best-of-N so scheduler noise hits both variants equally; a
+    request's tracing cost is a fixed ~0.2 ms of span bookkeeping
+    against several milliseconds of catalogue scoring, so 5% is a
+    realistic ceiling.
+
+    One shard, deliberately: on a single-core box a 2-shard fleet's
+    "parallel" slices time-share the CPU, so every router wake-up
+    preempts a scoring shard and the measurement becomes scheduler
+    behaviour (proportional to catalogue size), not tracing cost.
+    """
+    model, index, dataset = _serving_world()
+    users = sorted(dataset.users)[:16]
+    generous = ResilienceConfig(
+        deadline_ms=10_000.0, hop_timeout_ms=5_000.0,
+        hedge_after_ms=2_000.0, poll_interval_ms=5.0)
+    slo = SloTracker(default_serving_slos(10_000.0))
+    target = "shelbyville"
+    with ShardRouter(model, index, dataset, target, num_shards=1,
+                     resilience=generous) as plain, \
+         ShardRouter(model, index, dataset, target, num_shards=1,
+                     resilience=generous, tracing=True,
+                     slo=slo) as traced:
+        _serve_seconds(plain, users)            # warmup both fleets
+        _serve_seconds(traced, users)
+        baseline = instrumented = float("inf")
+        for _ in range(ROUNDS):
+            baseline = min(baseline, _serve_seconds(plain, users))
+            instrumented = min(instrumented, _serve_seconds(traced, users))
+        stats = traced.trace_stats()
+
+    overhead = instrumented / baseline - 1.0
+    lines = [
+        f"request-tracing overhead on the resilient serving path "
+        f"(best of {ROUNDS}, {len(users)} single-user requests "
+        f"per round)",
+        f"  baseline (tracing off)    : {baseline * 1000:8.2f} ms",
+        f"  tracing + flight + SLO    : {instrumented * 1000:8.2f} ms"
+        f"  ({overhead * 100:+.2f}%)",
+        f"  spans emitted             : {stats['recorder']['emitted']}",
+        f"  requests judged           : {stats['flight']['seen']}",
+        f"  budget                    : {MAX_OVERHEAD * 100:.0f}%",
+    ]
+    results_sink("obs_tracing_overhead", "\n".join(lines))
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead * 100:.2f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% "
+        f"(baseline {baseline * 1000:.2f} ms, "
+        f"traced {instrumented * 1000:.2f} ms)")

@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli train --data data.jsonl --target los_angeles \
         --workers 2 --telemetry-dir telemetry/
     python -m repro.cli metrics-report --telemetry-dir telemetry/
+    python -m repro.cli chaos-bench --tiny --telemetry-dir telemetry/
+    python -m repro.cli trace-report --telemetry-dir telemetry/
 
 Every command accepts ``--scale`` and ``--seed`` so results are
 reproducible from the shell.  Output is split into two channels:
@@ -385,9 +387,18 @@ def cmd_metrics_report(args) -> int:
 
     Sweeps the directory's own ``events.jsonl`` plus any in immediate
     subdirectories, so per-shard fleet telemetry (``<dir>/shard-<id>/``)
-    aggregates into one report.
+    aggregates into one report.  ``--format`` picks the exposition:
+    ``console`` (default, plus flight-recorder and SLO summaries when
+    the tree holds them), ``prometheus`` (text exposition of the
+    merged registry), or ``json`` (machine-readable rollup).
     """
-    from repro.obs.export import load_run_state_tree, render_console_summary
+    from repro.obs.export import (
+        load_run_state_tree,
+        load_slo_summaries,
+        load_traces,
+        render_console_summary,
+        render_prometheus,
+    )
 
     registry, tracer, num_runs, num_logs = load_run_state_tree(
         args.telemetry_dir)
@@ -395,10 +406,78 @@ def cmd_metrics_report(args) -> int:
         _progress(f"no telemetry found: no events.jsonl under "
                   f"{args.telemetry_dir}")
         return 1
+    fmt = getattr(args, "format", "console")
+    if fmt == "prometheus":
+        _report(render_prometheus(registry))
+        return 0
+    traces, spans, _num_dumps = load_traces(args.telemetry_dir)
+    slo_summaries = load_slo_summaries(args.telemetry_dir)
+    if fmt == "json":
+        doc = {
+            "telemetry_dir": str(args.telemetry_dir),
+            "num_runs": num_runs,
+            "num_logs": num_logs,
+            "metrics": registry.to_dict(),
+        }
+        if traces or spans:
+            doc["traces"] = {"kept": len(traces),
+                             "loose_spans": len(spans)}
+        if slo_summaries:
+            doc["slo"] = [summary for _path, summary in slo_summaries]
+        _report(json.dumps(doc, indent=2))
+        return 0
     title = (f"telemetry report: {args.telemetry_dir} "
              f"({num_runs} run{'s' if num_runs != 1 else ''}, "
              f"{num_logs} log{'s' if num_logs != 1 else ''})")
     _report(render_console_summary(registry, tracer, title=title))
+    if traces:
+        by_reason: dict = {}
+        for trace in traces:
+            reason = trace.get("keep_reason", "?")
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+        _report("")
+        _report(f"flight recorder: {len(traces)} kept trace(s) ("
+                + ", ".join(f"{reason}={count}" for reason, count
+                            in sorted(by_reason.items()))
+                + "); run `repro trace-report` for the breakdown")
+    for _path, summary in slo_summaries:
+        _report("")
+        _report("SLO summary (compliance, burn-rate alerts):")
+        shards = summary.get("shards") or {"": summary}
+        for shard_key in sorted(shards):
+            rollup = shards[shard_key]
+            parts = []
+            for name, obj in sorted(
+                    (rollup.get("objectives") or {}).items()):
+                flag = "met" if obj.get("met") else "MISSED"
+                parts.append(f"{name} {obj.get('compliance', 0.0):.1%} "
+                             f"{flag} ({obj.get('alerts', 0)})")
+            label = f"{shard_key} shard(s): " if shard_key else ""
+            _report("  " + label + "; ".join(parts))
+    return 0
+
+
+def cmd_trace_report(args) -> int:
+    """Reconstruct cross-process request traces from a telemetry tree.
+
+    Joins the router's flight-recorder dump (``traces.jsonl``) with
+    per-shard span logs (``shard-<id>/spans.jsonl``) and prints the
+    critical-path breakdown, p99 hop-category attribution, hop detail,
+    and the slowest traces' timelines.  Exits 1 when the tree holds no
+    kept traces (tracing was off, or nothing interesting happened).
+    """
+    from repro.obs.export import load_span_logs, load_traces
+    from repro.obs.trace_report import format_trace_report
+
+    traces, spans, num_dumps = load_traces(args.telemetry_dir)
+    shard_spans = load_span_logs(args.telemetry_dir)
+    if not traces:
+        _progress(f"no traces found: no kept traces in traces.jsonl "
+                  f"under {args.telemetry_dir}")
+        return 1
+    _report(format_trace_report(traces, spans + shard_spans,
+                                num_logs=num_dumps,
+                                timelines=args.timelines))
     return 0
 
 
@@ -534,7 +613,8 @@ def cmd_chaos_bench(args) -> int:
     telemetry = _make_telemetry(args, "chaos-bench")
     kwargs = dict(
         k=args.k, seed=args.seed, rate=args.rate,
-        deadline_ms=args.deadline_ms,
+        deadline_ms=args.deadline_ms, tracing=args.trace,
+        all_slow=args.all_slow,
         telemetry_dir=getattr(args, "telemetry_dir", None),
         registry=telemetry.registry if telemetry is not None else None)
     if args.shards:
@@ -563,9 +643,46 @@ def cmd_chaos_bench(args) -> int:
                 _report(f"FAIL: {key}-shard has {row['answered']} answers "
                         f"but {tagged} quality tags")
                 failed = True
-            if row["faults"]["crashes"] + row["faults"]["hangs"] < 1:
+            # Under --all-slow the breakers open on the stall before the
+            # crash step is ever reached, so breaker-triggered restarts
+            # are the evidence that the injected fault landed.
+            landed = row["faults"]["crashes"] + row["faults"]["hangs"]
+            if args.all_slow:
+                landed += row["breaker_opens"]
+            if landed < 1:
                 _report(f"FAIL: {key}-shard saw no injected fault land")
                 failed = True
+            if args.trace:
+                flight = row.get("traces")
+                if not flight or flight["kept"] < 1:
+                    _report(f"FAIL: {key}-shard flight recorder kept "
+                            f"no traces under injected faults")
+                    failed = True
+                else:
+                    interesting = sum(
+                        count for reason, count
+                        in flight["kept_by_reason"].items()
+                        if reason != "slow")
+                    non_full = row["answered"] - \
+                        row["quality_counts"].get("full", 0)
+                    if (non_full > 0 or row["shed"] > 0) and \
+                            interesting < 1:
+                        _report(f"FAIL: {key}-shard answered "
+                                f"{non_full} below full quality but "
+                                f"kept no degraded/shed trace")
+                        failed = True
+                slo_row = row.get("slo")
+                if not slo_row or len(slo_row["objectives"]) < 3:
+                    _report(f"FAIL: {key}-shard missing SLO summary")
+                    failed = True
+                else:
+                    deadline_slo = slo_row["objectives"]["deadline_hit"]
+                    miss = 1.0 - deadline_slo["compliance"]
+                    if miss > 0.10 and deadline_slo["alerts"] < 1:
+                        _report(f"FAIL: {key}-shard missed "
+                                f"{miss:.1%} of deadlines but no "
+                                f"burn-rate alert fired")
+                        failed = True
         leaked = mp.active_children()
         if leaked:
             _report(f"FAIL: {len(leaked)} child process(es) leaked")
@@ -875,9 +992,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "committed baselines (skipped below min_cpus)")
     p.add_argument("--telemetry-dir", default=None, metavar="DIR",
                    help="export fleet.chaos.* metrics under DIR; shards "
-                        "write per-process logs to DIR/shard-<id>/")
+                        "write per-process logs to DIR/shard-<id>/, the "
+                        "flight recorder dumps traces.jsonl, and per-row "
+                        "SLO summaries land in slo.json")
+    p.add_argument("--no-trace", dest="trace", action="store_false",
+                   help="disable per-request tracing, the flight "
+                        "recorder, and SLO tracking (on by default)")
+    p.add_argument("--all-slow", action="store_true",
+                   help="stall every shard (not just shard 0) so "
+                        "hedging cannot dodge the fault: forces the "
+                        "degraded path, guaranteeing degraded-quality "
+                        "traces (the CI trace-smoke scenario)")
     _add_common(p)
-    p.set_defaults(func=cmd_chaos_bench, scale=1.0)
+    p.set_defaults(func=cmd_chaos_bench, scale=1.0, trace=True)
 
     p = sub.add_parser("perf-bench",
                        help="hot-path microbenchmarks: train step "
@@ -923,7 +1050,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "--telemetry-dir")
     p.add_argument("--telemetry-dir", required=True, metavar="DIR",
                    help="directory a previous run wrote telemetry into")
+    p.add_argument("--format", choices=["console", "json", "prometheus"],
+                   default="console",
+                   help="exposition format (default console; console "
+                        "and json include flight-recorder / SLO "
+                        "summaries when the tree holds them)")
     p.set_defaults(func=cmd_metrics_report)
+
+    p = sub.add_parser("trace-report",
+                       help="reconstruct per-request distributed traces "
+                            "from a --telemetry-dir: critical-path "
+                            "breakdown, p99 hop attribution, slowest-"
+                            "trace timelines")
+    p.add_argument("--telemetry-dir", required=True, metavar="DIR",
+                   help="directory holding traces.jsonl (and per-shard "
+                        "spans.jsonl) from a traced run")
+    p.add_argument("--timelines", type=int, default=1,
+                   help="how many slowest-trace timelines to print "
+                        "(default 1)")
+    p.set_defaults(func=cmd_trace_report)
 
     p = sub.add_parser("fault-smoke",
                        help="fault-injection smoke test: survive an "

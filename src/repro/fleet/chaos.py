@@ -25,6 +25,8 @@ shard-scaling expectations on starved runners (``min_cpus``).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +38,7 @@ from repro.fleet.bench import _available_cpus
 from repro.fleet.loadgen import measure_saturation, run_chaos_loop
 from repro.fleet.router import ShardRouter
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLO_FILENAME, SloTracker, default_serving_slos
 from repro.parallel.supervisor import SupervisionConfig
 from repro.reliability.faults import ChaosPlan, WindowFault
 from repro.resilience import QUALITY_TIERS, ResilienceConfig
@@ -59,7 +62,8 @@ _OPEN_ENDED = 1_000_000
 
 def default_chaos_plan(num_shards: int, *, slow_seconds: float,
                        slow_start: int = 3, crash_start: int = 8,
-                       extended: bool = False, seed: int = 0) -> ChaosPlan:
+                       extended: bool = False, all_slow: bool = False,
+                       seed: int = 0) -> ChaosPlan:
     """The bench's standard fault mix for a ``num_shards`` fleet.
 
     Shard 0 turns slow from its ``slow_start``-th request *onwards*
@@ -67,13 +71,20 @@ def default_chaos_plan(num_shards: int, *, slow_seconds: float,
     never closes on its own) and the last shard crashes under load at
     its ``crash_start``-th request.  ``extended=True`` adds a flapping
     shard and a jitter-delayed shard when enough shards exist, for the
-    full-profile mix.
+    full-profile mix.  ``all_slow=True`` stalls *every* shard instead
+    of just shard 0, so hedging has nowhere healthy to go — the fleet
+    is forced through its degraded path until breaker restarts clear
+    the incarnation-0 fault (the trace-smoke scenario: it guarantees
+    degraded-quality answers for the flight recorder to keep).
     """
     windows: List[WindowFault] = [
-        WindowFault.slow_shard(0, slow_start, _OPEN_ENDED, slow_seconds),
-        WindowFault.crash_under_load(max(0, num_shards - 1), crash_start,
-                                     crash_start + 1),
+        WindowFault.slow_shard(worker, slow_start, _OPEN_ENDED,
+                               slow_seconds)
+        for worker in (range(num_shards) if all_slow else (0,))
     ]
+    windows.append(
+        WindowFault.crash_under_load(max(0, num_shards - 1), crash_start,
+                                     crash_start + 1))
     if extended and num_shards >= 3:
         windows.append(WindowFault.flapping(
             1, slow_start, _OPEN_ENDED, slow_seconds, period=2))
@@ -104,8 +115,10 @@ def run_chaos_benchmark(*, scale: float = 1.0, embedding_dim: int = 32,
                         slow_seconds: Optional[float] = None,
                         zipf_exponent: float = 1.1, seed: int = 7,
                         extended_faults: bool = False,
+                        all_slow: bool = False,
                         telemetry_dir=None,
-                        registry: Optional[MetricsRegistry] = None) -> Dict:
+                        registry: Optional[MetricsRegistry] = None,
+                        tracing: bool = True) -> Dict:
     """Measure degraded-mode serving per shard count; return JSON.
 
     ``rate=None`` offers half the single-process saturation (measured
@@ -113,6 +126,15 @@ def run_chaos_benchmark(*, scale: float = 1.0, embedding_dim: int = 32,
     genuinely stresses the admission controller.  ``slow_seconds``
     defaults to 2x the deadline budget — an injected stall that *must*
     be routed around, not waited out, for the deadline-hit bar to hold.
+
+    ``tracing=True`` (the default) runs each row's fleet with
+    per-request distributed tracing and a fresh
+    :class:`~repro.obs.slo.SloTracker` (windows scaled to the run
+    length so burn-rate alerting is live inside one row): each row
+    gains ``"traces"`` (flight-recorder tallies) and ``"slo"`` (the
+    tracker summary, alerts included), kept traces land in
+    ``telemetry_dir/traces.jsonl`` when a telemetry dir is given, and
+    the per-row SLO summaries are persisted as ``slo.json``.
     """
     config = foursquare_like(scale=scale, seed=seed)
     dataset, _truth = generate_dataset(config)
@@ -164,7 +186,16 @@ def run_chaos_benchmark(*, scale: float = 1.0, embedding_dim: int = 32,
         logger.info("chaos bench: %d-shard fleet under faults...",
                     num_shards)
         plan = default_chaos_plan(num_shards, slow_seconds=slow_seconds,
-                                  extended=extended_faults, seed=seed)
+                                  extended=extended_faults,
+                                  all_slow=all_slow, seed=seed)
+        slo = None
+        if tracing:
+            # Windows scaled to the run: the short window reacts
+            # inside one row, the long window spans most of it.
+            slo = SloTracker(
+                default_serving_slos(deadline_ms),
+                short_window_s=max(0.25, load_seconds / 8.0),
+                long_window_s=max(1.0, load_seconds / 2.0))
         with ShardRouter(model, index, dataset, target_city,
                          num_shards=num_shards, dtype=np_dtype,
                          supervision=SupervisionConfig(
@@ -173,16 +204,17 @@ def run_chaos_benchmark(*, scale: float = 1.0, embedding_dim: int = 32,
                          fault_plan=plan,
                          telemetry_dir=telemetry_dir,
                          registry=registry,
-                         resilience=_resilience_config(deadline_ms)
-                         ) as router:
+                         resilience=_resilience_config(deadline_ms),
+                         tracing=tracing or None, slo=slo) as router:
             result = run_chaos_loop(
                 router, users, rate=offered_rate,
                 duration_s=load_seconds, k=k, deadline_ms=deadline_ms,
                 zipf_exponent=zipf_exponent, seed=seed,
-                registry=registry)
+                registry=registry, slo=slo)
             resilience = router.resilience_stats()
             fleet = router.stats()
-        payload["shards"][str(num_shards)] = {
+            trace_stats = router.trace_stats() if tracing else None
+        row = {
             "num_shards": num_shards,
             "injected_faults": len(plan.windows),
             **result.to_dict(),
@@ -193,6 +225,22 @@ def run_chaos_benchmark(*, scale: float = 1.0, embedding_dim: int = 32,
             "responses_by_quality": resilience["responses_by_quality"],
             "faults": fleet["faults"],
         }
+        if trace_stats is not None:
+            row["traces"] = trace_stats["flight"]
+        if slo is not None:
+            slo.evaluate()          # final window check before summary
+            row["slo"] = slo.summary()
+        payload["shards"][str(num_shards)] = row
+    if tracing and telemetry_dir is not None:
+        path = Path(telemetry_dir) / SLO_FILENAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "kind": "slo",
+            "deadline_ms": deadline_ms,
+            "shards": {key: row["slo"]
+                       for key, row in payload["shards"].items()
+                       if "slo" in row},
+        }, indent=2), encoding="utf-8")
     return payload
 
 
@@ -236,6 +284,36 @@ def format_chaos_report(payload: Dict) -> str:
                              f"{stats['p99_ms']:.1f} (n={stats['count']})")
         lines.append(f"  {key} shard{'s' if key != '1' else ''}: "
                      + ("; ".join(tiers) if tiers else "no answers"))
+    if any("slo" in row for row in payload["shards"].values()):
+        lines.append("")
+        lines.append("SLO compliance (burn-rate alerts in parentheses):")
+        for key in sorted(payload["shards"], key=int):
+            row = payload["shards"][key]
+            slo = row.get("slo")
+            if not slo:
+                continue
+            parts = []
+            for name, obj in sorted(slo["objectives"].items()):
+                flag = "met" if obj["met"] else "MISSED"
+                parts.append(f"{name} {obj['compliance']:.1%} "
+                             f"{flag} ({obj['alerts']})")
+            lines.append(f"  {key} shard{'s' if key != '1' else ''}: "
+                         + "; ".join(parts))
+    if any("traces" in row for row in payload["shards"].values()):
+        lines.append("")
+        lines.append("flight recorder (kept traces by reason):")
+        for key in sorted(payload["shards"], key=int):
+            row = payload["shards"][key]
+            flight = row.get("traces")
+            if not flight:
+                continue
+            reasons = ", ".join(
+                f"{reason}={count}" for reason, count
+                in sorted(flight["kept_by_reason"].items()) if count)
+            lines.append(
+                f"  {key} shard{'s' if key != '1' else ''}: kept "
+                f"{flight['kept']}/{flight['seen']}"
+                + (f" ({reasons})" if reasons else ""))
     return "\n".join(lines)
 
 

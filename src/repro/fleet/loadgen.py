@@ -285,8 +285,8 @@ def run_chaos_loop(backend, user_ids: Sequence[int], *, rate: float,
                    deadline_ms: float = 50.0, zipf_exponent: float = 1.1,
                    phases: Optional[Sequence[LoadPhase]] = None,
                    exclude_visited: bool = True, seed: int = 0,
-                   registry: Optional[MetricsRegistry] = None
-                   ) -> ChaosResult:
+                   registry: Optional[MetricsRegistry] = None,
+                   slo=None) -> ChaosResult:
     """Drive a resilient backend open-loop, accounting per quality tier.
 
     Same arrival/identity model as :func:`run_open_loop`, but requests
@@ -300,6 +300,13 @@ def run_chaos_loop(backend, user_ids: Sequence[int], *, rate: float,
     (the earliest arrival's deadline governs); accounting here stays
     per *request*: each arrival is charged its own latency and judged
     against its own deadline, sharing the response of its user.
+
+    ``slo`` (an :class:`~repro.obs.slo.SloTracker`) splits the feeding
+    duty with the router: the router records every *answered* response
+    as it finalizes (it knows quality and deadline fate first-hand),
+    so this loop records only the arrivals that got **no** response —
+    bad for every objective — and drives the alert cadence by calling
+    ``slo.evaluate()`` once per batch.
     """
     if phases is None:
         if duration_s is None:
@@ -345,6 +352,8 @@ def run_chaos_loop(backend, user_ids: Sequence[int], *, rate: float,
         for user_id, t_arrival in zip(batch_users, arrivals[i:j]):
             response = results.get(user_id)
             if response is None:
+                if slo is not None:
+                    slo.record_request(answered=False)
                 continue
             answered += 1
             latency_ms = (done - t_arrival) * 1000.0
@@ -356,6 +365,8 @@ def run_chaos_loop(backend, user_ids: Sequence[int], *, rate: float,
                 deadline_hits += 1
             if response.shed:
                 shed += 1
+        if slo is not None:
+            slo.evaluate()
         batches += 1
         i = j
     elapsed = time.perf_counter() - t0

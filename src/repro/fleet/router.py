@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -53,7 +54,22 @@ from repro.data.vocabulary import DatasetIndex
 from repro.fleet.params import ServingParameterBlock
 from repro.fleet.partition import group_by_shard, merge_topk, split_catalogue
 from repro.fleet.shard import shard_serve_loop
+from repro.obs.flight import TRACES_FILENAME, FlightRecorder, TraceRecord
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
+from repro.obs.spans import (
+    CAT_ADMISSION,
+    CAT_BREAKER,
+    CAT_DISPATCH,
+    CAT_HEDGE,
+    CAT_MERGE,
+    CAT_QUEUE,
+    CAT_SCORE,
+    SpanEvent,
+    SpanRecorder,
+    TraceContext,
+    TracingConfig,
+)
 from repro.parallel.supervisor import (
     SupervisionConfig,
     WorkerFailure,
@@ -135,6 +151,20 @@ class ShardRouter:
         paths; when set, :meth:`recommend_resilient` becomes available
         and the router builds its breakers, admission controller,
         result cache, and fallback chain.
+    tracing:
+        Optional :class:`~repro.obs.spans.TracingConfig` (or ``True``
+        for defaults).  Enables per-request distributed tracing on the
+        resilient path: a :class:`TraceContext` is minted per request
+        at arrival, slice RPCs carry child contexts through the pipe
+        envelope, shard scoring spans ride the replies back, and a
+        tail-sampled :class:`~repro.obs.flight.FlightRecorder` keeps
+        the complete traces of slow / degraded / shed / errored
+        requests (dumped to ``telemetry_dir/traces.jsonl`` at close).
+    slo:
+        Optional :class:`~repro.obs.slo.SloTracker`; every resilient
+        response is fed to it (availability, deadline, latency
+        objectives).  The caller owns evaluation cadence and
+        persistence.
     """
 
     def __init__(self, model, index: DatasetIndex, dataset: CheckinDataset,
@@ -143,7 +173,9 @@ class ShardRouter:
                  supervision: Optional[SupervisionConfig] = None,
                  fault_plan=None, telemetry_dir=None,
                  registry: Optional[MetricsRegistry] = None,
-                 resilience: Optional[ResilienceConfig] = None) -> None:
+                 resilience: Optional[ResilienceConfig] = None,
+                 tracing=None,
+                 slo: Optional[SloTracker] = None) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self._closed = False
@@ -158,10 +190,23 @@ class ShardRouter:
         self._block = ServingParameterBlock.from_engine(reference)
         self._telemetry_dir = telemetry_dir
         self._fault_plan = fault_plan
+        self._tracing: Optional[TracingConfig] = (
+            TracingConfig() if tracing is True else tracing)
+        self._recorder: Optional[SpanRecorder] = None
+        self._flight: Optional[FlightRecorder] = None
+        if self._tracing is not None:
+            self._recorder = SpanRecorder(
+                "router", capacity=self._tracing.recorder_capacity)
+            self._flight = FlightRecorder(
+                capacity=self._tracing.flight_capacity,
+                slow_quantile=self._tracing.slow_quantile,
+                history=self._tracing.flight_history)
+        self._slo = slo
         self._ctx = mp.get_context("fork")
         self._supervisor = WorkerSupervisor(
             self._spawn_shard, num_shards,
-            supervision or SupervisionConfig())
+            supervision or SupervisionConfig(),
+            span_recorder=self._recorder)
         self._step = 0
         self._request_seq = 0
         # (shard, incarnation) -> latest cumulative metrics snapshot;
@@ -172,8 +217,6 @@ class ShardRouter:
         # losers, timed-out attempts): rid -> shard last sent to.
         self._stale: Dict[int, int] = {}
         if registry is not None:
-            self._latency = registry.histogram(
-                "fleet.router.request_latency_ms")
             self._redispatches = registry.counter(
                 "fleet.router.redispatches")
         self._resilience = resilience
@@ -280,20 +323,26 @@ class ShardRouter:
             for old in sorted(self._stale)[:len(self._stale) - _STALE_CAP]:
                 del self._stale[old]
 
-    def _absorb_reply(self, reply) -> Optional[Tuple[int, object]]:
+    def _absorb_reply(self, reply) -> Optional[Tuple[int, object, dict]]:
         """Record a raw shard reply's metrics; drop it if stale.
 
-        Returns ``(request_id, result)`` for live replies, ``None`` for
-        stale ones (hedge losers and timed-out attempts finally
-        answering — harvested for telemetry, discarded as data).
+        Returns ``(request_id, result, meta)`` for live replies,
+        ``None`` for stale ones (hedge losers and timed-out attempts
+        finally answering — harvested for telemetry, discarded as
+        data).  Shard-side spans riding the reply are pushed into the
+        router's span ring either way: a hedge loser's scoring span is
+        still part of its trace.
         """
         request_id, result, meta = reply
         self._shard_metrics[(meta["shard"], meta["incarnation"])] = \
             meta["metrics"]
+        if self._recorder is not None:
+            for span in meta.get("spans") or ():
+                self._recorder.append(SpanEvent.from_dict(span))
         if request_id in self._stale:
             del self._stale[request_id]
             return None
-        return request_id, result
+        return request_id, result, meta
 
     def _dispatch(self, requests: Dict[int, Tuple[str, object]]
                   ) -> Dict[int, object]:
@@ -338,7 +387,7 @@ class ShardRouter:
                         absorbed = self._absorb_reply(message)
                         if absorbed is None:
                             continue        # stale: keep draining
-                        request_id, result = absorbed
+                        request_id, result, _meta = absorbed
                         if request_id in outstanding:
                             outstanding.discard(request_id)
                             out[sent[request_id]] = result
@@ -349,9 +398,16 @@ class ShardRouter:
                     break                   # empty or dead: next shard
         return out
 
-    def _record_latency(self, start: float) -> None:
+    def _record_latency(self, start: float, outcome: str = "ok") -> None:
+        """Observe plain-path latency on *every* exit, labelled by
+        outcome — a failed request's latency is data, not noise (a
+        success-only histogram hides exactly the slow failures a p99
+        is supposed to expose)."""
         if self.registry is not None:
-            self._latency.observe((time.perf_counter() - start) * 1000.0)
+            self.registry.histogram(
+                "fleet.router.request_latency_ms",
+                outcome=outcome).observe(
+                    (time.perf_counter() - start) * 1000.0)
 
     def _note_redispatch(self, count: int) -> None:
         if self.registry is not None:
@@ -383,46 +439,53 @@ class ShardRouter:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         start = time.perf_counter()
-        pending: List[Tuple[int, int]] = []
-        for user_id in dict.fromkeys(user_ids):
-            idx = self.index.users.get(user_id)
-            if idx >= 0:
-                pending.append((user_id, idx))
-        out: Dict[int, List[Tuple[int, float]]] = {}
-        # Every round either completes requests or consumes a respawn /
-        # removal, so num_shards * (budget + 1) rounds is a safe bound.
-        max_rounds = self.num_shards * \
-            (self._supervisor.supervision.max_respawns + 1) + 1
-        for round_no in range(max_rounds):
-            if not pending:
-                break
-            live = self._require_live()
-            groups = group_by_shard(pending, self.num_shards, live)
-            requests = {}
-            for shard_id, entries in groups.items():
-                indices = [idx for _uid, idx in entries]
-                exclude = [self._excluded(uid) if exclude_visited else None
-                           for uid, _idx in entries]
-                requests[shard_id] = ("topk_users", (indices, k, exclude))
-            results = self._dispatch_or_unavailable(requests)
-            pending = []
-            for shard_id, entries in groups.items():
-                rows = results.get(shard_id)
-                if rows is None:
-                    pending.extend(entries)
-                    continue
-                for (user_id, _idx), row in zip(entries, rows):
-                    out[user_id] = [(int(p), float(s)) for p, s in row]
+        try:
+            pending: List[Tuple[int, int]] = []
+            for user_id in dict.fromkeys(user_ids):
+                idx = self.index.users.get(user_id)
+                if idx >= 0:
+                    pending.append((user_id, idx))
+            out: Dict[int, List[Tuple[int, float]]] = {}
+            # Every round either completes requests or consumes a
+            # respawn / removal, so num_shards * (budget + 1) rounds is
+            # a safe bound.
+            max_rounds = self.num_shards * \
+                (self._supervisor.supervision.max_respawns + 1) + 1
+            for round_no in range(max_rounds):
+                if not pending:
+                    break
+                live = self._require_live()
+                groups = group_by_shard(pending, self.num_shards, live)
+                requests = {}
+                for shard_id, entries in groups.items():
+                    indices = [idx for _uid, idx in entries]
+                    exclude = [self._excluded(uid) if exclude_visited
+                               else None for uid, _idx in entries]
+                    requests[shard_id] = ("topk_users",
+                                          (indices, k, exclude))
+                results = self._dispatch_or_unavailable(requests)
+                pending = []
+                for shard_id, entries in groups.items():
+                    rows = results.get(shard_id)
+                    if rows is None:
+                        pending.extend(entries)
+                        continue
+                    for (user_id, _idx), row in zip(entries, rows):
+                        out[user_id] = [(int(p), float(s))
+                                        for p, s in row]
+                if pending:
+                    self._note_redispatch(len(pending))
+                    logger.warning(
+                        "re-dispatching %d requests after shard loss "
+                        "(round %d)", len(pending), round_no + 1)
             if pending:
-                self._note_redispatch(len(pending))
-                logger.warning(
-                    "re-dispatching %d requests after shard loss "
-                    "(round %d)", len(pending), round_no + 1)
-        if pending:
-            raise WorkerFailure(
-                self._step,
-                reason=f"{len(pending)} requests undeliverable after "
-                       f"{max_rounds} dispatch rounds")
+                raise WorkerFailure(
+                    self._step,
+                    reason=f"{len(pending)} requests undeliverable after "
+                           f"{max_rounds} dispatch rounds")
+        except Exception:
+            self._record_latency(start, outcome="error")
+            raise
         self._record_latency(start)
         return out
 
@@ -449,45 +512,50 @@ class ShardRouter:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         start = time.perf_counter()
-        idx = self._user_index(user_id)
-        exclude = self._excluded(user_id) if exclude_visited else None
-        pending = split_catalogue(self.catalogue_size,
-                                  max(1, self.num_live))
-        partials: List[Tuple[int, int, float]] = []
-        max_rounds = self.num_shards * \
-            (self._supervisor.supervision.max_respawns + 1) + 1
-        for round_no in range(max_rounds):
-            if not pending:
-                break
-            live = self._require_live()
-            # Round-robin the outstanding slices over the live shards;
-            # one request per shard per round, possibly several slices.
-            assignment: Dict[int, List[Tuple[int, int]]] = {}
-            for i, piece in enumerate(pending):
-                assignment.setdefault(live[i % len(live)], []).append(piece)
-            requests = {
-                shard_id: ("topk_slices", (idx, k, pieces, exclude))
-                for shard_id, pieces in assignment.items()
-            }
-            results = self._dispatch_or_unavailable(requests)
-            pending = []
-            for shard_id, pieces in assignment.items():
-                rows = results.get(shard_id)
-                if rows is None:
-                    pending.extend(pieces)
-                    continue
-                for piece_partials in rows:
-                    partials.extend(piece_partials)
+        try:
+            idx = self._user_index(user_id)
+            exclude = self._excluded(user_id) if exclude_visited else None
+            pending = split_catalogue(self.catalogue_size,
+                                      max(1, self.num_live))
+            partials: List[Tuple[int, int, float]] = []
+            max_rounds = self.num_shards * \
+                (self._supervisor.supervision.max_respawns + 1) + 1
+            for round_no in range(max_rounds):
+                if not pending:
+                    break
+                live = self._require_live()
+                # Round-robin outstanding slices over the live shards;
+                # one request per shard per round, maybe many slices.
+                assignment: Dict[int, List[Tuple[int, int]]] = {}
+                for i, piece in enumerate(pending):
+                    assignment.setdefault(live[i % len(live)],
+                                          []).append(piece)
+                requests = {
+                    shard_id: ("topk_slices", (idx, k, pieces, exclude))
+                    for shard_id, pieces in assignment.items()
+                }
+                results = self._dispatch_or_unavailable(requests)
+                pending = []
+                for shard_id, pieces in assignment.items():
+                    rows = results.get(shard_id)
+                    if rows is None:
+                        pending.extend(pieces)
+                        continue
+                    for piece_partials in rows:
+                        partials.extend(piece_partials)
+                if pending:
+                    self._note_redispatch(len(pending))
+                    logger.warning(
+                        "re-dispatching %d catalogue slices after shard "
+                        "loss (round %d)", len(pending), round_no + 1)
             if pending:
-                self._note_redispatch(len(pending))
-                logger.warning(
-                    "re-dispatching %d catalogue slices after shard loss "
-                    "(round %d)", len(pending), round_no + 1)
-        if pending:
-            raise WorkerFailure(
-                self._step,
-                reason=f"{len(pending)} catalogue slices unscored after "
-                       f"{max_rounds} dispatch rounds")
+                raise WorkerFailure(
+                    self._step,
+                    reason=f"{len(pending)} catalogue slices unscored "
+                           f"after {max_rounds} dispatch rounds")
+        except Exception:
+            self._record_latency(start, outcome="error")
+            raise
         self._record_latency(start)
         return merge_topk(partials, k)
 
@@ -543,6 +611,26 @@ class ShardRouter:
             idx = self.index.users.get(user_id)
             if idx >= 0:
                 known.append((user_id, idx))
+        # Tracing: mint one root context per known request at the front
+        # door.  The queue segment covers scheduled arrival -> router
+        # entry (the deadline anchors on the same monotonic clock the
+        # recorder stamps with, so the subtraction is exact).
+        recorder = self._recorder
+        traces: Dict[int, dict] = {}
+        entry_ms = 0.0
+        if recorder is not None:
+            entry_ms = recorder.now_ms()
+            for user_id, _idx in known:
+                ctx = TraceContext.mint()
+                arrival_ms = per_user[user_id].start * 1000.0
+                traces[user_id] = {
+                    "ctx": ctx, "arrival_ms": arrival_ms,
+                    "adm_end_ms": entry_ms,
+                    "events": [recorder.emit(
+                        ctx, "queue_wait", CAT_QUEUE, ts_ms=arrival_ms,
+                        dur_ms=max(0.0, entry_ms - arrival_ms),
+                        user=user_id)],
+                }
         # 1. Admission: shed at the door what cannot be served in time.
         admitted: List[Tuple[int, int]] = []
         assert self._admission is not None
@@ -551,16 +639,40 @@ class ShardRouter:
             ok, reason = self._admission.admit(
                 deadline.remaining_ms(), deadline.elapsed_ms(),
                 len(admitted))
+            state = traces.get(user_id)
+            if state is not None:
+                adm_ms = recorder.now_ms()
+                state["events"].append(recorder.emit(
+                    state["ctx"], "admission", CAT_ADMISSION,
+                    ts_ms=entry_ms, dur_ms=max(0.0, adm_ms - entry_ms),
+                    admitted=ok, reason=reason))
+                state["adm_end_ms"] = adm_ms
             if ok:
                 admitted.append((user_id, idx))
             else:
-                out[user_id] = self._degraded_response(
+                response = self._degraded_response(
                     user_id, k, exclude_visited, per_user[user_id],
                     partial_items=None, shed=True, shed_reason=reason)
+                out[user_id] = response
+                if state is not None:
+                    # Shed answers come straight from the fallback
+                    # chain: the merge segment covers decision -> done,
+                    # ending where the response stamped its latency so
+                    # the covering identity stays exact.
+                    answered_ms = (state["arrival_ms"]
+                                   + response.latency_ms)
+                    state["events"].append(recorder.emit(
+                        state["ctx"], "shed_fallback", CAT_MERGE,
+                        ts_ms=state["adm_end_ms"],
+                        dur_ms=max(0.0, answered_ms
+                                   - state["adm_end_ms"]),
+                        quality=response.quality))
+                    self._finish_trace(state, response)
         if not admitted:
             return out
         # 2. Slice fanout + event loop; answers land in ``out``.
-        self._resilient_fanout(admitted, per_user, k, exclude_visited, out)
+        self._resilient_fanout(admitted, per_user, k, exclude_visited,
+                               out, traces)
         self._admission.note_service(
             (time.perf_counter() - batch_start) * 1000.0)
         return out
@@ -604,6 +716,10 @@ class ShardRouter:
             self._count("deadline_hits")
         else:
             self._count("deadline_misses")
+        if self._slo is not None:
+            self._slo.record_request(
+                answered=True, deadline_met=response.deadline_met,
+                latency_ms=response.latency_ms)
         if self.registry is not None:
             self.registry.counter("fleet.resilience.responses",
                                   quality=response.quality).inc()
@@ -613,6 +729,42 @@ class ShardRouter:
             self.registry.histogram("fleet.resilience.latency_ms",
                                     quality=response.quality).observe(
                                         response.latency_ms)
+
+    def _finish_trace(self, state: dict, response: ResilientResponse,
+                      batch_events: Optional[List[dict]] = None,
+                      batch_trace: str = "") -> None:
+        """Hand one finished request's trace to the flight recorder.
+
+        ``batch_events`` (dispatch attempts, hedges, breaker trips,
+        shard scoring spans — all recorded under the fan-out's *batch*
+        trace, because slice RPCs are batch-scoped) are embedded in
+        every member request's record; ``attrs.batch_trace`` lets the
+        report join further loose spans later.  The tail-sampling
+        judgement is the flight recorder's.
+        """
+        if self._flight is None:
+            return
+        # Judge on the scalars first: the boring majority is dropped
+        # without ever serialising its span events.
+        reason = self._flight.judge(
+            latency_ms=response.latency_ms, quality=response.quality,
+            shed=response.shed)
+        if reason is None:
+            return
+        ctx: TraceContext = state["ctx"]
+        events = [event.to_dict() for event in state["events"]
+                  if event is not None]
+        attrs: Dict = {}
+        if batch_events:
+            events.extend(batch_events)
+            attrs["batch_trace"] = batch_trace
+        self._flight.keep(reason, TraceRecord(
+            trace_id=ctx.trace_id, user_id=response.user_id,
+            start_ms=state["arrival_ms"],
+            latency_ms=response.latency_ms, quality=response.quality,
+            deadline_met=response.deadline_met, shed=response.shed,
+            shed_reason=response.shed_reason, events=events,
+            attrs=attrs))
 
     def _degraded_response(self, user_id: int, k: int,
                            exclude_visited: bool, deadline: Deadline,
@@ -634,7 +786,9 @@ class ShardRouter:
     def _resilient_fanout(self, admitted: List[Tuple[int, int]],
                           per_user: Dict[int, Deadline], k: int,
                           exclude_visited: bool,
-                          out: Dict[int, ResilientResponse]) -> None:
+                          out: Dict[int, ResilientResponse],
+                          traces: Optional[Dict[int, dict]] = None
+                          ) -> None:
         """Score one admitted batch by slice fanout under deadlines.
 
         The whole batch shares one set of catalogue slices; each slice
@@ -645,11 +799,32 @@ class ShardRouter:
         individually when their budget runs down to the margin — so one
         straggling slice can cost *partial* quality but never a blown
         deadline.
+
+        When tracing is on, the fan-out itself runs under one *batch*
+        trace (slice RPCs carry every admitted user, so per-user RPC
+        spans would be a fiction): dispatch attempts, hedges, breaker
+        trips, and the shard scoring spans that ride replies all land
+        in ``batch_events``, which every member request's flight record
+        embeds.  Per-user ``traces`` state (from
+        :meth:`recommend_resilient`) gets its covering score and merge
+        segments at finalize.
         """
         cfg = self._resilience
         assert cfg is not None
         self._step += 1
         step = self._step
+        recorder = self._recorder
+        batch_ctx = TraceContext.mint() if recorder is not None else None
+        batch_events: List[dict] = []
+
+        def bevent(name: str, cat: str, *, ts_ms=None, dur_ms=0.0,
+                   **attrs) -> None:
+            if recorder is None:
+                return
+            span = recorder.emit(batch_ctx, name, cat, ts_ms=ts_ms,
+                                 dur_ms=dur_ms, **attrs)
+            if span is not None:
+                batch_events.append(span.to_dict())
         indices = [idx for _uid, idx in admitted]
         excludes = [self._excluded(uid) if exclude_visited else None
                     for uid, _idx in admitted]
@@ -665,9 +840,25 @@ class ShardRouter:
         participants = participants[:num_slices]
         unanswered: List[int] = [uid for uid, _idx in admitted]
         if num_slices == 0:
+            # Every breaker is open (or no shard is live): the whole
+            # batch short-circuits to the fallback chain.  These are
+            # exactly the degraded answers the flight recorder exists
+            # for, so finish their traces here too.
             for uid in unanswered:
-                out[uid] = self._degraded_response(
+                response = self._degraded_response(
                     uid, k, exclude_visited, per_user[uid], None)
+                out[uid] = response
+                state = traces.get(uid) if traces else None
+                if state is not None:
+                    start_ms = state["adm_end_ms"]
+                    answered_ms = state["arrival_ms"] + response.latency_ms
+                    state["events"].append(recorder.emit(
+                        state["ctx"], "no_shard_fallback", CAT_MERGE,
+                        ts_ms=start_ms,
+                        dur_ms=max(0.0, answered_ms - start_ms),
+                        quality=response.quality))
+                    self._finish_trace(state, response, batch_events,
+                                       batch_ctx.trace_id)
             return
         slices = split_catalogue(self.catalogue_size, num_slices)
         slice_rows: List[Optional[list]] = [None] * num_slices
@@ -681,8 +872,12 @@ class ShardRouter:
             rid = self._next_rid()
             lo, hi = slices[slice_id]
             payload = (indices, k, lo, hi, excludes)
-            ok = self._supervisor.send_to(
-                shard_id, (rid, "topk_users_slice", payload), step)
+            message = (rid, "topk_users_slice", payload)
+            if batch_ctx is not None and self._tracing.shard_spans:
+                # Fourth envelope element: the shard times its scoring
+                # under a child of the batch context (see shard.py).
+                message = message + (batch_ctx.child().to_wire(),)
+            ok = self._supervisor.send_to(shard_id, message, step)
             if ok:
                 inflight[rid] = {"slice": slice_id, "shard": shard_id,
                                  "sent_at": time.perf_counter()}
@@ -709,11 +904,17 @@ class ShardRouter:
                 return
             shard_id = attempt["shard"]
             slice_rids[attempt["slice"]].discard(rid)
+            bevent("attempt_failed", CAT_DISPATCH,
+                   ts_ms=attempt["sent_at"] * 1000.0,
+                   dur_ms=(time.perf_counter() - attempt["sent_at"])
+                   * 1000.0, slice=attempt["slice"], shard=shard_id,
+                   stale=track_stale)
             if track_stale:
                 self._mark_stale(rid, shard_id)
             breaker = self._breakers.get(shard_id)
             if breaker is not None and breaker.record_failure():
                 self._count("breaker_opens")
+                bevent("breaker_open", CAT_BREAKER, shard=shard_id)
                 # Restart only a shard that is still serving (a crash
                 # was already respawned by the supervisor — recycling
                 # the fresh incarnation would punish the replacement).
@@ -728,6 +929,8 @@ class ShardRouter:
             pos = user_pos[uid]
             done = [i for i in range(num_slices)
                     if slice_rows[i] is not None]
+            fin_start_ms = recorder.now_ms() if recorder is not None \
+                else 0.0
             if len(done) == num_slices:
                 partials = [triple for i in done
                             for triple in slice_rows[i][pos]]
@@ -743,14 +946,38 @@ class ShardRouter:
                     latency_ms=deadline.elapsed_ms())
                 self._note_response(response)
                 out[uid] = response
-                return
-            partial_items = None
-            if done:
-                partials = [triple for i in done
-                            for triple in slice_rows[i][pos]]
-                partial_items = merge_topk(partials, k)
-            out[uid] = self._degraded_response(
-                uid, k, exclude_visited, per_user[uid], partial_items)
+            else:
+                partial_items = None
+                if done:
+                    partials = [triple for i in done
+                                for triple in slice_rows[i][pos]]
+                    partial_items = merge_topk(partials, k)
+                response = self._degraded_response(
+                    uid, k, exclude_visited, per_user[uid],
+                    partial_items)
+                out[uid] = response
+            state = traces.get(uid) if traces else None
+            if recorder is not None and state is not None:
+                # The two covering segments this side of admission:
+                # score (fan-out wait, admission end -> finalize entry)
+                # and merge (finalize entry -> answered).
+                ctx = state["ctx"]
+                adm_end = state["adm_end_ms"]
+                state["events"].append(recorder.emit(
+                    ctx, "fanout_wait", CAT_SCORE, ts_ms=adm_end,
+                    dur_ms=max(0.0, fin_start_ms - adm_end),
+                    slices_done=len(done), slices=num_slices))
+                # The segment ends at the instant the response stamped
+                # its latency — not at this emit — so the covering
+                # identity (segments sum to latency_ms) holds even if
+                # the router is preempted in between.
+                answered_ms = state["arrival_ms"] + response.latency_ms
+                state["events"].append(recorder.emit(
+                    ctx, "finalize", CAT_MERGE, ts_ms=fin_start_ms,
+                    dur_ms=max(0.0, answered_ms - fin_start_ms),
+                    quality=response.quality))
+                self._finish_trace(state, response, batch_events,
+                                   batch_ctx.trace_id)
 
         try:
             for slice_id, shard_id in enumerate(participants):
@@ -813,12 +1040,21 @@ class ShardRouter:
                             absorbed = self._absorb_reply(message)
                             if absorbed is None:
                                 continue    # stale: keep draining
-                            rid, result = absorbed
+                            rid, result, meta = absorbed
                             attempt = inflight.pop(rid, None)
                             if attempt is None:
                                 continue
                             slice_id = attempt["slice"]
                             slice_rids[slice_id].discard(rid)
+                            bevent("rpc", CAT_DISPATCH,
+                                   ts_ms=attempt["sent_at"] * 1000.0,
+                                   dur_ms=(time.perf_counter()
+                                           - attempt["sent_at"]) * 1000.0,
+                                   slice=slice_id,
+                                   shard=attempt["shard"])
+                            if recorder is not None:
+                                batch_events.extend(
+                                    meta.get("spans") or ())
                             breaker = self._breakers.get(attempt["shard"])
                             if breaker is not None:
                                 breaker.record_success()
@@ -837,6 +1073,10 @@ class ShardRouter:
                                 if age_ms >= cfg.hedge_after_ms:
                                     fail_attempt(loser)
                                 else:
+                                    bevent("hedge_absorb", CAT_HEDGE,
+                                           slice=slice_id,
+                                           shard=(lost or {}).get(
+                                               "shard", -1))
                                     abandon(loser, track_stale=True)
                             continue        # drain everything queued
                         if status == "dead":
@@ -863,6 +1103,9 @@ class ShardRouter:
                                 send_attempt(slice_id, other):
                             hedges_used[slice_id] += 1
                             self._count("hedges")
+                            bevent("hedge_fire", CAT_HEDGE,
+                                   slice=slice_id, shard=other,
+                                   age_ms=round(age_ms, 3))
         except WorkerFailure:
             all_lost = True
             for uid in list(unanswered):
@@ -916,6 +1159,35 @@ class ShardRouter:
             **{name: value for name, value in self._res_counters.items()},
         }
 
+    def trace_stats(self) -> dict:
+        """Tracing-layer counters (requires ``tracing=`` config)."""
+        if self._recorder is None or self._flight is None:
+            raise RuntimeError("router has no tracing layer")
+        return {
+            "recorder": self._recorder.stats(),
+            "flight": self._flight.summary(),
+        }
+
+    def dump_traces(self) -> int:
+        """Write kept traces (plus the router's loose spans — breaker
+        trips, supervisor lifecycle, stale-reply scoring spans) to
+        ``telemetry_dir/traces.jsonl``; returns lines written.
+
+        :meth:`close` calls this once; the span ring is *drained* so a
+        manual dump before close cannot duplicate loose spans (kept
+        traces append cumulatively — dump once per router).
+        """
+        if getattr(self, "_flight", None) is None or \
+                self._telemetry_dir is None:
+            return 0
+        extra = None
+        if self._recorder is not None:
+            extra = [event.to_dict()
+                     for event in self._recorder.drain()]
+        return self._flight.dump(
+            Path(self._telemetry_dir) / TRACES_FILENAME,
+            extra_events=extra)
+
     def close(self) -> None:
         """Stop every shard and release the parameter block.
 
@@ -929,6 +1201,10 @@ class ShardRouter:
         if self._closed:
             return
         self._closed = True
+        try:
+            self.dump_traces()
+        except OSError:
+            logger.warning("flight-recorder dump failed", exc_info=True)
         try:
             supervisor = getattr(self, "_supervisor", None)
             if supervisor is not None:

@@ -9,7 +9,8 @@ moment without losing anything but in-flight replies.
 
 Protocol (one pipe per shard, router is the only peer)::
 
-    router -> shard   (request_id, op, payload)   or None (shutdown)
+    router -> shard   (request_id, op, payload[, trace_wire])
+                      or None (shutdown)
     shard  -> router  (request_id, result, meta)
 
 ``meta`` carries ``{"shard", "incarnation", "metrics"}`` on every
@@ -17,6 +18,15 @@ reply; the metrics snapshot is cumulative for this incarnation, so the
 router's telemetry harvest stays correct even when the *next* request
 kills the shard (kill-safe accounting, same trick as the data-parallel
 worker loop).
+
+When the envelope carries a fourth element — a
+:meth:`~repro.obs.spans.TraceContext.to_wire` tuple — the shard times
+its scoring under a child span of that context and ships the span
+dict back in ``meta["spans"]``.  Spans therefore survive the shard
+being killed right after replying: the *reply* carries them to the
+router's flight recorder, and the shard-local ring
+(``shard-<id>/spans.jsonl``, dumped at graceful exit) is only a
+supplement for replies that never landed (stale hedge losers).
 
 Fault injection: a :class:`~repro.reliability.faults.FaultPlan` is
 consulted once per request with the shard's request sequence number as
@@ -26,6 +36,7 @@ trainer uses, so an injected crash cannot loop a respawned shard.
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Set, Tuple
@@ -34,6 +45,12 @@ import numpy as np
 
 from repro.fleet.params import FleetManifest, attach_serving_engine
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    CAT_SCORE,
+    SPANS_FILENAME,
+    SpanRecorder,
+    TraceContext,
+)
 from repro.obs.telemetry import Telemetry
 from repro.serving.engine import InferenceEngine
 
@@ -139,7 +156,13 @@ def shard_serve_loop(pipe, manifest: FleetManifest, shard_id: int,
     users = registry.counter("fleet.shard.users", shard=label)
     batch_ms = registry.histogram("fleet.shard.batch_ms", shard=label,
                                   window=_SHARD_HIST_WINDOW)
+    recorder = SpanRecorder(f"shard-{shard_id}")
+    attach_start = time.perf_counter()
     engine, client = attach_serving_engine(manifest)
+    recorder.emit_process(
+        "attach", CAT_SCORE, ts_ms=attach_start * 1000.0,
+        dur_ms=(time.perf_counter() - attach_start) * 1000.0,
+        shard=shard_id, incarnation=incarnation)
     seq = 0
     try:
         while True:
@@ -149,17 +172,27 @@ def shard_serve_loop(pipe, manifest: FleetManifest, shard_id: int,
                 return                      # router died; just exit
             if message is None:             # graceful shutdown
                 return
-            request_id, op, payload = message
+            request_id, op, payload, *rest = message
+            ctx = TraceContext.from_wire(rest[0]) if rest else None
             if fault_plan is not None:
                 fault_plan.execute_pre_step(shard_id, seq)
             seq += 1
             start = time.perf_counter()
             result = _execute(engine, op, payload)
-            batch_ms.observe((time.perf_counter() - start) * 1000.0)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            batch_ms.observe(elapsed_ms)
             requests.inc()
             users.inc(_payload_users(op, payload))
             meta = {"shard": shard_id, "incarnation": incarnation,
                     "metrics": registry.to_dict()}
+            if ctx is not None:
+                span = recorder.emit(
+                    ctx.child(), "shard_score", CAT_SCORE,
+                    ts_ms=start * 1000.0, dur_ms=elapsed_ms, op=op,
+                    shard=shard_id, incarnation=incarnation, seq=seq - 1,
+                    users=_payload_users(op, payload))
+                if span is not None:
+                    meta["spans"] = [span.to_dict()]
             try:
                 pipe.send((request_id, result, meta))
             except (BrokenPipeError, OSError):
@@ -168,6 +201,20 @@ def shard_serve_loop(pipe, manifest: FleetManifest, shard_id: int,
         if telemetry is not None:
             try:
                 telemetry.save()
+                _dump_spans(Path(telemetry_dir) / f"shard-{shard_id}",
+                            recorder)
             except OSError:
                 pass
         client.close()
+
+
+def _dump_spans(directory: Path, recorder: SpanRecorder) -> None:
+    """Append this incarnation's span ring to ``spans.jsonl``."""
+    events = recorder.events()
+    if not events:
+        return
+    directory.mkdir(parents=True, exist_ok=True)
+    with (directory / SPANS_FILENAME).open("a", encoding="utf-8") as out:
+        for event in events:
+            out.write(json.dumps({"kind": "span", **event.to_dict()})
+                      + "\n")

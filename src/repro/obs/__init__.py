@@ -12,6 +12,17 @@ The observability layer every other subsystem reports into:
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` façade the
   trainer, parallel workers, and serving stack accept (``None`` =
   disabled, zero overhead).
+* :mod:`repro.obs.spans` — per-request distributed tracing:
+  :class:`TraceContext` propagated through the fleet's pipe envelope,
+  categorised :class:`SpanEvent` records in a bounded
+  :class:`SpanRecorder` per process.
+* :mod:`repro.obs.flight` — the tail-sampled
+  :class:`FlightRecorder`: complete traces kept for slow / degraded /
+  shed / errored requests, dumped into the telemetry tree.
+* :mod:`repro.obs.slo` — declared :class:`SloObjective` sets tracked
+  by :class:`SloTracker` with multi-window burn-rate alerts.
+* :mod:`repro.obs.trace_report` — cross-process trace reconstruction
+  and hop-category p99 attribution (``repro trace-report``).
 * :mod:`repro.nn.profile` — the opt-in autograd op profiler the
   telemetry layer reports from (lives in ``repro.nn`` because it
   instruments the tensor op set directly).
@@ -24,8 +35,24 @@ from repro.obs.export import (
     JsonlExporter,
     load_events,
     load_run_state,
+    load_slo_summaries,
+    load_span_logs,
+    load_traces,
     render_console_summary,
     render_prometheus,
+)
+from repro.obs.flight import FlightRecorder, TraceRecord
+from repro.obs.slo import (
+    BurnRateAlert,
+    SloObjective,
+    SloTracker,
+    default_serving_slos,
+)
+from repro.obs.spans import (
+    SpanEvent,
+    SpanRecorder,
+    TraceContext,
+    TracingConfig,
 )
 from repro.obs.metrics import (
     LATENCY_BUCKETS_MS,
@@ -56,6 +83,19 @@ __all__ = [
     "JsonlExporter",
     "load_events",
     "load_run_state",
+    "load_slo_summaries",
+    "load_span_logs",
+    "load_traces",
     "render_prometheus",
     "render_console_summary",
+    "TraceContext",
+    "SpanEvent",
+    "SpanRecorder",
+    "TracingConfig",
+    "FlightRecorder",
+    "TraceRecord",
+    "SloObjective",
+    "SloTracker",
+    "BurnRateAlert",
+    "default_serving_slos",
 ]

@@ -24,6 +24,7 @@ import math
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.flight import TRACES_FILENAME
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,18 +32,29 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_metric_key,
 )
+from repro.obs.slo import SLO_FILENAME
+from repro.obs.spans import SPANS_FILENAME
 from repro.obs.tracing import Tracer
+from repro.utils.logging import get_logger
 
 __all__ = [
     "EVENTS_FILENAME",
     "JsonlExporter",
     "find_event_logs",
+    "find_named_files",
     "load_events",
+    "load_events_tolerant",
+    "load_jsonl_tolerant",
     "load_run_state",
     "load_run_state_tree",
+    "load_slo_summaries",
+    "load_span_logs",
+    "load_traces",
     "render_prometheus",
     "render_console_summary",
 ]
+
+logger = get_logger("obs.export")
 
 # Canonical event-log filename (re-exported by repro.obs.telemetry).
 EVENTS_FILENAME = "events.jsonl"
@@ -78,15 +90,47 @@ def _json_safe(value):
     raise TypeError(f"not JSON serializable: {value!r}")
 
 
-def load_events(path) -> List[dict]:
-    """All events in a JSONL log, in file order."""
+def load_jsonl_tolerant(path) -> Tuple[List[dict], int]:
+    """All JSON-object lines of a JSONL file, skipping corrupt ones.
+
+    A process killed mid-write (a chaos-bench shard, say) leaves a
+    truncated final line — and must not poison every report over the
+    directory.  Undecodable or non-object lines are skipped and
+    *counted*; the count is returned and logged as one warning per
+    file, so silent data loss is impossible but a single bad byte
+    costs one line, not the whole log.
+    """
     path = Path(path)
-    events = []
-    with path.open("r", encoding="utf-8") as handle:
+    events: List[dict] = []
+    skipped = 0
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(event, dict):
+                skipped += 1
+                continue
+            events.append(event)
+    if skipped:
+        logger.warning("skipped %d corrupt line(s) in %s", skipped, path)
+    return events, skipped
+
+
+def load_events_tolerant(path) -> Tuple[List[dict], int]:
+    """:func:`load_events` plus the skipped-line count."""
+    return load_jsonl_tolerant(path)
+
+
+def load_events(path) -> List[dict]:
+    """All events in a JSONL log, in file order (corrupt lines skipped
+    with a counted warning — see :func:`load_jsonl_tolerant`)."""
+    events, _skipped = load_jsonl_tolerant(path)
     return events
 
 
@@ -125,14 +169,21 @@ def find_event_logs(root) -> List[Path]:
     level down.  Subdirectories are visited in sorted order for stable
     output.
     """
+    return find_named_files(root, EVENTS_FILENAME)
+
+
+def find_named_files(root, filename: str) -> List[Path]:
+    """``filename`` under ``root`` and its immediate subdirectories
+    (the telemetry-tree sweep rule, shared by every per-run artifact:
+    event logs, trace dumps, span logs, SLO summaries)."""
     root = Path(root)
     logs: List[Path] = []
-    direct = root / EVENTS_FILENAME
+    direct = root / filename
     if direct.exists():
         logs.append(direct)
     if root.is_dir():
         for sub in sorted(root.iterdir()):
-            candidate = sub / EVENTS_FILENAME
+            candidate = sub / filename
             if sub.is_dir() and candidate.exists():
                 logs.append(candidate)
     return logs
@@ -159,14 +210,74 @@ def load_run_state_tree(root) -> Tuple[MetricsRegistry, Tracer, int, int]:
 
 
 # ----------------------------------------------------------------------
+# Request-trace / SLO artifacts (swept with the same one-level rule)
+# ----------------------------------------------------------------------
+def load_traces(root) -> Tuple[List[dict], List[dict], int]:
+    """Flight-recorder dumps under ``root``: kept traces + loose spans.
+
+    Sweeps ``traces.jsonl`` one level deep and splits the lines into
+    ``(traces, spans, num_logs)`` — ``"kind": "trace"`` records (each
+    a :class:`~repro.obs.flight.TraceRecord` dict with its
+    ``keep_reason``) and ``"kind": "span"`` records (process-level
+    events the router dumped alongside, e.g. supervisor lifecycle).
+    """
+    traces: List[dict] = []
+    spans: List[dict] = []
+    logs = find_named_files(root, TRACES_FILENAME)
+    for log in logs:
+        events, _skipped = load_jsonl_tolerant(log)
+        for event in events:
+            if event.get("kind") == "trace":
+                traces.append(event)
+            elif event.get("kind") == "span":
+                spans.append(event)
+    return traces, spans, len(logs)
+
+
+def load_span_logs(root) -> List[dict]:
+    """Per-process span logs (``spans.jsonl``) under ``root``, one
+    level deep — the shard-side records ``repro trace-report`` joins
+    with the router's flight dump by ``trace`` id."""
+    spans: List[dict] = []
+    for log in find_named_files(root, SPANS_FILENAME):
+        events, _skipped = load_jsonl_tolerant(log)
+        spans.extend(event for event in events
+                     if event.get("kind") in (None, "span")
+                     or "ts_ms" in event)
+    return spans
+
+
+def load_slo_summaries(root) -> List[Tuple[Path, dict]]:
+    """Persisted SLO summaries (``slo.json``) under ``root``."""
+    out: List[Tuple[Path, dict]] = []
+    for path in find_named_files(root, SLO_FILENAME):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            logger.warning("skipped unreadable SLO summary %s", path)
+            continue
+        if isinstance(payload, dict):
+            out.append((path, payload))
+    return out
+
+
+# ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
 def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, and newline (in that order — escaping the escape
+    character first keeps the output unambiguous)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in sorted(labels.items())]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

@@ -1,0 +1,358 @@
+"""Service-level objectives with multi-window burn-rate alerting.
+
+An SLO here is "at least ``target`` of events are *good* over time":
+availability (a request got any answer), deadline-hit rate (it got one
+in budget), and latency percentile objectives (expressed as a
+threshold-hit rate — "99% of requests under 250 ms" is exactly "the
+fraction of requests faster than 250 ms is >= 0.99", which reduces a
+quantile objective to the same good/bad counting as the others).
+
+Alerting uses the **multi-window burn rate** rule from the SRE
+literature: the burn rate over a window is ``bad_fraction /
+error_budget`` (budget = ``1 - target``; burning at 1x exactly spends
+the budget over the period).  An alert fires only when *both* a short
+and a long window burn above the threshold — the short window makes
+the alert fast to clear when the problem stops, the long window stops
+a single bad request after a quiet spell from paging.  Alert state is
+edge-triggered per objective: one alert per breach episode, recorded
+with burn rates at fire time.
+
+Everything is clock-injectable (seconds, monotonic) and
+zero-dependency; counts live in coarse time buckets (no per-event
+storage), so a tracker costs O(windows / bucket) memory no matter the
+request rate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "SLO_FILENAME",
+    "BurnRateAlert",
+    "SloObjective",
+    "SloTracker",
+    "default_serving_slos",
+]
+
+# Canonical SLO-summary filename in a telemetry directory.
+SLO_FILENAME = "slo.json"
+
+KIND_AVAILABILITY = "availability"
+KIND_DEADLINE = "deadline"
+KIND_LATENCY = "latency"
+_KINDS = (KIND_AVAILABILITY, KIND_DEADLINE, KIND_LATENCY)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declared objective: ``target`` fraction of events good.
+
+    ``threshold_ms`` applies to ``latency`` objectives only (good =
+    answered within the threshold); the other kinds judge goodness
+    from the response's own flags.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_ms: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), "
+                             f"got {self.target}")
+        if self.kind == KIND_LATENCY and self.threshold_ms <= 0:
+            raise ValueError("latency objectives need threshold_ms > 0")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+def default_serving_slos(deadline_ms: float) -> List[SloObjective]:
+    """The serving fleet's standard objective set for a deadline tier."""
+    return [
+        SloObjective("availability", KIND_AVAILABILITY, 0.999,
+                     description="any answer at all"),
+        SloObjective("deadline_hit", KIND_DEADLINE, 0.99,
+                     description="answered within its own budget"),
+        SloObjective("latency_p99", KIND_LATENCY, 0.99,
+                     threshold_ms=deadline_ms,
+                     description=f"p99 under {deadline_ms:.0f}ms, "
+                                 f"as a threshold-hit rate"),
+    ]
+
+
+@dataclass(frozen=True)
+class BurnRateAlert:
+    """One fired burn-rate alert (edge-triggered per breach episode)."""
+
+    objective: str
+    at_s: float
+    short_burn: float
+    long_burn: float
+    threshold: float
+    short_window_s: float
+    long_window_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": self.objective,
+            "at_s": round(self.at_s, 3),
+            "short_burn": round(self.short_burn, 3),
+            "long_burn": round(self.long_burn, 3),
+            "threshold": self.threshold,
+            "short_window_s": self.short_window_s,
+            "long_window_s": self.long_window_s,
+        }
+
+
+class _ObjectiveState:
+    """Bucketed good/bad counts + alert edge state for one objective."""
+
+    __slots__ = ("objective", "good", "bad", "buckets", "firing")
+
+    def __init__(self, objective: SloObjective) -> None:
+        self.objective = objective
+        self.good = 0
+        self.bad = 0
+        # bucket index -> [good, bad]; pruned past the long window.
+        self.buckets: Dict[int, List[int]] = {}
+        self.firing = False
+
+    def window_counts(self, now_bucket: int, window_buckets: int
+                      ) -> tuple:
+        good = bad = 0
+        for index in range(now_bucket - window_buckets + 1,
+                           now_bucket + 1):
+            entry = self.buckets.get(index)
+            if entry is not None:
+                good += entry[0]
+                bad += entry[1]
+        return good, bad
+
+
+class SloTracker:
+    """Rolling-window SLO compliance and burn-rate alerting.
+
+    Parameters
+    ----------
+    objectives:
+        The declared :class:`SloObjective` set (names must be unique).
+    short_window_s / long_window_s:
+        The two burn-rate windows; an alert needs both burning.
+    burn_threshold:
+        Fire when both windows burn at or above this multiple of the
+        error budget (6x by default: a sustained 6x burn exhausts a
+        budget in 1/6 of its period — worth waking someone).
+    min_events:
+        No alerting until the long window holds this many events
+        (burn rates over a handful of requests are noise).
+    min_bad:
+        No alerting until the long window holds this many *bad*
+        events.  Tight targets make burn ratios explosive — one bad
+        request among a hundred burns a 99.9% objective at 10x — so a
+        lone straggler after a quiet spell must not count as an
+        episode.
+    clock:
+        Injectable monotonic clock in seconds.
+    """
+
+    def __init__(self, objectives: Sequence[SloObjective], *,
+                 short_window_s: float = 60.0,
+                 long_window_s: float = 300.0,
+                 burn_threshold: float = 6.0,
+                 min_events: int = 20,
+                 min_bad: int = 3,
+                 clock=time.perf_counter) -> None:
+        objectives = list(objectives)
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique: {names}")
+        if short_window_s <= 0 or long_window_s < short_window_s:
+            raise ValueError(
+                f"need 0 < short_window_s <= long_window_s, got "
+                f"{short_window_s} / {long_window_s}")
+        if burn_threshold <= 0:
+            raise ValueError(f"burn_threshold must be positive, "
+                             f"got {burn_threshold}")
+        self.short_window_s = short_window_s
+        self.long_window_s = long_window_s
+        self.burn_threshold = burn_threshold
+        self.min_events = min_events
+        self.min_bad = min_bad
+        self._clock = clock
+        # Buckets are short-window / 12 wide: fine enough that the
+        # short window's burn reacts within a fraction of itself.
+        self._bucket_s = short_window_s / 12.0
+        self._short_buckets = max(1, round(short_window_s / self._bucket_s))
+        self._long_buckets = max(1, round(long_window_s / self._bucket_s))
+        self._states: Dict[str, _ObjectiveState] = {
+            objective.name: _ObjectiveState(objective)
+            for objective in objectives
+        }
+        self._alerts: List[BurnRateAlert] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def objectives(self) -> List[SloObjective]:
+        return [state.objective for state in self._states.values()]
+
+    def _bucket(self, now_s: float) -> int:
+        return int(now_s / self._bucket_s)
+
+    def record(self, name: str, good: bool) -> None:
+        """Record one event against one objective."""
+        state = self._states[name]
+        bucket = self._bucket(self._clock())
+        entry = state.buckets.get(bucket)
+        if entry is None:
+            entry = state.buckets[bucket] = [0, 0]
+            # Prune anything older than the long window (amortised:
+            # only on new-bucket creation, and the map holds at most
+            # long_buckets + stragglers entries).
+            horizon = bucket - self._long_buckets
+            for index in [i for i in state.buckets if i < horizon]:
+                del state.buckets[index]
+        entry[0 if good else 1] += 1
+        if good:
+            state.good += 1
+        else:
+            state.bad += 1
+
+    def record_request(self, *, answered: bool, deadline_met: bool = True,
+                       latency_ms: float = 0.0) -> None:
+        """Feed one request's outcome to every declared objective.
+
+        An unanswered request is bad for all of them; an answered one
+        is judged per kind (deadline flag, latency threshold).
+        """
+        for state in self._states.values():
+            objective = state.objective
+            if not answered:
+                good = False
+            elif objective.kind == KIND_AVAILABILITY:
+                good = True
+            elif objective.kind == KIND_DEADLINE:
+                good = deadline_met
+            else:
+                good = latency_ms <= objective.threshold_ms
+            self.record(objective.name, good)
+
+    # ------------------------------------------------------------------
+    def burn_rate(self, name: str, window_s: Optional[float] = None
+                  ) -> float:
+        """Burn rate over a window (bad fraction / error budget).
+
+        Zero when the window holds no events — silence is not a
+        breach.
+        """
+        state = self._states[name]
+        window_s = window_s if window_s is not None else self.short_window_s
+        window_buckets = max(1, round(window_s / self._bucket_s))
+        good, bad = state.window_counts(self._bucket(self._clock()),
+                                        window_buckets)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / state.objective.error_budget
+
+    def compliance(self, name: str) -> float:
+        """Lifetime good fraction (1.0 when nothing recorded yet)."""
+        state = self._states[name]
+        total = state.good + state.bad
+        return state.good / total if total else 1.0
+
+    def evaluate(self) -> List[BurnRateAlert]:
+        """Check every objective; return alerts that *newly* fired.
+
+        Call this periodically (the load loops call it per batch).
+        Edge-triggered: an objective already firing contributes
+        nothing until its short window recovers below the threshold.
+        """
+        fired: List[BurnRateAlert] = []
+        now_s = self._clock()
+        now_bucket = self._bucket(now_s)
+        for state in self._states.values():
+            objective = state.objective
+            long_good, long_bad = state.window_counts(
+                now_bucket, self._long_buckets)
+            if long_good + long_bad < self.min_events:
+                # A drained window is a recovered window: clear the
+                # edge so the next real episode can fire again.
+                state.firing = False
+                continue
+            short_good, short_bad = state.window_counts(
+                now_bucket, self._short_buckets)
+            short_total = short_good + short_bad
+            short_burn = ((short_bad / short_total)
+                          / objective.error_budget) if short_total else 0.0
+            long_burn = ((long_bad / (long_good + long_bad))
+                         / objective.error_budget)
+            breaching = (short_burn >= self.burn_threshold
+                         and long_burn >= self.burn_threshold
+                         and long_bad >= self.min_bad)
+            if breaching and not state.firing:
+                alert = BurnRateAlert(
+                    objective=objective.name, at_s=now_s,
+                    short_burn=short_burn, long_burn=long_burn,
+                    threshold=self.burn_threshold,
+                    short_window_s=self.short_window_s,
+                    long_window_s=self.long_window_s)
+                self._alerts.append(alert)
+                fired.append(alert)
+                state.firing = True
+            elif not breaching:
+                state.firing = False
+        return fired
+
+    @property
+    def alerts(self) -> List[BurnRateAlert]:
+        """Every alert fired so far (the episode log)."""
+        return list(self._alerts)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-shaped rollup (what ``slo.json`` persists)."""
+        objectives = {}
+        for state in self._states.values():
+            objective = state.objective
+            total = state.good + state.bad
+            objectives[objective.name] = {
+                "kind": objective.kind,
+                "target": objective.target,
+                "threshold_ms": objective.threshold_ms or None,
+                "events": total,
+                "good": state.good,
+                "bad": state.bad,
+                "compliance": self.compliance(objective.name),
+                "met": self.compliance(objective.name) >= objective.target,
+                "short_burn": self.burn_rate(objective.name,
+                                             self.short_window_s),
+                "long_burn": self.burn_rate(objective.name,
+                                            self.long_window_s),
+                "alerts": sum(1 for alert in self._alerts
+                              if alert.objective == objective.name),
+            }
+        return {
+            "short_window_s": self.short_window_s,
+            "long_window_s": self.long_window_s,
+            "burn_threshold": self.burn_threshold,
+            "objectives": objectives,
+            "alerts": [alert.to_dict() for alert in self._alerts],
+        }
+
+    def __repr__(self) -> str:
+        names = ", ".join(self._states)
+        return (f"SloTracker([{names}], alerts={len(self._alerts)}, "
+                f"windows={self.short_window_s:g}s/"
+                f"{self.long_window_s:g}s)")

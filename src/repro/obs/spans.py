@@ -1,0 +1,328 @@
+"""Request-scoped distributed tracing: contexts, span events, recorders.
+
+The aggregate :class:`~repro.obs.tracing.Tracer` answers "where does
+time go *on average*"; this module answers "where did *this request's*
+time go".  Three pieces:
+
+* :class:`TraceContext` — the identity that travels with a request:
+  a ``trace_id`` shared by every span of one request, the current
+  ``span_id``, its parent, and a sampled flag.  Contexts are minted at
+  the router's front door and propagated through the supervisor pipe
+  envelope to shard workers as a compact wire tuple, so spans recorded
+  in different processes join back into one trace.
+* :class:`SpanEvent` — one timestamped record (absolute monotonic
+  milliseconds + duration) tagged with a hop category (``queue``,
+  ``admission``, ``dispatch``, ``hedge``, ``breaker``, ``score``,
+  ``merge``, ``supervise``) so reports can attribute end-to-end
+  latency to pipeline stages.
+* :class:`SpanRecorder` — a bounded, thread-safe, clock-injectable
+  ring of span events, one per process.  Overflow drops the *oldest*
+  events (the newest are the ones a flight recorder wants) and counts
+  the drops.
+
+Timestamps are ``time.perf_counter()`` milliseconds.  On Linux that
+clock is ``CLOCK_MONOTONIC``, which is shared across forked processes
+— the fleet's shards are forked from the router — so router-side and
+shard-side span timestamps are directly comparable without any clock
+synchronisation step.  (The resilience layer's :class:`~repro.
+resilience.Deadline` anchors on the same clock.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CAT_ADMISSION",
+    "CAT_BREAKER",
+    "CAT_DISPATCH",
+    "CAT_HEDGE",
+    "CAT_MERGE",
+    "CAT_QUEUE",
+    "CAT_SCORE",
+    "CAT_SUPERVISE",
+    "HOP_CATEGORIES",
+    "SPANS_FILENAME",
+    "SpanEvent",
+    "SpanRecorder",
+    "TraceContext",
+    "TracingConfig",
+]
+
+# Canonical per-shard span-log filename (next to its events.jsonl).
+SPANS_FILENAME = "spans.jsonl"
+
+# Hop categories: every span event carries exactly one, so aggregate
+# latency attribution ("p99 is queue wait, not scoring") falls out of a
+# group-by instead of span-name string matching.
+CAT_QUEUE = "queue"              # scheduled arrival -> router entry
+CAT_ADMISSION = "admission"      # admission-control decision
+CAT_DISPATCH = "dispatch"        # one RPC attempt router -> shard
+CAT_HEDGE = "hedge"              # hedge fired / hedge loser absorbed
+CAT_BREAKER = "breaker"          # circuit-breaker state transition
+CAT_SCORE = "score"              # shard-side attach + catalogue scoring
+CAT_MERGE = "merge"              # partial top-K merge / fallback answer
+CAT_SUPERVISE = "supervise"      # respawn / hung / restart lifecycle
+
+HOP_CATEGORIES = (CAT_QUEUE, CAT_ADMISSION, CAT_DISPATCH, CAT_HEDGE,
+                  CAT_BREAKER, CAT_SCORE, CAT_MERGE, CAT_SUPERVISE)
+
+TRACE_FLAG_SAMPLED = 1
+
+# Process-local id source.  Ids are ``<pid hex>.<counter hex>``: unique
+# across the fleet because every process (router, each shard
+# incarnation) has its own pid, and cheap enough for the serving hot
+# path (no uuid module, no entropy syscall).
+_IDS = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{os.getpid():x}.{next(_IDS):x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The tracing identity one request (or one RPC attempt) carries."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    flags: int = TRACE_FLAG_SAMPLED
+
+    @property
+    def sampled(self) -> bool:
+        return bool(self.flags & TRACE_FLAG_SAMPLED)
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh root context (new trace, no parent)."""
+        return cls(trace_id=_new_id(), span_id=_new_id())
+
+    def child(self) -> "TraceContext":
+        """A child context: same trace, new span under this one."""
+        return TraceContext(trace_id=self.trace_id, span_id=_new_id(),
+                            parent_id=self.span_id, flags=self.flags)
+
+    def to_wire(self) -> Tuple[str, str, int]:
+        """Compact tuple for the supervisor pipe envelope."""
+        return (self.trace_id, self.span_id, self.flags)
+
+    @classmethod
+    def from_wire(cls, wire) -> Optional["TraceContext"]:
+        """Rebuild a context from the pipe envelope (``None`` passes
+        through, so untraced requests cost nothing shard-side)."""
+        if wire is None:
+            return None
+        trace_id, span_id, flags = wire
+        return cls(trace_id=trace_id, span_id=span_id, flags=flags)
+
+
+class SpanEvent:
+    """One timestamped, categorised record inside a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "cat",
+                 "ts_ms", "dur_ms", "proc", "attrs")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: str,
+                 name: str, cat: str, ts_ms: float, dur_ms: float,
+                 proc: str, attrs: Optional[Dict] = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.ts_ms = ts_ms
+        self.dur_ms = dur_ms
+        self.proc = proc
+        self.attrs = attrs or {}
+
+    def to_dict(self) -> dict:
+        record = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.cat,
+            "ts_ms": round(self.ts_ms, 3),
+            "dur_ms": round(self.dur_ms, 3),
+            "proc": self.proc,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SpanEvent":
+        return cls(trace_id=record.get("trace", ""),
+                   span_id=record.get("span", ""),
+                   parent_id=record.get("parent", ""),
+                   name=record.get("name", ""),
+                   cat=record.get("cat", ""),
+                   ts_ms=float(record.get("ts_ms", 0.0)),
+                   dur_ms=float(record.get("dur_ms", 0.0)),
+                   proc=record.get("proc", ""),
+                   attrs=record.get("attrs") or {})
+
+    def __repr__(self) -> str:
+        return (f"SpanEvent({self.name!r}, cat={self.cat!r}, "
+                f"trace={self.trace_id!r}, ts={self.ts_ms:.1f}ms, "
+                f"dur={self.dur_ms:.3f}ms, proc={self.proc!r})")
+
+
+@dataclass(frozen=True)
+class TracingConfig:
+    """Knobs for the router's request-tracing layer.
+
+    ``flight_capacity``/``slow_quantile``/``flight_history`` shape the
+    tail-sampling flight recorder (see :class:`~repro.obs.flight.
+    FlightRecorder`); ``recorder_capacity`` bounds each process's span
+    ring; ``shard_spans`` controls whether shard workers emit (and ship
+    back) their scoring spans.
+    """
+
+    flight_capacity: int = 512
+    slow_quantile: float = 0.95
+    flight_history: int = 1024
+    recorder_capacity: int = 65536
+    shard_spans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.flight_capacity < 1:
+            raise ValueError(f"flight_capacity must be >= 1, "
+                             f"got {self.flight_capacity}")
+        if not 0.0 < self.slow_quantile < 1.0:
+            raise ValueError(f"slow_quantile must be in (0, 1), "
+                             f"got {self.slow_quantile}")
+        if self.recorder_capacity < 1:
+            raise ValueError(f"recorder_capacity must be >= 1, "
+                             f"got {self.recorder_capacity}")
+
+
+class SpanRecorder:
+    """A process's bounded ring of span events (thread-safe).
+
+    Parameters
+    ----------
+    proc:
+        Process label stamped on every event (``"router"``,
+        ``"shard-0"``, ...), so cross-process reconstruction can tell
+        which side of a pipe each span was recorded on.
+    capacity:
+        Ring size; overflow drops oldest events and counts the drops.
+    clock:
+        Injectable monotonic clock in *seconds* (tests pass a fake).
+    """
+
+    def __init__(self, proc: str, capacity: int = 65536,
+                 clock=time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.proc = proc
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: deque = deque()
+        self.emitted = 0
+        self.dropped = 0
+
+    def now_ms(self) -> float:
+        return self._clock() * 1000.0
+
+    def emit(self, ctx: Optional[TraceContext], name: str, cat: str, *,
+             ts_ms: Optional[float] = None, dur_ms: float = 0.0,
+             **attrs) -> Optional[SpanEvent]:
+        """Record one span event under ``ctx``; no-op when ``ctx`` is
+        ``None`` or unsampled (returns ``None``)."""
+        if ctx is None or not ctx.sampled:
+            return None
+        event = SpanEvent(
+            trace_id=ctx.trace_id, span_id=ctx.span_id,
+            parent_id=ctx.parent_id, name=name, cat=cat,
+            ts_ms=self.now_ms() if ts_ms is None else ts_ms,
+            dur_ms=dur_ms, proc=self.proc, attrs=attrs or None)
+        self.append(event)
+        return event
+
+    def emit_process(self, name: str, cat: str, *,
+                     ts_ms: Optional[float] = None, dur_ms: float = 0.0,
+                     **attrs) -> SpanEvent:
+        """Record a process-level event outside any trace (lifecycle:
+        attach, respawn, restart).  ``trace_id`` is empty."""
+        event = SpanEvent(
+            trace_id="", span_id=_new_id(), parent_id="", name=name,
+            cat=cat, ts_ms=self.now_ms() if ts_ms is None else ts_ms,
+            dur_ms=dur_ms, proc=self.proc, attrs=attrs or None)
+        self.append(event)
+        return event
+
+    def append(self, event: SpanEvent) -> None:
+        with self._lock:
+            self.emitted += 1
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append(event)
+
+    def span(self, ctx: Optional[TraceContext], name: str, cat: str,
+             **attrs):
+        """Context manager timing its body into one span event."""
+        return _TimedSpan(self, ctx, name, cat, attrs)
+
+    def events(self) -> List[SpanEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> List[SpanEvent]:
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+            return events
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"emitted": self.emitted, "dropped": self.dropped,
+                    "buffered": len(self._events),
+                    "capacity": self.capacity}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (f"SpanRecorder(proc={self.proc!r}, "
+                f"buffered={len(self._events)}/{self.capacity}, "
+                f"emitted={self.emitted}, dropped={self.dropped})")
+
+
+class _TimedSpan:
+    """Times a block into one :class:`SpanEvent` (cheap class-based
+    context manager, same trick as the aggregate tracer's ``_Span``)."""
+
+    __slots__ = ("_recorder", "_ctx", "_name", "_cat", "_attrs", "_t0",
+                 "event")
+
+    def __init__(self, recorder: SpanRecorder,
+                 ctx: Optional[TraceContext], name: str, cat: str,
+                 attrs: dict) -> None:
+        self._recorder = recorder
+        self._ctx = ctx
+        self._name = name
+        self._cat = cat
+        self._attrs = attrs
+        self._t0 = 0.0
+        self.event: Optional[SpanEvent] = None
+
+    def __enter__(self) -> "_TimedSpan":
+        self._t0 = self._recorder.now_ms()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._recorder.now_ms()
+        self.event = self._recorder.emit(
+            self._ctx, self._name, self._cat, ts_ms=self._t0,
+            dur_ms=end - self._t0, **self._attrs)

@@ -1,0 +1,290 @@
+"""Cross-process trace reconstruction and critical-path reporting.
+
+The flight recorder dumps each kept request as one JSONL record whose
+``events`` already include the spans that rode shard replies back to
+the router — so a trace is *complete* even when the shard that scored
+it was killed a millisecond later.  Shard processes additionally dump
+their local span rings (``shard-<id>/spans.jsonl``) at graceful exit;
+this module joins those with the router's dump by ``trace`` id, which
+recovers spans from stale replies (hedge losers whose answers arrived
+after abandonment) that no flight record carries.
+
+Two analyses, both built on the span **hop categories**:
+
+* **Critical path** — per request, the covering segments the router
+  emits (``queue`` wait, ``admission``, ``score`` fan-out wait,
+  ``merge``/finalize) sum to the request's end-to-end latency by
+  construction, so a per-category breakdown over many traces is an
+  *attribution*, not a sampling estimate.
+* **p99 attribution** — the categories of the traces at the p99
+  latency rank, averaged; their sum must land within a few percent of
+  the measured end-to-end p99 (the chaos gate asserts 10%).
+
+``repro trace-report`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import (
+    CAT_ADMISSION,
+    CAT_BREAKER,
+    CAT_DISPATCH,
+    CAT_HEDGE,
+    CAT_MERGE,
+    CAT_QUEUE,
+    CAT_SCORE,
+    CAT_SUPERVISE,
+)
+
+__all__ = [
+    "CRITICAL_PATH_CATEGORIES",
+    "attach_spans",
+    "format_trace_report",
+    "hop_percentiles",
+    "p99_attribution",
+    "trace_critical_path",
+]
+
+# The categories whose per-request durations are *covering*: emitted
+# router-side as consecutive segments from arrival to answer, so they
+# sum to the request's latency.  Hop-level detail (dispatch attempts,
+# hedges, shard scoring) nests inside the score segment and is
+# reported separately.
+CRITICAL_PATH_CATEGORIES = (CAT_QUEUE, CAT_ADMISSION, CAT_SCORE,
+                            CAT_MERGE)
+
+# Hop-detail categories: individual span durations, not covering.
+HOP_DETAIL_CATEGORIES = (CAT_DISPATCH, CAT_HEDGE, CAT_BREAKER,
+                         CAT_SCORE, CAT_SUPERVISE)
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = int(q / 100.0 * (len(ordered) - 1))
+    return ordered[rank]
+
+
+def attach_spans(traces: List[dict], spans: List[dict]) -> List[dict]:
+    """Join loose span records into the traces they belong to.
+
+    A span joins a trace when its ``trace`` id matches the trace's own
+    id *or* the batch trace the request was fanned out under
+    (``attrs.batch_trace`` — slice RPCs are batch-level, shared by
+    every user in the batch).  Duplicates (a span both carried by the
+    reply and dumped shard-side) are dropped by span id.  Traces are
+    not mutated; enriched copies are returned.
+    """
+    by_trace: Dict[str, List[dict]] = {}
+    for span in spans:
+        trace_id = span.get("trace", "")
+        if trace_id:
+            by_trace.setdefault(trace_id, []).append(span)
+    enriched: List[dict] = []
+    for trace in traces:
+        events = list(trace.get("events") or [])
+        seen = {event.get("span") for event in events}
+        for key in (trace.get("trace_id", ""),
+                    (trace.get("attrs") or {}).get("batch_trace", "")):
+            for span in by_trace.get(key, ()):
+                if span.get("span") not in seen:
+                    seen.add(span.get("span"))
+                    events.append(span)
+        copy = dict(trace)
+        copy["events"] = sorted(events,
+                                key=lambda e: e.get("ts_ms", 0.0))
+        enriched.append(copy)
+    return enriched
+
+
+def trace_critical_path(trace: dict) -> Dict[str, float]:
+    """Per-category milliseconds of one request's covering segments.
+
+    Only the request's *own* spans count (batch-level events carry the
+    batch trace id and are excluded), so the values sum to the
+    request's end-to-end latency.
+    """
+    trace_id = trace.get("trace_id", "")
+    path = {cat: 0.0 for cat in CRITICAL_PATH_CATEGORIES}
+    for event in trace.get("events") or []:
+        if event.get("trace") != trace_id:
+            continue
+        cat = event.get("cat")
+        if cat in path:
+            path[cat] += float(event.get("dur_ms", 0.0))
+    return path
+
+
+def hop_percentiles(traces: List[dict]) -> Dict[str, dict]:
+    """p50/p99 of individual hop-span durations across all traces.
+
+    This is the nested detail (every dispatch attempt, hedge, breaker
+    transition, shard-side scoring span), keyed ``category`` or
+    ``category/proc-kind`` for shard-side scoring.
+    """
+    durations: Dict[str, List[float]] = {}
+    for trace in traces:
+        own = trace.get("trace_id", "")
+        for event in trace.get("events") or []:
+            cat = event.get("cat")
+            if cat not in HOP_DETAIL_CATEGORIES:
+                continue
+            if cat == CAT_SCORE and event.get("trace") == own:
+                continue        # the covering score segment, not a hop
+            key = cat
+            if cat == CAT_SCORE and str(event.get("proc",
+                                                  "")).startswith("shard"):
+                key = "score/shard"
+            durations.setdefault(key, []).append(
+                float(event.get("dur_ms", 0.0)))
+    return {
+        key: {
+            "count": len(values),
+            "p50_ms": _percentile(values, 50),
+            "p99_ms": _percentile(values, 99),
+            "max_ms": max(values),
+        }
+        for key, values in sorted(durations.items())
+    }
+
+
+def p99_attribution(traces: List[dict], *, band: float = 0.10) -> dict:
+    """Attribute the p99 end-to-end latency to hop categories.
+
+    Takes the nearest-rank p99 trace plus every trace within ``band``
+    of its latency (a single trace's categories sum to its latency
+    exactly; averaging the band keeps the attribution representative
+    while the sum stays within the band of p99).  Returns the p99,
+    the per-category means, their sum, and how many traces were used.
+    """
+    latencies = [float(t.get("latency_ms", 0.0)) for t in traces]
+    if not latencies:
+        return {"p99_ms": 0.0, "categories": {}, "sum_ms": 0.0,
+                "traces_used": 0}
+    p99 = _percentile(latencies, 99)
+    lo, hi = p99 * (1.0 - band), p99 * (1.0 + band)
+    tail = [t for t, latency in zip(traces, latencies)
+            if lo <= latency <= hi]
+    if not tail:
+        nearest = min(traces, key=lambda t: abs(
+            float(t.get("latency_ms", 0.0)) - p99))
+        tail = [nearest]
+    sums = {cat: 0.0 for cat in CRITICAL_PATH_CATEGORIES}
+    for trace in tail:
+        for cat, ms in trace_critical_path(trace).items():
+            sums[cat] += ms
+    categories = {cat: total / len(tail) for cat, total in sums.items()}
+    return {
+        "p99_ms": p99,
+        "categories": categories,
+        "sum_ms": sum(categories.values()),
+        "traces_used": len(tail),
+    }
+
+
+def _format_timeline(trace: dict, indent: str = "  ") -> List[str]:
+    """One trace's events, timestamps relative to its arrival."""
+    start = float(trace.get("start_ms", 0.0))
+    lines = [
+        f"{indent}trace {trace.get('trace_id')} user "
+        f"{trace.get('user_id')} — {trace.get('latency_ms', 0.0):.1f}ms, "
+        f"quality={trace.get('quality')!r}, "
+        f"kept: {trace.get('keep_reason', '?')}"
+    ]
+    for event in trace.get("events") or []:
+        rel = float(event.get("ts_ms", 0.0)) - start
+        attrs = event.get("attrs") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(
+            f"{indent}  +{rel:8.2f}ms {event.get('dur_ms', 0.0):8.2f}ms "
+            f"[{event.get('cat', '?'):<9}] {event.get('proc', '?'):<9} "
+            f"{event.get('name', '?')}"
+            + (f"  ({detail})" if detail else ""))
+    return lines
+
+
+def format_trace_report(traces: List[dict], spans: List[dict], *,
+                        num_logs: int = 0,
+                        timelines: int = 1) -> str:
+    """The ``repro trace-report`` output for one telemetry tree."""
+    traces = attach_spans(traces, spans)
+    lines = [
+        "Request-trace report (tail-sampled flight recorder)",
+        "=" * 62,
+    ]
+    if not traces:
+        lines.append("no traces captured")
+        return "\n".join(lines)
+    by_reason: Dict[str, int] = {}
+    by_quality: Dict[str, int] = {}
+    for trace in traces:
+        reason = trace.get("keep_reason", "?")
+        by_reason[reason] = by_reason.get(reason, 0) + 1
+        quality = trace.get("quality", "?")
+        by_quality[quality] = by_quality.get(quality, 0) + 1
+    lines.append(
+        f"{len(traces)} trace(s) from {num_logs} dump(s), "
+        f"{len(spans)} loose span(s); kept because: "
+        + ", ".join(f"{reason}={count}"
+                    for reason, count in sorted(by_reason.items())))
+    lines.append("quality: " + ", ".join(
+        f"{quality}={count}"
+        for quality, count in sorted(by_quality.items())))
+    lines.append("")
+
+    # Critical-path breakdown over every kept trace.
+    per_cat: Dict[str, List[float]] = {
+        cat: [] for cat in CRITICAL_PATH_CATEGORIES}
+    for trace in traces:
+        for cat, ms in trace_critical_path(trace).items():
+            per_cat[cat].append(ms)
+    lines.append("critical path (per kept trace, covering segments):")
+    lines.append(f"  {'category':<11} {'mean':>9} {'p50':>9} "
+                 f"{'p99':>9} {'max':>9}")
+    for cat in CRITICAL_PATH_CATEGORIES:
+        values = per_cat[cat]
+        mean = sum(values) / len(values) if values else 0.0
+        lines.append(
+            f"  {cat:<11} {mean:>7.2f}ms {_percentile(values, 50):>7.2f}ms "
+            f"{_percentile(values, 99):>7.2f}ms "
+            f"{(max(values) if values else 0.0):>7.2f}ms")
+    lines.append("")
+
+    # p99 attribution: categories must sum to ~the measured p99.
+    attribution = p99_attribution(traces)
+    lines.append(
+        f"p99 attribution ({attribution['traces_used']} trace(s) at the "
+        f"p99 rank; end-to-end p99 {attribution['p99_ms']:.1f}ms):")
+    for cat in CRITICAL_PATH_CATEGORIES:
+        ms = attribution["categories"].get(cat, 0.0)
+        share = (ms / attribution["sum_ms"]
+                 if attribution["sum_ms"] else 0.0)
+        lines.append(f"  {cat:<11} {ms:>7.2f}ms  {share:>6.1%}")
+    lines.append(f"  {'sum':<11} {attribution['sum_ms']:>7.2f}ms  "
+                 f"(vs p99 {attribution['p99_ms']:.2f}ms)")
+    lines.append("")
+
+    # Hop-level detail nested inside the score segment.
+    hops = hop_percentiles(traces)
+    if hops:
+        lines.append("hop detail (individual spans, not covering):")
+        lines.append(f"  {'hop':<12} {'count':>6} {'p50':>9} {'p99':>9} "
+                     f"{'max':>9}")
+        for key, stats in hops.items():
+            lines.append(
+                f"  {key:<12} {stats['count']:>6} "
+                f"{stats['p50_ms']:>7.2f}ms {stats['p99_ms']:>7.2f}ms "
+                f"{stats['max_ms']:>7.2f}ms")
+        lines.append("")
+
+    if timelines > 0:
+        slowest = sorted(traces,
+                         key=lambda t: -float(t.get("latency_ms", 0.0)))
+        lines.append("slowest trace(s), timestamps relative to arrival:")
+        for trace in slowest[:timelines]:
+            lines.extend(_format_timeline(trace))
+    return "\n".join(lines)

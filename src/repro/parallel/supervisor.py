@@ -144,15 +144,23 @@ class WorkerSupervisor:
         Number of worker slots.
     supervision:
         Policy knobs (timeouts, respawn budget, backoff).
+    span_recorder:
+        Optional :class:`~repro.obs.spans.SpanRecorder`; when set, the
+        supervisor emits a process-level span event (category
+        ``supervise``) for every lifecycle transition — hung, restart,
+        respawn, removal — so request traces can be correlated with
+        the worker churn that shaped them.
     """
 
     def __init__(self, spawn: SpawnFn, num_workers: int,
-                 supervision: Optional[SupervisionConfig] = None) -> None:
+                 supervision: Optional[SupervisionConfig] = None,
+                 span_recorder=None) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self._spawn = spawn
         self.num_workers = num_workers
         self.supervision = supervision or SupervisionConfig()
+        self.span_recorder = span_recorder
         self.stats = FaultStats()
         self._handles: Dict[int, _Handle] = {}
         self._respawns_used: Dict[int, int] = {w: 0 for w in
@@ -335,6 +343,8 @@ class WorkerSupervisor:
             self.stats.hangs += 1
             self.stats.record(
                 f"worker {worker_id} declared hung (step {step}); killing")
+            self._span("worker_hung", worker=worker_id, step=step,
+                       incarnation=handle.incarnation)
             handle.process.kill()
         else:
             self.stats.crashes += 1
@@ -358,6 +368,8 @@ class WorkerSupervisor:
         self.stats.restarts += 1
         self.stats.record(
             f"worker {worker_id} restarted: {reason} (step {step})")
+        self._span("worker_restart", worker=worker_id, step=step,
+                   incarnation=handle.incarnation, reason=reason)
         handle.process.kill()
         self._dispose(handle)
         self._respawn_or_remove(worker_id, step)
@@ -379,6 +391,11 @@ class WorkerSupervisor:
                 states[worker_id] = "lost"
         return states
 
+    def _span(self, name: str, **attrs) -> None:
+        """Emit a supervise-category lifecycle event, if tracing."""
+        if self.span_recorder is not None:
+            self.span_recorder.emit_process(name, "supervise", **attrs)
+
     # ------------------------------------------------------------------
     def _dispose(self, handle: _Handle) -> None:
         self._handles.pop(handle.worker_id, None)
@@ -399,6 +416,8 @@ class WorkerSupervisor:
             self.stats.record(
                 f"worker {worker_id} removed after {used} respawns "
                 f"(step {step}); degrading to {self.num_live} replicas")
+            self._span("worker_removed", worker=worker_id, step=step,
+                       respawns_used=used)
             if not self._handles:
                 raise WorkerFailure(
                     step, worker_id, "all replicas lost (budget exhausted)")
@@ -414,6 +433,8 @@ class WorkerSupervisor:
         self.stats.record(
             f"worker {worker_id} respawned (incarnation {incarnation}, "
             f"step {step})")
+        self._span("worker_respawn", worker=worker_id, step=step,
+                   incarnation=incarnation)
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:

@@ -238,6 +238,16 @@ class TestChaosBenchParser:
         assert args.rate is None
         assert args.out == "BENCH_serving.json"
         assert args.baseline is None
+        assert args.trace is True
+        assert args.all_slow is False
+
+    def test_trace_and_all_slow_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["chaos-bench", "--no-trace", "--all-slow"])
+        assert args.trace is False
+        assert args.all_slow is True
 
     def test_tiny_and_overrides(self):
         from repro.cli import build_parser
@@ -256,3 +266,125 @@ class TestChaosBenchParser:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos-bench", "--dtype", "float16"])
+
+
+class TestTraceToolingParsers:
+    def test_trace_report_requires_telemetry_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace-report"])
+
+    def test_trace_report_defaults(self):
+        args = build_parser().parse_args(
+            ["trace-report", "--telemetry-dir", "t"])
+        assert args.timelines == 1
+        assert args.func.__name__ == "cmd_trace_report"
+
+    def test_metrics_report_format_defaults_to_console(self):
+        args = build_parser().parse_args(
+            ["metrics-report", "--telemetry-dir", "t"])
+        assert args.format == "console"
+
+    def test_metrics_report_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["metrics-report", "--telemetry-dir", "t",
+                 "--format", "bogus"])
+
+
+class TestTraceToolingCommands:
+    """``trace-report`` / ``metrics-report`` on a hand-written tree.
+
+    Spinning a real fleet is integration-test territory
+    (test_fleet_tracing.py); here a tiny synthetic telemetry tree
+    exercises the CLI plumbing: loaders, format switches, exit codes.
+    """
+
+    def _span(self, name, cat, ts_ms, dur_ms, trace="t1", proc="router"):
+        return {"trace": trace, "span": f"s-{name}", "parent": "",
+                "name": name, "cat": cat, "ts_ms": ts_ms,
+                "dur_ms": dur_ms, "proc": proc}
+
+    def _tree(self, root):
+        from repro.obs.slo import SloTracker, default_serving_slos
+        from repro.obs.spans import (
+            CAT_ADMISSION,
+            CAT_MERGE,
+            CAT_QUEUE,
+            CAT_SCORE,
+        )
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(root, run_name="cli-test")
+        telemetry.counter("fleet.shard.requests").inc(3)
+        telemetry.save()
+        # One degraded trace whose covering segments sum to 10ms.
+        trace = {
+            "kind": "trace", "trace_id": "t1", "user_id": 7,
+            "start_ms": 100.0, "latency_ms": 10.0, "quality": "partial",
+            "deadline_met": True, "shed": False, "shed_reason": "",
+            "outcome": "ok", "keep_reason": "degraded", "attrs": {},
+            "events": [
+                self._span("queue_wait", CAT_QUEUE, 100.0, 2.0),
+                self._span("admission", CAT_ADMISSION, 102.0, 1.0),
+                self._span("fanout_wait", CAT_SCORE, 103.0, 5.0),
+                self._span("finalize", CAT_MERGE, 108.0, 2.0),
+            ],
+        }
+        loose = dict(self._span("score_slice", CAT_SCORE, 104.0, 3.0,
+                                proc="shard-0"))
+        loose["kind"] = "span"
+        with (root / "traces.jsonl").open("w") as handle:
+            handle.write(json.dumps(trace) + "\n")
+            handle.write(json.dumps(loose) + "\n")
+        slo = SloTracker(default_serving_slos(250.0))
+        for _ in range(4):
+            slo.record_request(answered=True, deadline_met=True,
+                               latency_ms=5.0)
+        (root / "slo.json").write_text(json.dumps(
+            {"kind": "slo", "deadline_ms": 250.0,
+             "shards": {"2": slo.summary()}}))
+        return root
+
+    def test_trace_report_renders_attribution(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        code = main(["trace-report", "--telemetry-dir", str(root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 attribution" in out
+        assert "kept because: degraded=1" in out
+        assert "slowest trace(s)" in out
+
+    def test_trace_report_empty_tree_exits_nonzero(self, tmp_path):
+        code = main(["trace-report", "--telemetry-dir", str(tmp_path)])
+        assert code == 1
+
+    def test_metrics_report_console_includes_flight_and_slo(
+            self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        code = main(["metrics-report", "--telemetry-dir", str(root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flight recorder: 1 kept trace(s)" in out
+        assert "SLO summary" in out
+        assert "deadline_hit" in out
+
+    def test_metrics_report_json_is_parseable(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        code = main(["metrics-report", "--telemetry-dir", str(root),
+                     "--format", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traces"]["kept"] == 1
+        assert doc["slo"][0]["shards"]["2"]["objectives"]
+        assert "fleet.shard.requests" in doc["metrics"]
+
+    def test_metrics_report_prometheus_format(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        code = main(["metrics-report", "--telemetry-dir", str(root),
+                     "--format", "prometheus"])
+        assert code == 0
+        assert "fleet_shard_requests 3.0" in capsys.readouterr().out
+
+    def test_metrics_report_empty_tree_exits_nonzero(self, tmp_path):
+        code = main(["metrics-report", "--telemetry-dir", str(tmp_path)])
+        assert code == 1

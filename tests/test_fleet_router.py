@@ -215,7 +215,29 @@ class TestShardTelemetry:
                           if key.startswith("fleet.shard.users"))
         assert shard_users == len(users)
         assert registry.histogram(
-            "fleet.router.request_latency_ms").count == 1
+            "fleet.router.request_latency_ms", outcome="ok").count == 1
+
+    def test_latency_observed_with_error_outcome_on_failure(self, world):
+        from repro.fleet.router import FleetUnavailableError
+        from repro.obs.metrics import MetricsRegistry
+
+        model, index, dataset = world
+        users = sorted(dataset.users)
+        registry = MetricsRegistry()
+        plan = FaultPlan([Fault.crash(worker=0, step=0)])
+        with ShardRouter(model, index, dataset, TARGET, num_shards=1,
+                         fault_plan=plan, registry=registry,
+                         supervision=SupervisionConfig(
+                             step_timeout=60.0, max_respawns=0,
+                             respawn_backoff=0.01)) as router:
+            with pytest.raises(FleetUnavailableError):
+                router.recommend_many(users, k=K)
+        # The failed request is *not* invisible to the latency
+        # histogram: it lands under its own outcome label.
+        assert registry.histogram(
+            "fleet.router.request_latency_ms", outcome="error").count == 1
+        assert registry.histogram(
+            "fleet.router.request_latency_ms", outcome="ok").count == 0
 
 
 class TestFleetUnavailable:

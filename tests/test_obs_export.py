@@ -7,9 +7,14 @@ import pytest
 from repro.obs.export import (
     JsonlExporter,
     find_event_logs,
+    find_named_files,
     load_events,
+    load_jsonl_tolerant,
     load_run_state,
     load_run_state_tree,
+    load_slo_summaries,
+    load_span_logs,
+    load_traces,
     render_console_summary,
     render_prometheus,
 )
@@ -70,6 +75,82 @@ class TestJsonl:
         assert hist.bucket_counts == [1, 1, 1]
 
 
+class TestTolerantJsonl:
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path, caplog):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "a"}\n'
+                        '{"kind": "b", "truncat\n'     # killed mid-write
+                        'not json at all\n'
+                        '[1, 2, 3]\n'                  # non-object
+                        '\n'                           # blank: not corrupt
+                        '{"kind": "c"}\n')
+        with caplog.at_level("WARNING"):
+            events, skipped = load_jsonl_tolerant(path)
+        assert [e["kind"] for e in events] == ["a", "c"]
+        assert skipped == 3
+        warnings = [r for r in caplog.records
+                    if "corrupt" in r.getMessage()]
+        assert len(warnings) == 1                      # one per file
+        assert "3" in warnings[0].getMessage()
+
+    def test_load_events_survives_truncated_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.emit("note", {"msg": "hi"})
+        with path.open("a") as handle:
+            handle.write('{"kind": "snapshot", "metr')   # torn write
+        assert [e["kind"] for e in load_events(path)] == ["note"]
+
+    def test_clean_file_reports_zero_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "a"}\n')
+        _events, skipped = load_jsonl_tolerant(path)
+        assert skipped == 0
+
+
+class TestTraceTreeLoaders:
+    def test_load_traces_splits_kinds_and_sweeps_subdirs(self, tmp_path):
+        (tmp_path / "traces.jsonl").write_text(
+            '{"kind": "trace", "trace_id": "t1", "keep_reason": '
+            '"degraded"}\n'
+            '{"kind": "span", "trace": "t1", "name": "x"}\n'
+            'garbage\n')
+        sub = tmp_path / "router-2"
+        sub.mkdir()
+        (sub / "traces.jsonl").write_text(
+            '{"kind": "trace", "trace_id": "t2", "keep_reason": '
+            '"shed"}\n')
+        traces, spans, num_logs = load_traces(tmp_path)
+        assert [t["trace_id"] for t in traces] == ["t1", "t2"]
+        assert [s["trace"] for s in spans] == ["t1"]
+        assert num_logs == 2
+
+    def test_load_span_logs_sweeps_shard_dirs(self, tmp_path):
+        shard = tmp_path / "shard-0"
+        shard.mkdir()
+        (shard / "spans.jsonl").write_text(
+            '{"kind": "span", "trace": "t1", "proc": "shard-0"}\n')
+        spans = load_span_logs(tmp_path)
+        assert [s["proc"] for s in spans] == ["shard-0"]
+
+    def test_load_slo_summaries_skips_unreadable(self, tmp_path):
+        (tmp_path / "slo.json").write_text('{"kind": "slo"}')
+        bad = tmp_path / "row-2"
+        bad.mkdir()
+        (bad / "slo.json").write_text('{"trunc')
+        loaded = load_slo_summaries(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0][1] == {"kind": "slo"}
+
+    def test_find_named_files_one_level_only(self, tmp_path):
+        (tmp_path / "slo.json").write_text("{}")
+        deep = tmp_path / "a" / "b"
+        deep.mkdir(parents=True)
+        (deep / "slo.json").write_text("{}")
+        assert find_named_files(tmp_path, "slo.json") == \
+            [tmp_path / "slo.json"]
+
+
 class TestPrometheus:
     def test_exposition_format(self):
         text = render_prometheus(_registry(latency=(0.5, 5.0, 50.0)))
@@ -90,6 +171,15 @@ class TestPrometheus:
 
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_label_values_escaped_per_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("errors",
+                         reason='path "C:\\tmp"\nnot found').inc()
+        text = render_prometheus(registry)
+        assert (r'errors{reason="path \"C:\\tmp\"\nnot found"} 1.0'
+                in text)
+        assert "\n\n" not in text        # no raw newline inside a label
 
 
 class TestConsoleSummary:

@@ -1,0 +1,158 @@
+"""Tail-sampled flight recorder: keep decisions, ring bounds, dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import FlightRecorder, TraceRecord
+
+
+def _trace(latency_ms=1.0, quality="full", **kwargs):
+    kwargs.setdefault("trace_id", "t")
+    kwargs.setdefault("user_id", 0)
+    kwargs.setdefault("start_ms", 0.0)
+    return TraceRecord(latency_ms=latency_ms, quality=quality, **kwargs)
+
+
+class TestKeepDecisions:
+    def test_errored_trace_always_kept(self):
+        recorder = FlightRecorder()
+        assert recorder.record(_trace(outcome="error")) == "error"
+
+    def test_shed_trace_always_kept(self):
+        recorder = FlightRecorder()
+        reason = recorder.record(_trace(shed=True, shed_reason="queue"))
+        assert reason == "shed"
+
+    def test_degraded_quality_always_kept(self):
+        recorder = FlightRecorder()
+        assert recorder.record(_trace(quality="partial")) == "degraded"
+        assert recorder.record(_trace(quality="cached")) == "degraded"
+
+    def test_boring_trace_dropped(self):
+        recorder = FlightRecorder()
+        assert recorder.record(_trace()) is None
+        assert recorder.dropped == 1
+
+    def test_no_slow_keeping_before_history_warm(self):
+        recorder = FlightRecorder(min_history=64)
+        # Even an outlier is not "slow" until the rolling threshold has
+        # something to roll over.
+        assert recorder.record(_trace(latency_ms=10_000.0)) is None
+        assert recorder.slow_threshold_ms() is None
+
+    def test_slow_tail_kept_after_warmup(self):
+        recorder = FlightRecorder(min_history=8, slow_quantile=0.9)
+        for _ in range(64):
+            recorder.record(_trace(latency_ms=1.0))
+        assert recorder.record(_trace(latency_ms=50.0)) == "slow"
+
+    def test_uniformly_slow_stream_does_not_keep_everything(self):
+        # The threshold tracks the traffic: if *every* request takes
+        # 200ms, 200ms is normal, not tail.
+        recorder = FlightRecorder(min_history=8)
+        kept = sum(
+            1 for _ in range(256)
+            if recorder.record(_trace(latency_ms=200.0)) is not None)
+        assert kept < 256 * 0.5
+
+
+class TestJudgeKeepSplit:
+    def test_judge_then_keep_matches_record(self):
+        split, whole = FlightRecorder(), FlightRecorder()
+        for quality in ("full", "partial", "full", "cached"):
+            trace = _trace(quality=quality)
+            reason = split.judge(latency_ms=trace.latency_ms,
+                                 quality=trace.quality)
+            if reason is not None:
+                split.keep(reason, trace)
+            whole.record(trace)
+        assert split.summary() == whole.summary()
+
+    def test_judge_counts_drops_without_a_record(self):
+        recorder = FlightRecorder()
+        # The hot path never builds a TraceRecord for a boring trace.
+        assert recorder.judge(latency_ms=1.0, quality="full") is None
+        assert (recorder.seen, recorder.dropped, recorder.kept) == (1, 1, 0)
+
+    def test_judge_flags_error_and_shed(self):
+        recorder = FlightRecorder()
+        assert recorder.judge(latency_ms=1.0, quality="full",
+                              outcome="error") == "error"
+        assert recorder.judge(latency_ms=1.0, quality="full",
+                              shed=True) == "shed"
+
+
+class TestRingAndSummary:
+    def test_ring_evicts_oldest_kept(self):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(4):
+            recorder.record(_trace(quality="partial", user_id=i))
+        assert [r.user_id for _, r in recorder.traces()] == [2, 3]
+        assert recorder.kept == 4          # tallies keep counting
+
+    def test_summary_shape(self):
+        recorder = FlightRecorder()
+        recorder.record(_trace(quality="partial"))
+        recorder.record(_trace())
+        summary = recorder.summary()
+        assert summary["seen"] == 2
+        assert summary["kept"] == 1
+        assert summary["dropped"] == 1
+        assert summary["kept_by_reason"]["degraded"] == 1
+        assert summary["buffered"] == 1
+
+    def test_kept_degraded_excludes_merely_slow(self):
+        recorder = FlightRecorder(min_history=4)
+        recorder.record(_trace(shed=True))
+        recorder.record(_trace(quality="partial"))
+        for _ in range(16):
+            recorder.record(_trace(latency_ms=1.0))
+        recorder.record(_trace(latency_ms=99.0))
+        assert recorder.kept_by_reason["slow"] >= 1
+        assert recorder.kept_degraded() == 2
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(slow_quantile=1.5)
+        with pytest.raises(ValueError):
+            FlightRecorder(min_history=0)
+
+
+class TestDump:
+    def test_dump_writes_trace_and_span_lines(self, tmp_path):
+        recorder = FlightRecorder()
+        record = _trace(quality="partial", user_id=3,
+                        events=[{"name": "queue_wait", "cat": "queue"}])
+        recorder.record(record)
+        path = tmp_path / "traces.jsonl"
+        written = recorder.dump(path, extra_events=[
+            {"name": "worker_respawn", "cat": "supervise"}])
+        assert written == 2
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "trace"
+        assert lines[0]["keep_reason"] == "degraded"
+        assert lines[0]["user_id"] == 3
+        assert lines[0]["events"][0]["name"] == "queue_wait"
+        assert lines[1] == {"kind": "span", "name": "worker_respawn",
+                            "cat": "supervise"}
+
+    def test_dump_appends_across_recorders(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        for _ in range(2):
+            recorder = FlightRecorder()
+            recorder.record(_trace(shed=True))
+            recorder.dump(path)
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_trace_record_roundtrip(self):
+        record = _trace(quality="partial", latency_ms=12.5, shed=False,
+                        deadline_met=False, attrs={"batch_trace": "b1"})
+        back = TraceRecord.from_dict(record.to_dict())
+        assert back.quality == "partial"
+        assert back.latency_ms == pytest.approx(12.5)
+        assert not back.deadline_met
+        assert back.attrs == {"batch_trace": "b1"}

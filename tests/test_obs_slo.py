@@ -1,0 +1,178 @@
+"""SLO tracking and multi-window burn-rate alerting (fake clock)."""
+
+import pytest
+
+from repro.obs.slo import (
+    BurnRateAlert,
+    SloObjective,
+    SloTracker,
+    default_serving_slos,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _tracker(clock, **kwargs):
+    kwargs.setdefault("short_window_s", 60.0)
+    kwargs.setdefault("long_window_s", 300.0)
+    kwargs.setdefault("min_events", 20)
+    return SloTracker(default_serving_slos(250.0), clock=clock, **kwargs)
+
+
+class TestObjectives:
+    def test_default_set_covers_three_kinds(self):
+        objectives = default_serving_slos(250.0)
+        assert [o.name for o in objectives] == [
+            "availability", "deadline_hit", "latency_p99"]
+        assert objectives[2].threshold_ms == 250.0
+
+    def test_error_budget(self):
+        objective = SloObjective("a", "availability", 0.99)
+        assert objective.error_budget == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloObjective("a", "nonsense", 0.99)
+        with pytest.raises(ValueError):
+            SloObjective("a", "availability", 1.0)
+        with pytest.raises(ValueError):
+            SloObjective("a", "latency", 0.99)      # needs threshold_ms
+        with pytest.raises(ValueError):
+            SloTracker([])
+        with pytest.raises(ValueError):
+            SloTracker(default_serving_slos(250.0) * 2)  # duplicate names
+
+
+class TestRecording:
+    def test_good_request_is_good_everywhere(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)
+        tracker.record_request(answered=True, deadline_met=True,
+                               latency_ms=10.0)
+        for name in ("availability", "deadline_hit", "latency_p99"):
+            assert tracker.compliance(name) == 1.0
+
+    def test_unanswered_is_bad_everywhere(self):
+        tracker = _tracker(FakeClock())
+        tracker.record_request(answered=False)
+        for name in ("availability", "deadline_hit", "latency_p99"):
+            assert tracker.compliance(name) == 0.0
+
+    def test_late_answer_is_available_but_misses_deadline(self):
+        tracker = _tracker(FakeClock())
+        tracker.record_request(answered=True, deadline_met=False,
+                               latency_ms=400.0)
+        assert tracker.compliance("availability") == 1.0
+        assert tracker.compliance("deadline_hit") == 0.0
+        assert tracker.compliance("latency_p99") == 0.0  # 400 > 250ms
+
+    def test_compliance_is_one_before_any_traffic(self):
+        tracker = _tracker(FakeClock())
+        assert tracker.compliance("availability") == 1.0
+
+    def test_burn_rate_zero_on_empty_window(self):
+        tracker = _tracker(FakeClock())
+        assert tracker.burn_rate("availability") == 0.0
+
+
+class TestBurnRateAlerting:
+    def test_sustained_misses_fire_one_alert(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)
+        # A 2x-deadline stall: every request misses its budget.  Spread
+        # over half the short window so both windows see the breach.
+        fired = []
+        for _ in range(40):
+            tracker.record_request(answered=True, deadline_met=False,
+                                   latency_ms=500.0)
+            clock.advance(1.0)
+            fired.extend(tracker.evaluate())
+        assert [a.objective for a in fired].count("deadline_hit") == 1
+        assert any(a.objective == "latency_p99" for a in fired)
+        alert = next(a for a in fired if a.objective == "deadline_hit")
+        assert alert.short_burn >= tracker.burn_threshold
+        assert alert.long_burn >= tracker.burn_threshold
+
+    def test_silent_on_fault_free_traffic(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)
+        for _ in range(200):
+            tracker.record_request(answered=True, deadline_met=True,
+                                   latency_ms=5.0)
+            clock.advance(0.5)
+            assert tracker.evaluate() == []
+        assert tracker.alerts == []
+
+    def test_no_alert_below_min_events(self):
+        clock = FakeClock()
+        tracker = _tracker(clock, min_events=50)
+        for _ in range(30):
+            tracker.record_request(answered=False)
+            clock.advance(0.1)
+        assert tracker.evaluate() == []
+
+    def test_edge_triggered_refires_after_recovery(self):
+        clock = FakeClock()
+        tracker = _tracker(clock, short_window_s=12.0, long_window_s=24.0,
+                           min_events=5)
+
+        def burst(good):
+            for _ in range(20):
+                tracker.record_request(answered=good)
+                clock.advance(0.5)
+                tracker.evaluate()
+
+        burst(good=False)                 # episode 1 fires
+        burst(good=True)                  # recovery clears the edge
+        clock.advance(30.0)               # windows fully drain
+        burst(good=False)                 # episode 2 fires again
+        availability = [a for a in tracker.alerts
+                        if a.objective == "availability"]
+        assert len(availability) == 2
+
+    def test_single_bad_request_after_quiet_spell_does_not_page(self):
+        clock = FakeClock()
+        tracker = _tracker(clock, min_events=5)
+        for _ in range(100):
+            tracker.record_request(answered=True, deadline_met=True,
+                                   latency_ms=1.0)
+            clock.advance(1.0)
+        tracker.record_request(answered=False)
+        assert tracker.evaluate() == []   # long window still healthy
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)
+        for _ in range(30):
+            tracker.record_request(answered=True, deadline_met=False,
+                                   latency_ms=500.0)
+            clock.advance(1.0)
+            tracker.evaluate()
+        summary = tracker.summary()
+        assert set(summary["objectives"]) == {
+            "availability", "deadline_hit", "latency_p99"}
+        deadline = summary["objectives"]["deadline_hit"]
+        assert deadline["events"] == 30
+        assert deadline["compliance"] == 0.0
+        assert not deadline["met"]
+        assert deadline["alerts"] >= 1
+        assert summary["alerts"][0]["objective"] in (
+            "deadline_hit", "latency_p99")
+
+    def test_alert_to_dict(self):
+        alert = BurnRateAlert("deadline_hit", 12.0, 8.0, 7.0, 6.0,
+                              60.0, 300.0)
+        doc = alert.to_dict()
+        assert doc["objective"] == "deadline_hit"
+        assert doc["threshold"] == 6.0

@@ -1,0 +1,160 @@
+"""Request-scoped tracing primitives: contexts, events, recorders."""
+
+import pytest
+
+from repro.obs.spans import (
+    CAT_DISPATCH,
+    CAT_QUEUE,
+    CAT_SCORE,
+    HOP_CATEGORIES,
+    SpanEvent,
+    SpanRecorder,
+    TraceContext,
+    TracingConfig,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTraceContext:
+    def test_mint_is_sampled_root(self):
+        ctx = TraceContext.mint()
+        assert ctx.sampled
+        assert ctx.parent_id == ""
+        assert ctx.trace_id and ctx.span_id
+
+    def test_mint_ids_are_unique(self):
+        seen = {TraceContext.mint().trace_id for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_child_keeps_trace_links_parent(self):
+        root = TraceContext.mint()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        assert child.sampled == root.sampled
+
+    def test_wire_roundtrip(self):
+        ctx = TraceContext.mint().child()
+        back = TraceContext.from_wire(ctx.to_wire())
+        assert back.trace_id == ctx.trace_id
+        assert back.span_id == ctx.span_id
+        assert back.flags == ctx.flags
+        # parent_id is deliberately not carried: the receiver starts a
+        # child span under span_id, it never re-emits the sender's span.
+        assert back.parent_id == ""
+
+    def test_from_wire_none_passthrough(self):
+        assert TraceContext.from_wire(None) is None
+
+    def test_unsampled_flag(self):
+        ctx = TraceContext(trace_id="t", span_id="s", flags=0)
+        assert not ctx.sampled
+        assert not ctx.child().sampled
+
+
+class TestSpanEvent:
+    def test_dict_roundtrip(self):
+        event = SpanEvent(trace_id="t1", span_id="s1", parent_id="p1",
+                          name="rpc", cat=CAT_DISPATCH, ts_ms=12.3456,
+                          dur_ms=7.8912, proc="router",
+                          attrs={"shard": 2})
+        back = SpanEvent.from_dict(event.to_dict())
+        assert back.trace_id == "t1"
+        assert back.parent_id == "p1"
+        assert back.cat == CAT_DISPATCH
+        assert back.ts_ms == pytest.approx(12.346, abs=1e-3)
+        assert back.attrs == {"shard": 2}
+
+    def test_to_dict_omits_empty_attrs(self):
+        event = SpanEvent("t", "s", "", "x", CAT_QUEUE, 0.0, 0.0, "p")
+        assert "attrs" not in event.to_dict()
+
+    def test_categories_are_distinct(self):
+        assert len(set(HOP_CATEGORIES)) == len(HOP_CATEGORIES)
+
+
+class TestSpanRecorder:
+    def test_emit_records_with_clock_timestamp(self):
+        clock = FakeClock(start=2.0)
+        recorder = SpanRecorder("router", clock=clock)
+        ctx = TraceContext.mint()
+        event = recorder.emit(ctx, "queue_wait", CAT_QUEUE, user=7)
+        assert event.ts_ms == pytest.approx(2000.0)
+        assert event.proc == "router"
+        assert event.attrs == {"user": 7}
+        assert recorder.events() == [event]
+
+    def test_emit_none_or_unsampled_is_noop(self):
+        recorder = SpanRecorder("router")
+        assert recorder.emit(None, "x", CAT_QUEUE) is None
+        unsampled = TraceContext("t", "s", flags=0)
+        assert recorder.emit(unsampled, "x", CAT_QUEUE) is None
+        assert recorder.stats()["emitted"] == 0
+
+    def test_ring_drops_oldest_and_counts(self):
+        recorder = SpanRecorder("router", capacity=3)
+        ctx = TraceContext.mint()
+        for i in range(5):
+            recorder.emit(ctx, f"e{i}", CAT_QUEUE)
+        stats = recorder.stats()
+        assert stats == {"emitted": 5, "dropped": 2, "buffered": 3,
+                         "capacity": 3}
+        assert [e.name for e in recorder.events()] == ["e2", "e3", "e4"]
+
+    def test_drain_empties_ring(self):
+        recorder = SpanRecorder("router")
+        recorder.emit(TraceContext.mint(), "x", CAT_QUEUE)
+        assert len(recorder.drain()) == 1
+        assert recorder.events() == []
+
+    def test_emit_process_has_no_trace(self):
+        recorder = SpanRecorder("shard-0")
+        event = recorder.emit_process("attach", CAT_SCORE, shard=0)
+        assert event.trace_id == ""
+        assert event.attrs == {"shard": 0}
+
+    def test_span_context_manager_times_body(self):
+        clock = FakeClock(start=1.0)
+        recorder = SpanRecorder("router", clock=clock)
+        with recorder.span(TraceContext.mint(), "work", CAT_SCORE) as s:
+            clock.advance(0.25)
+        assert s.event.dur_ms == pytest.approx(250.0)
+        assert s.event.ts_ms == pytest.approx(1000.0)
+
+    def test_span_context_manager_unsampled_records_nothing(self):
+        recorder = SpanRecorder("router")
+        with recorder.span(None, "work", CAT_SCORE) as s:
+            pass
+        assert s.event is None
+        assert recorder.events() == []
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRecorder("router", capacity=0)
+
+
+class TestTracingConfig:
+    def test_defaults_validate(self):
+        config = TracingConfig()
+        assert config.shard_spans
+
+    @pytest.mark.parametrize("kwargs", [
+        {"flight_capacity": 0},
+        {"slow_quantile": 0.0},
+        {"slow_quantile": 1.0},
+        {"recorder_capacity": 0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            TracingConfig(**kwargs)
