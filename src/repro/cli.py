@@ -593,6 +593,269 @@ def cmd_fleet_smoke(args) -> int:
     return 0
 
 
+def cmd_stream_smoke(args) -> int:
+    """Streaming pipeline smoke test: ingest → incremental update →
+    zero-downtime hot-swap under open-loop load.
+
+    Exercises the whole `repro.streaming` loop end to end and gates on
+    the subsystem's contract:
+
+    * recall on drifted (crossing) users recovers after streaming
+      updates *without* full retraining, within a tolerance band of a
+      full-retrain reference;
+    * zero dropped requests across >= 2 hot-swaps under load, with
+      every response tagged with the generation that scored it;
+    * serving p99 during the swap phase stays near the steady-state
+      p99 (reported always; gated only in the full run — on a starved
+      CI core the two phases share one CPU with the swap work itself,
+      so the ratio measures contention, not the protocol);
+    * no leaked child processes.
+    """
+    import dataclasses as dc
+    import multiprocessing as mp
+    import tempfile
+
+    from repro.core.checkpoint import read_checkpoint_manifest
+    from repro.data.dataset import CheckinDataset
+    from repro.fleet import ShardRouter
+    from repro.fleet.loadgen import run_open_loop
+    from repro.parallel import SupervisionConfig
+    from repro.serving.engine import InferenceEngine
+    from repro.streaming import (
+        CheckinStreamGenerator,
+        EventLog,
+        IncrementalUpdater,
+        ModelPublisher,
+        StreamConfig,
+        load_latest,
+    )
+
+    scale = 0.2 if args.tiny else args.scale
+    config = foursquare_like(scale=scale, seed=args.seed)
+    dataset, truth = generate_dataset(config)
+    split = make_crossing_city_split(dataset, config.target_city)
+    target = config.target_city
+    k = args.k
+
+    train_config = STTransRecConfig(
+        embedding_dim=8 if args.tiny else 16,
+        hidden_sizes=[8] if args.tiny else [16],
+        epochs=2 if args.tiny else 4,
+        pretrain_epochs=2,
+        mmd_batch_size=16,
+        batch_size=32,
+        grid_shape=(4, 4),
+        segmentation_threshold=0.2,
+        seed=args.seed,
+    )
+    _progress(f"training base model ({len(split.train.checkins)} "
+              f"check-ins)...")
+    trainer = STTransRecTrainer(split, train_config)
+    trainer.fit()
+    model, index = trainer.model, trainer.index
+
+    # ------------------------------------------------------------------
+    # Stream: city-switch bursts for the crossing cohort.  Ingest
+    # bursts feed the updater; held-out bursts (same drifted
+    # distribution, never ingested) are the recall ground truth.
+    # ------------------------------------------------------------------
+    stream_config = StreamConfig(drift=0.7, users_per_burst=8,
+                                 checkins_per_user=4, seed=args.seed + 1)
+    generator = CheckinStreamGenerator(split.train, truth, target,
+                                       stream_config)
+    cohort = generator.streamers
+    log = EventLog()
+    ingest_bursts = [generator.ingest_burst(log, users=cohort)
+                     for _ in range(2)]
+    heldout = generator.burst(users=cohort) + generator.burst(users=cohort)
+
+    visited = {u: {c.poi_id for c in split.train.checkins
+                   if c.user_id == u} for u in cohort}
+    ingested_by_user: dict = {}
+    for burst in ingest_bursts:
+        for event in burst:
+            ingested_by_user.setdefault(event.user_id,
+                                        set()).add(event.poi_id)
+    heldout_by_user: dict = {}
+    for event in heldout:
+        if event.poi_id not in ingested_by_user.get(event.user_id, ()):
+            heldout_by_user.setdefault(event.user_id,
+                                       set()).add(event.poi_id)
+
+    def recall(eval_model) -> float:
+        engine = InferenceEngine.from_model(eval_model, index, split.train,
+                                            target)
+        users = [u for u in cohort if heldout_by_user.get(u)]
+        indices = [index.users.index_of(u) for u in users]
+        exclude = [visited[u] | ingested_by_user.get(u, set())
+                   for u in users]
+        rows = engine.top_k_catalogue(indices, k, exclude_poi_ids=exclude)
+        scores = []
+        for u, row in zip(users, rows):
+            top = {poi_id for poi_id, _score in row}
+            truth_set = heldout_by_user[u]
+            scores.append(len(top & truth_set) / len(truth_set))
+        return float(np.mean(scores)) if scores else 0.0
+
+    recall_frozen = recall(model)
+
+    with tempfile.TemporaryDirectory(prefix="stream-smoke-") as pub_dir:
+        publisher = ModelPublisher(pub_dir)
+        publisher.publish(model, index)       # generation 0: the baseline
+        pool = [p.poi_id for p in dataset.pois_in_city(target)]
+        updater = IncrementalUpdater(
+            model, index, split.train, pool,
+            learning_rate=0.3, fold_in_steps=20, retrain_lr=0.1,
+            retrain_steps=150, num_negatives=8, rng=args.seed)
+
+        # Base fleet serves generation 0 (parameters were frozen into
+        # the shared block at construction; later in-place updates to
+        # `model` don't leak into it).
+        supervision = SupervisionConfig(step_timeout=60.0, max_respawns=2,
+                                        respawn_backoff=0.01)
+        all_users = sorted(split.train.users)
+        published = []
+        with ShardRouter(model, index, split.train, target, num_shards=2,
+                         supervision=supervision) as router:
+            _progress("steady-state load phase...")
+            steady = run_open_loop(router, all_users, rate=args.rate,
+                                   duration_s=args.duration, k=k,
+                                   seed=args.seed)
+
+            # Two incremental update rounds, each published as a new
+            # generation and loaded back through the checkpoint path
+            # (pointer + manifest validated by load_latest).
+            for burst in ingest_bursts:
+                updater.ingest(burst)
+                updater.retrain()
+                generation = publisher.publish(model, index)
+                loaded_model, _idx, loaded_gen = load_latest(pub_dir)
+                if loaded_gen != generation:
+                    _report(f"FAIL: published generation {generation} "
+                            f"but loaded {loaded_gen}")
+                    return 1
+                if not np.array_equal(loaded_model.user_vectors(),
+                                      model.user_vectors()):
+                    _report("FAIL: published checkpoint is not bit-exact "
+                            "against the updater's model")
+                    return 1
+                published.append((loaded_model, generation))
+            recall_streamed = recall(model)
+
+            # Swap-under-load: trigger one hot-swap per published
+            # generation at evenly spaced batch counts.
+            swaps = list(published)
+            generations_seen: list = []
+            tagged = [0]
+
+            class SwapUnderLoad:
+                def __init__(self, router):
+                    self._router = router
+                    self._batches = 0
+
+                def recommend_many(self, user_ids, k, exclude_visited):
+                    self._batches += 1
+                    if swaps and self._batches % 4 == 0:
+                        swap_model, generation = swaps.pop(0)
+                        self._router.swap(swap_model,
+                                          generation=generation)
+                    out, gens = self._router.recommend_many(
+                        user_ids, k, exclude_visited,
+                        return_generations=True)
+                    generations_seen.extend(gens.values())
+                    tagged[0] += len(gens)
+                    return out
+
+            _progress("swap-under-load phase...")
+            backend = SwapUnderLoad(router)
+            swap_phase = run_open_loop(backend, all_users, rate=args.rate,
+                                       duration_s=args.duration, k=k,
+                                       seed=args.seed + 1)
+            while swaps:      # load too short to hit every trigger batch
+                swap_model, generation = swaps.pop(0)
+                router.swap(swap_model, generation=generation)
+            stats = router.stats()
+
+        latest = read_checkpoint_manifest(
+            Path(pub_dir) / f"gen-{stats['generation']}.npz")
+
+    # ------------------------------------------------------------------
+    # Full-retrain reference: same config, trained from scratch on the
+    # base check-ins plus everything the stream ingested.
+    # ------------------------------------------------------------------
+    _progress("training full-retrain reference...")
+    augmented = CheckinDataset(
+        split.train.pois.values(),
+        split.train.checkins + [e.to_record()
+                                for b in ingest_bursts for e in b])
+    full_trainer = STTransRecTrainer(dc.replace(split, train=augmented),
+                                     train_config)
+    full_trainer.fit()
+    recall_full = recall(full_trainer.model)
+
+    # ------------------------------------------------------------------
+    # Report + gates
+    # ------------------------------------------------------------------
+    p99_ratio = (swap_phase.p99_ms / steady.p99_ms
+                 if steady.p99_ms > 0 else float("inf"))
+    _report(f"recall@{k} on drifted users: frozen={recall_frozen:.3f} "
+            f"streamed={recall_streamed:.3f} full-retrain={recall_full:.3f}")
+    _report(f"load: steady p99={steady.p99_ms:.1f}ms "
+            f"swap-phase p99={swap_phase.p99_ms:.1f}ms "
+            f"(ratio {p99_ratio:.2f}); "
+            f"served {steady.served + swap_phase.served}/"
+            f"{steady.offered + swap_phase.offered} offered")
+    _report(f"fleet: generation={stats['generation']} "
+            f"swaps={stats['swaps']} "
+            f"events={updater.stats.events_ingested} "
+            f"retrains={updater.stats.retrain_rounds}")
+
+    failed = False
+    if steady.served != steady.offered or \
+            swap_phase.served != swap_phase.offered:
+        _report("FAIL: dropped requests "
+                f"(steady {steady.offered - steady.served}, "
+                f"swap phase {swap_phase.offered - swap_phase.served})")
+        failed = True
+    if stats["swaps"] < 2:
+        _report(f"FAIL: expected >= 2 hot-swaps, saw {stats['swaps']}")
+        failed = True
+    if updater.stats.retrain_rounds < 1:
+        _report("FAIL: no incremental retrain round ran")
+        failed = True
+    if tagged[0] != len(generations_seen) or tagged[0] == 0:
+        _report("FAIL: responses missing generation tags")
+        failed = True
+    if generations_seen != sorted(generations_seen):
+        _report("FAIL: generation tags regressed during the swap phase")
+        failed = True
+    if latest.get("generation") != stats["generation"]:
+        _report(f"FAIL: fleet generation {stats['generation']} does not "
+                f"match the published manifest {latest.get('generation')}")
+        failed = True
+    if recall_streamed < recall_frozen:
+        _report(f"FAIL: streaming updates regressed recall "
+                f"({recall_frozen:.3f} -> {recall_streamed:.3f})")
+        failed = True
+    tolerance = 0.25 if args.tiny else 0.10
+    if recall_streamed < recall_full - tolerance:
+        _report(f"FAIL: streamed recall {recall_streamed:.3f} more than "
+                f"{tolerance} below full-retrain {recall_full:.3f}")
+        failed = True
+    if not args.tiny and p99_ratio > 1.10:
+        _report(f"FAIL: swap-phase p99 {p99_ratio:.2f}x steady "
+                f"(budget 1.10x)")
+        failed = True
+    leaked = mp.active_children()
+    if leaked:
+        _report(f"FAIL: {len(leaked)} child process(es) leaked")
+        failed = True
+    if failed:
+        return 1
+    _report("stream smoke OK")
+    return 0
+
+
 def cmd_chaos_bench(args) -> int:
     """Chaos benchmark: serving availability under injected faults.
 
@@ -958,6 +1221,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=3,
                    help="world + model seed (default 3)")
     p.set_defaults(func=cmd_fleet_smoke)
+
+    p = sub.add_parser("stream-smoke",
+                       help="streaming pipeline smoke test: check-in "
+                            "ingest, incremental updates, versioned "
+                            "publication, and >= 2 zero-downtime "
+                            "hot-swaps under open-loop load with "
+                            "generation-tagged responses")
+    p.add_argument("--tiny", action="store_true",
+                   help="CI smoke configuration (small world, short "
+                        "load; the p99-during-swap gate is reported "
+                        "but not enforced on a starved CI core)")
+    p.add_argument("--k", type=int, default=5,
+                   help="top-k list length for load and recall "
+                        "(default 5)")
+    p.add_argument("--rate", type=float, default=150.0,
+                   help="offered load in users/s per phase (default 150)")
+    p.add_argument("--duration", type=float, default=1.5,
+                   help="seconds per load phase (default 1.5)")
+    _add_common(p)
+    p.set_defaults(func=cmd_stream_smoke)
 
     p = sub.add_parser("chaos-bench",
                        help="serving-tier chaos benchmark: availability, "

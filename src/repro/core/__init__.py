@@ -1,6 +1,10 @@
 """``repro.core`` — the ST-TransRec model, trainer, and recommender."""
 
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    load_checkpoint,
+    read_checkpoint_manifest,
+    save_checkpoint,
+)
 from repro.core.config import (
     STTransRecConfig,
     foursquare_paper_config,
@@ -22,6 +26,7 @@ __all__ = [
     "Recommender",
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_manifest",
     "VARIANTS",
     "VARIANT_NAMES",
     "variant_config",

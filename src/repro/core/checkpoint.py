@@ -82,13 +82,18 @@ def normalize_checkpoint_path(path: PathLike) -> Path:
 
 def save_checkpoint(model: STTransRec, index: DatasetIndex,
                     path: PathLike,
-                    training_state: Optional[TrainingState] = None) -> None:
+                    training_state: Optional[TrainingState] = None,
+                    generation: Optional[int] = None) -> None:
     """Write model parameters + config + index manifest to ``path``.
 
     Files are written as format v3: the manifest records the parameter
     dtype, and with ``training_state`` the file additionally carries
     optimizer moments, counters, and RNG state (resumable); without it
     the training section is simply absent (serve-only, as v1 was).
+    ``generation`` records a monotone publication number in the
+    manifest — :mod:`repro.streaming.publisher` uses it to detect torn
+    publications, and :meth:`repro.fleet.router.ShardRouter.swap`
+    refuses to swap a fleet *backward* to a stale generation.
     """
     path = normalize_checkpoint_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -106,6 +111,10 @@ def save_checkpoint(model: STTransRec, index: DatasetIndex,
         "pois": index.pois.keys(),
         "words": index.words.keys(),
     }
+    if generation is not None:
+        if generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
+        manifest["generation"] = int(generation)
     if training_state is not None:
         opt = dict(training_state.optimizer_state)
         for i, m in enumerate(opt.pop("m", [])):
@@ -205,6 +214,29 @@ def _split_arrays(arrays):
     m = [m_arrays[i] for i in sorted(m_arrays)]
     v = [v_arrays[i] for i in sorted(v_arrays)]
     return params, m, v
+
+
+def read_checkpoint_manifest(path: PathLike) -> dict:
+    """The checkpoint's manifest dict without loading any parameters.
+
+    Cheap relative to :func:`load_checkpoint` — only the manifest entry
+    of the archive is decompressed; publication tooling uses this to
+    check a file's recorded ``generation`` before committing to a full
+    load.
+    """
+    path = normalize_checkpoint_path(path)
+    with np.load(path) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+    found = manifest.get("format")
+    if found not in _FORMATS:
+        raise ValueError(
+            f"unsupported checkpoint format in {path}: found {found!r}, "
+            f"expected one of "
+            f"({_FORMAT_V1!r}, {_FORMAT_V2!r}, {_FORMAT_V3!r})"
+        )
+    return manifest
 
 
 def load_checkpoint(path: PathLike,

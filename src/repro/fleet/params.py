@@ -40,12 +40,16 @@ __all__ = ["FleetManifest", "ServingParameterBlock", "attach_serving_engine"]
 class FleetManifest:
     """Everything a shard needs to attach: block layout + arithmetic dtype.
 
-    Picklable (it rides the spawn call into shard processes); contains
-    byte offsets and segment names only, never array data.
+    Picklable (it rides the spawn call into shard processes *and* the
+    hot-swap pipe message); contains byte offsets and segment names
+    only, never array data.  ``generation`` is the model publication
+    number the block holds — shards echo it in every reply so callers
+    can tell exactly which parameters scored each response.
     """
 
     layout: GradientLayout
     dtype: str
+    generation: int = 0
 
 
 class ServingParameterBlock:
@@ -59,29 +63,42 @@ class ServingParameterBlock:
     dtype:
         The engine's arithmetic dtype, carried to shards through the
         manifest so attached engines score at the same precision.
+    generation:
+        Publication number of the model the block holds.  A hot-swap
+        allocates a *new* block for the new generation rather than
+        overwriting this one in place, so an attached shard can never
+        observe a torn mix of generations.
     """
 
-    def __init__(self, state: Dict[str, np.ndarray], dtype) -> None:
+    def __init__(self, state: Dict[str, np.ndarray], dtype,
+                 generation: int = 0) -> None:
         specs: Tuple[Tuple[str, Tuple[int, ...], str], ...] = tuple(
             (name, tuple(arr.shape), str(arr.dtype))
             for name, arr in state.items())
         self._transport = ShmTransport(specs, num_slots=0)
         self._transport.write_params(state)
         self.manifest = FleetManifest(self._transport.layout,
-                                      str(np.dtype(dtype)))
+                                      str(np.dtype(dtype)),
+                                      int(generation))
+
+    @property
+    def generation(self) -> int:
+        return self.manifest.generation
 
     @classmethod
-    def from_engine(cls, engine: InferenceEngine) -> "ServingParameterBlock":
-        return cls(engine.serving_state(), engine.dtype)
+    def from_engine(cls, engine: InferenceEngine,
+                    generation: int = 0) -> "ServingParameterBlock":
+        return cls(engine.serving_state(), engine.dtype, generation)
 
     def publish(self, state: Dict[str, np.ndarray]) -> None:
         """Overwrite the block with fresh serving state (same shapes).
 
-        This is the model-update path: the owner republishes, and every
-        attached shard sees the new values on its next score (the views
-        alias the segment).  Writes are not atomic across arrays —
-        quiesce traffic (or accept torn scores) during a republish,
-        exactly like the trainer's broadcast/gather ordering contract.
+        Writes are not atomic across arrays — quiesce traffic (or
+        accept torn scores) during a republish, exactly like the
+        trainer's broadcast/gather ordering contract.  For a live fleet
+        prefer :meth:`repro.fleet.router.ShardRouter.swap`, which
+        allocates a fresh block per generation and drains each shard so
+        no request ever sees a torn mix.
         """
         self._transport.write_params(state)
 

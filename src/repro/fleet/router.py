@@ -65,6 +65,7 @@ from repro.obs.spans import (
     CAT_MERGE,
     CAT_QUEUE,
     CAT_SCORE,
+    CAT_SUPERVISE,
     SpanEvent,
     SpanRecorder,
     TraceContext,
@@ -184,10 +185,13 @@ class ShardRouter:
         self.target_city = target_city
         self.num_shards = num_shards
         self.registry = registry
+        self._dtype = dtype
         reference = InferenceEngine.from_model(model, index, dataset,
                                                target_city, dtype=dtype)
         self.catalogue_size = reference.catalogue_size
-        self._block = ServingParameterBlock.from_engine(reference)
+        self._block = ServingParameterBlock.from_engine(reference,
+                                                        generation=0)
+        self._swap_count = 0
         self._telemetry_dir = telemetry_dir
         self._fault_plan = fault_plan
         self._tracing: Optional[TracingConfig] = (
@@ -345,9 +349,11 @@ class ShardRouter:
         return request_id, result, meta
 
     def _dispatch(self, requests: Dict[int, Tuple[str, object]]
-                  ) -> Dict[int, object]:
+                  ) -> Dict[int, Tuple[object, dict]]:
         """One scatter/gather round: ``{shard: (op, payload)}`` in,
-        ``{shard: result}`` out for the shards that replied.
+        ``{shard: (result, meta)}`` out for the shards that replied.
+        ``meta`` is the shard's reply envelope — callers that tag
+        responses with the scoring generation read it from here.
 
         Replies are matched by request id, not arrival order, so stale
         replies from abandoned resilient attempts interleave harmlessly
@@ -365,7 +371,7 @@ class ShardRouter:
             if self._supervisor.send_to(shard_id,
                                         (request_id, op, payload), step):
                 sent[request_id] = shard_id
-        out: Dict[int, object] = {}
+        out: Dict[int, Tuple[object, dict]] = {}
         if not sent:
             return out
         deadline = time.monotonic() + self._supervisor.supervision.step_timeout
@@ -387,10 +393,10 @@ class ShardRouter:
                         absorbed = self._absorb_reply(message)
                         if absorbed is None:
                             continue        # stale: keep draining
-                        request_id, result, _meta = absorbed
+                        request_id, result, meta = absorbed
                         if request_id in outstanding:
                             outstanding.discard(request_id)
-                            out[sent[request_id]] = result
+                            out[sent[request_id]] = (result, meta)
                         break
                     if status == "dead":
                         outstanding -= {rid for rid in outstanding
@@ -424,8 +430,8 @@ class ShardRouter:
             [user_id], k, exclude_visited)[user_id]
 
     def recommend_many(self, user_ids: Sequence[int], k: int = 10,
-                       exclude_visited: bool = True
-                       ) -> Dict[int, List[Tuple[int, float]]]:
+                       exclude_visited: bool = True, *,
+                       return_generations: bool = False):
         """Top-k lists for many users, hash-partitioned across shards.
 
         Unknown users are skipped (absence in the result, matching the
@@ -435,6 +441,12 @@ class ShardRouter:
         results, so a degraded fleet returns exactly what a healthy one
         would, just slower.  A fleet with zero live shards raises
         :class:`FleetUnavailableError` naming the slot states.
+
+        With ``return_generations=True`` the return value is
+        ``(results, generations)`` where ``generations[user_id]`` is
+        the model generation of the parameter block that scored that
+        user's reply — the per-response provenance tag the hot-swap
+        acceptance gate checks.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -446,6 +458,7 @@ class ShardRouter:
                 if idx >= 0:
                     pending.append((user_id, idx))
             out: Dict[int, List[Tuple[int, float]]] = {}
+            gens: Dict[int, int] = {}
             # Every round either completes requests or consumes a
             # respawn / removal, so num_shards * (budget + 1) rounds is
             # a safe bound.
@@ -466,13 +479,16 @@ class ShardRouter:
                 results = self._dispatch_or_unavailable(requests)
                 pending = []
                 for shard_id, entries in groups.items():
-                    rows = results.get(shard_id)
-                    if rows is None:
+                    reply = results.get(shard_id)
+                    if reply is None:
                         pending.extend(entries)
                         continue
+                    rows, meta = reply
+                    generation = meta.get("generation", 0)
                     for (user_id, _idx), row in zip(entries, rows):
                         out[user_id] = [(int(p), float(s))
                                         for p, s in row]
+                        gens[user_id] = generation
                 if pending:
                     self._note_redispatch(len(pending))
                     logger.warning(
@@ -487,6 +503,8 @@ class ShardRouter:
             self._record_latency(start, outcome="error")
             raise
         self._record_latency(start)
+        if return_generations:
+            return out, gens
         return out
 
     def _dispatch_or_unavailable(self, requests):
@@ -537,10 +555,11 @@ class ShardRouter:
                 results = self._dispatch_or_unavailable(requests)
                 pending = []
                 for shard_id, pieces in assignment.items():
-                    rows = results.get(shard_id)
-                    if rows is None:
+                    reply = results.get(shard_id)
+                    if reply is None:
                         pending.extend(pieces)
                         continue
+                    rows, _meta = reply
                     for piece_partials in rows:
                         partials.extend(piece_partials)
                 if pending:
@@ -558,6 +577,123 @@ class ShardRouter:
             raise
         self._record_latency(start)
         return merge_topk(partials, k)
+
+    # ------------------------------------------------------------------
+    # Zero-downtime model hot-swap
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Generation of the parameter block new work is scored against."""
+        return self._block.generation
+
+    def swap(self, model, index: Optional[DatasetIndex] = None, *,
+             generation: Optional[int] = None) -> dict:
+        """Swap the fleet onto ``model``'s parameters without downtime.
+
+        Protocol (the ordering is the correctness argument):
+
+        1. Freeze ``model`` into serving buffers and write them to a
+           **new** shared-memory block stamped with the next generation
+           — the old block is never touched, so an attached shard can
+           never observe a torn mix of generations.
+        2. Point ``self._block`` at the new block *before* telling any
+           shard: a shard that crashes mid-swap respawns attached to
+           the new generation, not the old one.
+        3. Send ``("swap", new_manifest)`` down each live shard's pipe.
+           Pipes are FIFO, so every request enqueued before the swap is
+           answered on the old engine first — the swap message *is* the
+           drain barrier, and no request is dropped.
+        4. After the acks, close (unlink) the old block.  POSIX keeps
+           existing mappings alive past the unlink, so a laggard shard
+           that has not yet processed its swap keeps scoring safely on
+           the old generation until it does.
+        5. Invalidate the resilient result cache — cached rankings are
+           stale against the new parameters, and serving them tagged
+           with the new generation would be a provenance lie.
+
+        ``index`` (optional) is validated against the fleet's: a swap
+        cannot change the entity vocabulary, only parameter values.
+        ``generation`` pins the new number (it must advance); by
+        default the fleet's own counter increments.  Returns a summary
+        dict; raises ``ValueError`` on vocabulary/generation mismatch.
+        """
+        if self._closed:
+            raise RuntimeError("router is closed")
+        if index is not None and (
+                index.users.keys() != self.index.users.keys()
+                or index.pois.keys() != self.index.pois.keys()):
+            raise ValueError(
+                "swap cannot change the entity vocabulary; retrain and "
+                "restart the fleet to grow users/POIs")
+        previous = self._block.generation
+        if generation is None:
+            generation = previous + 1
+        elif generation <= previous:
+            raise ValueError(
+                f"swap generation must advance: fleet is at {previous}, "
+                f"got {generation} (stale publication?)")
+        start = time.perf_counter()
+        engine = InferenceEngine.from_model(model, self.index, self.dataset,
+                                            self.target_city,
+                                            dtype=self._dtype)
+        if engine.catalogue_size != self.catalogue_size:
+            raise ValueError(
+                f"swap changed the catalogue ({self.catalogue_size} -> "
+                f"{engine.catalogue_size} POIs); slices would be torn")
+        old_block = self._block
+        new_block = ServingParameterBlock.from_engine(engine,
+                                                      generation=generation)
+        # Step 2 before step 3: mid-swap respawns must attach the new
+        # generation (see _spawn_shard, which reads self._block).
+        self._block = new_block
+        live = self.live_shards
+        replies = self._dispatch(
+            {shard: ("swap", new_block.manifest) for shard in live})
+        acked = sorted(
+            shard for shard, (result, _meta) in replies.items()
+            if isinstance(result, dict)
+            and result.get("generation") == generation)
+        old_block.close()
+        if self._res_cache is not None:
+            self._res_cache.invalidate_all()
+        self._swap_count += 1
+        duration_ms = (time.perf_counter() - start) * 1000.0
+        if self.registry is not None:
+            self.registry.counter("fleet.swap.count").inc()
+            self.registry.gauge("fleet.swap.generation").set(
+                float(generation))
+            self.registry.histogram("fleet.swap.duration_ms").observe(
+                duration_ms)
+        if self._recorder is not None:
+            self._recorder.emit_process(
+                "swap", CAT_SUPERVISE, ts_ms=start * 1000.0,
+                dur_ms=duration_ms, generation=generation,
+                previous_generation=previous, acked_shards=acked)
+        logger.info("hot-swapped fleet to generation %d (%d/%d shards "
+                    "acked, %.1f ms)", generation, len(acked), len(live),
+                    duration_ms)
+        return {
+            "generation": generation,
+            "previous_generation": previous,
+            "acked_shards": acked,
+            "live_shards": live,
+            "duration_ms": duration_ms,
+        }
+
+    def swap_from_checkpoint(self, path) -> dict:
+        """Hot-swap to a checkpoint file (e.g. one ``ModelPublisher``
+        generation).  The checkpoint's recorded ``generation`` (when
+        present) becomes the fleet's — so swapping a stale publication
+        onto a newer fleet fails loudly instead of silently rolling
+        back."""
+        from repro.core.checkpoint import (
+            load_checkpoint,
+            read_checkpoint_manifest,
+        )
+
+        model, index = load_checkpoint(path, precision=self._dtype)
+        recorded = read_checkpoint_manifest(path).get("generation")
+        return self.swap(model, index, generation=recorded)
 
     # ------------------------------------------------------------------
     # Serving API (resilient path: deadlines, hedging, degraded answers)
@@ -1134,6 +1270,8 @@ class ShardRouter:
             "num_shards": self.num_shards,
             "live_shards": self.live_shards,
             "catalogue_size": self.catalogue_size,
+            "generation": self.generation,
+            "swaps": self._swap_count,
             "faults": {
                 "crashes": supervisor.crashes,
                 "hangs": supervisor.hangs,

@@ -13,11 +13,20 @@ Protocol (one pipe per shard, router is the only peer)::
                       or None (shutdown)
     shard  -> router  (request_id, result, meta)
 
-``meta`` carries ``{"shard", "incarnation", "metrics"}`` on every
-reply; the metrics snapshot is cumulative for this incarnation, so the
-router's telemetry harvest stays correct even when the *next* request
-kills the shard (kill-safe accounting, same trick as the data-parallel
-worker loop).
+``meta`` carries ``{"shard", "incarnation", "generation", "metrics"}``
+on every reply; the metrics snapshot is cumulative for this
+incarnation, so the router's telemetry harvest stays correct even when
+the *next* request kills the shard (kill-safe accounting, same trick as
+the data-parallel worker loop), and ``generation`` names the parameter
+block that scored the reply — the hot-swap protocol's per-response
+provenance tag.
+
+One op is control plane rather than scoring: ``("swap",
+new_manifest)``.  Pipe FIFO ordering means every request enqueued
+before the swap message has already been answered against the old
+engine when the swap executes, so rebinding here *is* the drain — the
+shard closes its old attachment, attaches the new generation's block,
+and acks with the new generation number.
 
 When the envelope carries a fourth element — a
 :meth:`~repro.obs.spans.TraceContext.to_wire` tuple — the shard times
@@ -174,6 +183,38 @@ def shard_serve_loop(pipe, manifest: FleetManifest, shard_id: int,
                 return
             request_id, op, payload, *rest = message
             ctx = TraceContext.from_wire(rest[0]) if rest else None
+            if op == "swap":
+                # Hot-swap: rebind to the new generation's block.  The
+                # pipe is FIFO, so every request enqueued before the
+                # swap has already been answered on the old engine —
+                # the router's drain guarantee needs nothing more from
+                # us.  Swap is exempt from fault injection (it is
+                # control plane, not a scored request) and does not
+                # advance the fault-plan step coordinate.
+                swap_start = time.perf_counter()
+                new_engine, new_client = attach_serving_engine(payload)
+                old_client = client
+                # Rebind the engine before closing the old attachment:
+                # the outgoing engine's buffers are views into the old
+                # mapping, and unmapping under live views raises
+                # BufferError at the numpy layer.
+                engine, client, manifest = new_engine, new_client, payload
+                del new_engine
+                old_client.close()
+                recorder.emit_process(
+                    "swap", CAT_SCORE, ts_ms=swap_start * 1000.0,
+                    dur_ms=(time.perf_counter() - swap_start) * 1000.0,
+                    shard=shard_id, incarnation=incarnation,
+                    generation=manifest.generation)
+                meta = {"shard": shard_id, "incarnation": incarnation,
+                        "generation": manifest.generation,
+                        "metrics": registry.to_dict()}
+                try:
+                    pipe.send((request_id,
+                               {"generation": manifest.generation}, meta))
+                except (BrokenPipeError, OSError):
+                    return
+                continue
             if fault_plan is not None:
                 fault_plan.execute_pre_step(shard_id, seq)
             seq += 1
@@ -184,6 +225,7 @@ def shard_serve_loop(pipe, manifest: FleetManifest, shard_id: int,
             requests.inc()
             users.inc(_payload_users(op, payload))
             meta = {"shard": shard_id, "incarnation": incarnation,
+                    "generation": manifest.generation,
                     "metrics": registry.to_dict()}
             if ctx is not None:
                 span = recorder.emit(

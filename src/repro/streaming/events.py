@@ -1,0 +1,207 @@
+"""Append-only check-in event log.
+
+The ingestion boundary between the world and the updater: every new
+check-in becomes a :class:`CheckinEvent` with a **monotonic sequence
+number** (assigned by the log, never by the producer) and a
+**non-decreasing timestamp** (validated on append — a stream that
+travels back in time is a producer bug, not data).  Consumers read by
+sequence number (:meth:`EventLog.read_since`), so an updater that
+remembers the last sequence it folded in can resume after a restart
+without double-applying events.
+
+Persistence is optional JSONL: one event per line, appended at event
+time, so the on-disk log is itself append-only and a crashed writer
+loses at most the line it was writing (:meth:`EventLog.open` skips
+truncated trailing lines on load).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.data.records import CheckinRecord
+
+__all__ = ["CheckinEvent", "EventLog"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CheckinEvent:
+    """One ingested check-in, stamped by the log.
+
+    ``seq`` is the log-assigned position (0-based, gapless within one
+    log); ``timestamp`` is event time on the same clock the synthetic
+    generator advances, so stream events sort after the base dataset's
+    check-ins.
+    """
+
+    seq: int
+    user_id: int
+    poi_id: int
+    city: str
+    timestamp: float
+
+    def to_record(self) -> CheckinRecord:
+        """The dataset-side view of this event."""
+        return CheckinRecord(user_id=self.user_id, poi_id=self.poi_id,
+                             city=self.city, timestamp=self.timestamp)
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "user_id": self.user_id,
+                "poi_id": self.poi_id, "city": self.city,
+                "timestamp": self.timestamp}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CheckinEvent":
+        return cls(seq=int(payload["seq"]), user_id=int(payload["user_id"]),
+                   poi_id=int(payload["poi_id"]), city=str(payload["city"]),
+                   timestamp=float(payload["timestamp"]))
+
+
+class EventLog:
+    """Append-only, timestamp-ordered check-in event log.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file.  When given, every appended event is also
+        written (and flushed) to the file, one JSON object per line.
+    """
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self._events: List[CheckinEvent] = []
+        self._path = Path(path) if path is not None else None
+        self._file: Optional[IO[str]] = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self._path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        return len(self._events)
+
+    @property
+    def last_timestamp(self) -> float:
+        return self._events[-1].timestamp if self._events else float("-inf")
+
+    def append(self, user_id: int, poi_id: int, city: str,
+               timestamp: float) -> CheckinEvent:
+        """Stamp and store one check-in; returns the stored event.
+
+        Raises ``ValueError`` if ``timestamp`` precedes the last
+        appended event — the log is the ordering authority, and a
+        regressing clock upstream must fail loudly, not silently
+        reorder history.
+        """
+        if timestamp < self.last_timestamp:
+            raise ValueError(
+                f"timestamp {timestamp} precedes the log's last event "
+                f"({self.last_timestamp}); the stream must be ordered")
+        event = CheckinEvent(seq=self.next_seq, user_id=int(user_id),
+                             poi_id=int(poi_id), city=str(city),
+                             timestamp=float(timestamp))
+        self._events.append(event)
+        if self._file is not None:
+            self._file.write(json.dumps(event.to_dict()) + "\n")
+            self._file.flush()
+        return event
+
+    def append_record(self, record: CheckinRecord) -> CheckinEvent:
+        """Append a dataset-side :class:`CheckinRecord`."""
+        return self.append(record.user_id, record.poi_id, record.city,
+                           record.timestamp)
+
+    def extend(self, records: Iterable[CheckinRecord]) -> List[CheckinEvent]:
+        return [self.append_record(record) for record in records]
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read_since(self, seq: int) -> List[CheckinEvent]:
+        """Events with sequence number ``>= seq`` (consumer resume point)."""
+        if seq < 0:
+            raise ValueError(f"seq must be >= 0, got {seq}")
+        return list(self._events[seq:])
+
+    def events(self) -> List[CheckinEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[CheckinEvent]:
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @classmethod
+    def open(cls, path: PathLike) -> "EventLog":
+        """Load an existing JSONL log and continue appending to it.
+
+        Sequence numbers are re-validated against line order; a
+        truncated trailing line (writer crashed mid-write) is dropped,
+        but a corrupt line in the middle of the file raises — that is
+        data loss, not an interrupted append.
+        """
+        path = Path(path)
+        log = cls.__new__(cls)
+        log._events = []
+        log._path = path
+        log._file = None
+        if path.exists():
+            lines = path.read_text(encoding="utf-8").splitlines()
+            for i, line in enumerate(lines):
+                if not line.strip():
+                    continue
+                try:
+                    event = CheckinEvent.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, ValueError) as err:
+                    if i == len(lines) - 1:
+                        break               # torn trailing append
+                    raise ValueError(
+                        f"{path}: corrupt event at line {i + 1}") from err
+                if event.seq != len(log._events):
+                    raise ValueError(
+                        f"{path}: sequence gap at line {i + 1} "
+                        f"(expected seq {len(log._events)}, "
+                        f"found {event.seq})")
+                if event.timestamp < log.last_timestamp:
+                    raise ValueError(
+                        f"{path}: timestamp regression at line {i + 1}")
+                log._events.append(event)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        log._file = path.open("a", encoding="utf-8")
+        if log._events and path.exists():
+            # Rewrite only when the tail was torn, so the on-disk log
+            # matches the in-memory one exactly.
+            raw = path.read_text(encoding="utf-8")
+            good = "".join(json.dumps(e.to_dict()) + "\n"
+                           for e in log._events)
+            if raw != good:
+                log._file.close()
+                path.write_text(good, encoding="utf-8")
+                log._file = path.open("a", encoding="utf-8")
+        return log
+
+    def records(self) -> List[CheckinRecord]:
+        """All events as dataset records (for full-retrain references)."""
+        return [event.to_record() for event in self._events]

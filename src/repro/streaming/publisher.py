@@ -1,0 +1,153 @@
+"""Versioned model publication with atomic generation numbers.
+
+A publication directory holds one checkpoint-v3 file per generation
+(``gen-<n>.npz``) plus a ``LATEST.json`` pointer naming the current
+one.  Both writes are atomic in themselves (checkpoints already go
+through tmp-file + ``os.replace``; the pointer does the same here), and
+ordered: the checkpoint lands first, the pointer flips second.  A crash
+between the two leaves the *previous* generation current — never a
+half-written file behind a live pointer.
+
+Torn publications are still representable on disk (a pointer written by
+hand, a deleted checkpoint, a pointer/manifest generation mismatch);
+:func:`load_latest` detects all three and raises
+:class:`TornPublicationError` instead of serving them.  The recorded
+generation inside the checkpoint manifest (``save_checkpoint``'s
+``generation=``) is what makes the cross-check possible: the pointer
+and the file each carry the number, and they must agree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.core.checkpoint import (
+    load_checkpoint,
+    normalize_checkpoint_path,
+    read_checkpoint_manifest,
+    save_checkpoint,
+)
+from repro.core.model import STTransRec
+from repro.data.vocabulary import DatasetIndex
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "LATEST_POINTER",
+    "ModelPublisher",
+    "TornPublicationError",
+    "load_latest",
+    "read_latest_pointer",
+]
+
+LATEST_POINTER = "LATEST.json"
+
+
+class TornPublicationError(RuntimeError):
+    """The publication directory is internally inconsistent.
+
+    Raised when the ``LATEST.json`` pointer names a checkpoint that is
+    missing, unreadable, or whose manifest records a different
+    generation than the pointer claims — the observable signatures of a
+    publication that did not complete (or was tampered with).
+    """
+
+
+class ModelPublisher:
+    """Publish successive model generations into a directory.
+
+    Parameters
+    ----------
+    directory:
+        Publication root; created on first publish.  An existing
+        ``LATEST.json`` is honoured, so a restarted publisher continues
+        the generation sequence instead of restarting it at 0.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        pointer = read_latest_pointer(self.directory)
+        self._generation = -1 if pointer is None else pointer["generation"]
+
+    @property
+    def generation(self) -> int:
+        """The last published generation (-1 before the first publish)."""
+        return self._generation
+
+    def publish(self, model: STTransRec, index: DatasetIndex) -> int:
+        """Write the next generation and flip the pointer to it.
+
+        Returns the new generation number.  Ordering is the whole
+        protocol: the checkpoint is fully on disk (atomically renamed)
+        *before* the pointer is atomically replaced, so every state a
+        crash can leave behind is either the old publication or the new
+        one — never a pointer to a partial file.
+        """
+        generation = self._generation + 1
+        filename = f"gen-{generation}.npz"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        save_checkpoint(model, index, self.directory / filename,
+                        generation=generation)
+        pointer = {"generation": generation, "file": filename}
+        tmp = self.directory / (LATEST_POINTER + ".tmp")
+        tmp.write_text(json.dumps(pointer), encoding="utf-8")
+        os.replace(tmp, self.directory / LATEST_POINTER)
+        self._generation = generation
+        return generation
+
+
+def read_latest_pointer(directory: PathLike) -> Optional[dict]:
+    """The parsed ``LATEST.json``, or ``None`` when nothing is published.
+
+    Raises :class:`TornPublicationError` if the pointer exists but is
+    unparseable or missing its fields.
+    """
+    pointer_path = Path(directory) / LATEST_POINTER
+    if not pointer_path.exists():
+        return None
+    try:
+        pointer = json.loads(pointer_path.read_text(encoding="utf-8"))
+        return {"generation": int(pointer["generation"]),
+                "file": str(pointer["file"])}
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
+        raise TornPublicationError(
+            f"{pointer_path}: pointer is unreadable: {err}") from err
+
+
+def load_latest(directory: PathLike,
+                precision=None) -> Tuple[STTransRec, DatasetIndex, int]:
+    """Load the current publication: ``(model, index, generation)``.
+
+    Validates the pointer against the checkpoint it names before
+    loading parameters:
+
+    * the named file must exist (a deleted or never-completed
+      checkpoint behind a live pointer is a torn publication);
+    * the checkpoint manifest's recorded ``generation`` must equal the
+      pointer's (a mismatch means the pointer and file are from
+      different publications).
+
+    Raises :class:`TornPublicationError` on either, and
+    ``FileNotFoundError`` when nothing has been published at all.
+    """
+    directory = Path(directory)
+    pointer = read_latest_pointer(directory)
+    if pointer is None:
+        raise FileNotFoundError(
+            f"{directory / LATEST_POINTER}: no publication found")
+    path = normalize_checkpoint_path(directory / pointer["file"])
+    if not path.exists():
+        raise TornPublicationError(
+            f"{directory / LATEST_POINTER} names {pointer['file']!r} "
+            f"(generation {pointer['generation']}) but the file is missing")
+    manifest = read_checkpoint_manifest(path)
+    recorded = manifest.get("generation")
+    if recorded != pointer["generation"]:
+        raise TornPublicationError(
+            f"{path}: manifest records generation {recorded!r} but the "
+            f"pointer claims {pointer['generation']} — torn publication")
+    model, index = load_checkpoint(path, precision=precision)
+    return model, index, pointer["generation"]

@@ -1,0 +1,117 @@
+"""Event-log semantics: stamping, ordering, persistence, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.data.records import CheckinRecord
+from repro.streaming import CheckinEvent, EventLog
+
+
+class TestAppend:
+    def test_seq_is_gapless_and_log_assigned(self):
+        log = EventLog()
+        events = [log.append(1, 10, "springfield", float(t))
+                  for t in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+        assert log.next_seq == 5
+
+    def test_timestamp_regression_raises(self):
+        log = EventLog()
+        log.append(1, 10, "springfield", 5.0)
+        with pytest.raises(ValueError, match="precedes"):
+            log.append(1, 11, "springfield", 4.0)
+
+    def test_equal_timestamps_allowed(self):
+        log = EventLog()
+        log.append(1, 10, "springfield", 5.0)
+        event = log.append(2, 11, "springfield", 5.0)
+        assert event.seq == 1
+
+    def test_append_record_roundtrip(self):
+        log = EventLog()
+        record = CheckinRecord(user_id=7, poi_id=3, city="shelbyville",
+                               timestamp=1.5)
+        event = log.append_record(record)
+        assert event.to_record() == record
+
+    def test_extend_and_records(self):
+        log = EventLog()
+        records = [CheckinRecord(u, 1, "springfield", float(u))
+                   for u in range(3)]
+        log.extend(records)
+        assert log.records() == records
+
+
+class TestRead:
+    def test_read_since_is_the_resume_point(self):
+        log = EventLog()
+        for t in range(6):
+            log.append(1, t, "springfield", float(t))
+        tail = log.read_since(4)
+        assert [e.seq for e in tail] == [4, 5]
+        assert log.read_since(6) == []
+        with pytest.raises(ValueError):
+            log.read_since(-1)
+
+    def test_len_and_iter(self):
+        log = EventLog()
+        log.append(1, 1, "springfield", 0.0)
+        log.append(2, 2, "springfield", 1.0)
+        assert len(log) == 2
+        assert [e.user_id for e in log] == [1, 2]
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            for t in range(4):
+                log.append(t, t + 10, "springfield", float(t))
+            events = log.events()
+        reopened = EventLog.open(path)
+        assert reopened.events() == events
+        # ...and appending continues the sequence.
+        event = reopened.append(9, 9, "springfield", 10.0)
+        assert event.seq == 4
+        reopened.close()
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append(1, 1, "springfield", 0.0)
+            log.append(2, 2, "springfield", 1.0)
+        # Simulate a writer crash mid-append.
+        with path.open("a", encoding="utf-8") as f:
+            f.write('{"seq": 2, "user_id": 3')
+        log = EventLog.open(path)
+        assert len(log) == 2
+        # The rewrite healed the file: reopening again is clean.
+        log.close()
+        assert len(EventLog.open(path)) == 2
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append(1, 1, "springfield", 0.0)
+            log.append(2, 2, "springfield", 1.0)
+        lines = path.read_text().splitlines()
+        lines[0] = "not json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            EventLog.open(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        event = CheckinEvent(seq=3, user_id=1, poi_id=1,
+                             city="springfield", timestamp=0.0)
+        path.write_text(json.dumps(event.to_dict()) + "\n")
+        with pytest.raises(ValueError, match="sequence gap"):
+            EventLog.open(path)
+
+    def test_open_missing_file_starts_empty(self, tmp_path):
+        log = EventLog.open(tmp_path / "new.jsonl")
+        assert len(log) == 0
+        log.append(1, 1, "springfield", 0.0)
+        log.close()
+        assert len(EventLog.open(tmp_path / "new.jsonl")) == 1

@@ -1,0 +1,129 @@
+"""Drift-aware stream generator: ordering, cohorts, determinism."""
+
+import pytest
+
+import numpy as np
+
+from repro.streaming import CheckinStreamGenerator, EventLog, StreamConfig
+
+TARGET = "shelbyville"
+
+
+@pytest.fixture(scope="module")
+def dataset(tiny_dataset):
+    data, _truth = tiny_dataset
+    return data
+
+
+@pytest.fixture(scope="module")
+def generator(dataset, tiny_truth):
+    config = StreamConfig(drift=0.6, users_per_burst=4,
+                          checkins_per_user=3, seed=7)
+    return CheckinStreamGenerator(dataset, tiny_truth, TARGET, config)
+
+
+class TestConfig:
+    def test_drift_bounds(self):
+        with pytest.raises(ValueError):
+            StreamConfig(drift=1.5)
+        with pytest.raises(ValueError):
+            StreamConfig(drift=-0.1)
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            StreamConfig(users_per_burst=0)
+        with pytest.raises(ValueError):
+            StreamConfig(checkins_per_user=0)
+
+
+class TestBurst:
+    def test_events_are_target_city_only(self, generator, dataset):
+        target_pois = {p.poi_id for p in dataset.pois.values()
+                       if p.city == TARGET}
+        for event in generator.burst():
+            assert event.city == TARGET
+            assert event.poi_id in target_pois
+
+    def test_timestamps_continue_past_base_dataset(self, generator,
+                                                   dataset):
+        horizon = max(c.timestamp for c in dataset.checkins)
+        burst = generator.burst()
+        assert all(e.timestamp > horizon for e in burst)
+        # Within and across bursts, time is strictly increasing.
+        stamps = [e.timestamp for e in burst] \
+            + [e.timestamp for e in generator.burst()]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_cohort_is_crossing_users(self, generator, tiny_truth):
+        assert set(generator.streamers) <= set(tiny_truth.crossing_user_ids)
+        for event in generator.burst():
+            assert event.user_id in generator.streamers
+
+    def test_pinned_cohort(self, generator):
+        pinned = generator.streamers[:2]
+        burst = generator.burst(users=pinned)
+        assert {e.user_id for e in burst} == set(pinned)
+        counts = {u: sum(e.user_id == u for e in burst) for u in pinned}
+        assert all(c >= 1 for c in counts.values())
+
+    def test_seq_unstamped_until_logged(self, generator):
+        assert {e.seq for e in generator.burst()} == {-1}
+
+
+class TestStream:
+    def test_stream_yields_requested_bursts(self, generator):
+        bursts = list(generator.stream(3))
+        assert len(bursts) == 3
+
+    def test_determinism_by_seed(self, dataset, tiny_truth):
+        def run(seed):
+            config = StreamConfig(drift=0.5, users_per_burst=3,
+                                  checkins_per_user=2, seed=seed)
+            gen = CheckinStreamGenerator(dataset, tiny_truth,
+                                         TARGET, config)
+            return [e.to_dict() for burst in gen.stream(2) for e in burst]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_ingest_burst_stamps_sequence(self, dataset, tiny_truth):
+        gen = CheckinStreamGenerator(
+            dataset, tiny_truth, TARGET,
+            StreamConfig(users_per_burst=3, checkins_per_user=2, seed=1))
+        log = EventLog()
+        first = gen.ingest_burst(log)
+        second = gen.ingest_burst(log)
+        seqs = [e.seq for e in first + second]
+        assert seqs == list(range(len(seqs)))
+        assert log.events() == first + second
+
+
+class TestDrift:
+    def test_drifted_preference_is_normalized_blend(self, generator,
+                                                    tiny_truth):
+        uid = generator.streamers[0]
+        drifted = generator.drifted_preference(uid)
+        assert drifted.shape == \
+            np.asarray(tiny_truth.user_preferences[uid]).shape
+        assert np.isclose(drifted.sum(), 1.0)
+        assert np.all(drifted >= 0.0)
+
+    def test_zero_drift_keeps_base_preference(self, dataset,
+                                              tiny_truth):
+        gen = CheckinStreamGenerator(dataset, tiny_truth, TARGET,
+                                     StreamConfig(drift=0.0, seed=0))
+        uid = gen.streamers[0]
+        base = np.asarray(tiny_truth.user_preferences[uid], dtype=float)
+        np.testing.assert_allclose(gen.drifted_preference(uid),
+                                   base / base.sum())
+
+    def test_unknown_user_raises(self, generator):
+        with pytest.raises(KeyError):
+            generator.drifted_preference(-1)
+
+
+class TestValidation:
+    def test_unknown_target_city_raises(self, dataset, tiny_truth):
+        with pytest.raises(ValueError):
+            CheckinStreamGenerator(dataset, tiny_truth, "ogdenville")

@@ -1,0 +1,132 @@
+"""Versioned publication: generation metadata, torn-state detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    read_checkpoint_manifest,
+    save_checkpoint,
+)
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+from repro.streaming import (
+    LATEST_POINTER,
+    ModelPublisher,
+    TornPublicationError,
+    load_latest,
+    read_latest_pointer,
+)
+
+
+@pytest.fixture(scope="module")
+def world(tiny_dataset):
+    dataset, _truth = tiny_dataset
+    index = dataset.build_index()
+    model = STTransRec(index.num_users, index.num_pois, index.num_words,
+                       STTransRecConfig(embedding_dim=8, seed=3))
+    model.eval()
+    return model, index
+
+
+class TestGenerationMetadata:
+    def test_manifest_records_generation(self, world, tmp_path):
+        model, index = world
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, index, path, generation=7)
+        assert read_checkpoint_manifest(path)["generation"] == 7
+
+    def test_generation_is_optional(self, world, tmp_path):
+        model, index = world
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, index, path)
+        assert "generation" not in read_checkpoint_manifest(path)
+
+    def test_negative_generation_rejected(self, world, tmp_path):
+        model, index = world
+        with pytest.raises(ValueError):
+            save_checkpoint(model, index, tmp_path / "ckpt.npz",
+                            generation=-1)
+
+
+class TestPublisher:
+    def test_generations_advance_from_zero(self, world, tmp_path):
+        model, index = world
+        publisher = ModelPublisher(tmp_path)
+        assert publisher.generation == -1
+        assert publisher.publish(model, index) == 0
+        assert publisher.publish(model, index) == 1
+        assert publisher.generation == 1
+        pointer = read_latest_pointer(tmp_path)
+        assert pointer == {"generation": 1, "file": "gen-1.npz"}
+        # Both generations stay on disk.
+        assert (tmp_path / "gen-0.npz").exists()
+        assert (tmp_path / "gen-1.npz").exists()
+
+    def test_restarted_publisher_resumes_sequence(self, world, tmp_path):
+        model, index = world
+        ModelPublisher(tmp_path).publish(model, index)
+        resumed = ModelPublisher(tmp_path)
+        assert resumed.generation == 0
+        assert resumed.publish(model, index) == 1
+
+    def test_load_latest_roundtrip_is_bit_exact(self, world, tmp_path):
+        model, index = world
+        publisher = ModelPublisher(tmp_path)
+        publisher.publish(model, index)
+        loaded, loaded_index, generation = load_latest(tmp_path)
+        assert generation == 0
+        assert list(loaded_index.users) == list(index.users)
+        np.testing.assert_array_equal(loaded.user_vectors(),
+                                      model.user_vectors())
+        np.testing.assert_array_equal(loaded.poi_vectors(),
+                                      model.poi_vectors())
+
+
+class TestTornPublications:
+    def test_nothing_published_raises_file_not_found(self, tmp_path):
+        assert read_latest_pointer(tmp_path) is None
+        with pytest.raises(FileNotFoundError):
+            load_latest(tmp_path)
+
+    def test_pointer_to_missing_file_is_torn(self, world, tmp_path):
+        model, index = world
+        ModelPublisher(tmp_path).publish(model, index)
+        (tmp_path / "gen-0.npz").unlink()
+        with pytest.raises(TornPublicationError, match="missing"):
+            load_latest(tmp_path)
+
+    def test_unreadable_pointer_is_torn(self, tmp_path):
+        (tmp_path / LATEST_POINTER).write_text("{not json")
+        with pytest.raises(TornPublicationError, match="unreadable"):
+            read_latest_pointer(tmp_path)
+        with pytest.raises(TornPublicationError):
+            load_latest(tmp_path)
+
+    def test_pointer_missing_fields_is_torn(self, tmp_path):
+        (tmp_path / LATEST_POINTER).write_text(json.dumps({"file": "x"}))
+        with pytest.raises(TornPublicationError):
+            read_latest_pointer(tmp_path)
+
+    def test_stale_generation_manifest_is_torn(self, world, tmp_path):
+        """A mid-swap pointer flip to the wrong generation is detected.
+
+        Simulates the race the ordered-write protocol prevents: the
+        pointer claims generation 1 but the named file's manifest still
+        records generation 0.
+        """
+        model, index = world
+        ModelPublisher(tmp_path).publish(model, index)
+        pointer = {"generation": 1, "file": "gen-0.npz"}
+        (tmp_path / LATEST_POINTER).write_text(json.dumps(pointer))
+        with pytest.raises(TornPublicationError, match="torn publication"):
+            load_latest(tmp_path)
+
+    def test_manifest_without_generation_is_torn(self, world, tmp_path):
+        model, index = world
+        save_checkpoint(model, index, tmp_path / "gen-0.npz")  # no tag
+        pointer = {"generation": 0, "file": "gen-0.npz"}
+        (tmp_path / LATEST_POINTER).write_text(json.dumps(pointer))
+        with pytest.raises(TornPublicationError):
+            load_latest(tmp_path)

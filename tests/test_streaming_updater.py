@@ -1,0 +1,205 @@
+"""Incremental updater: touched-rows-only movement, negative hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import STTransRecConfig
+from repro.core.model import STTransRec
+from repro.streaming import CheckinEvent, IncrementalUpdater
+
+TARGET = "shelbyville"
+
+
+def make_updater(dataset, index, **overrides):
+    model = STTransRec(index.num_users, index.num_pois, index.num_words,
+                       STTransRecConfig(embedding_dim=8, seed=3))
+    model.eval()
+    pool = [p.poi_id for p in dataset.pois_in_city(TARGET)]
+    kwargs = dict(learning_rate=0.1, fold_in_steps=2, retrain_lr=0.05,
+                  retrain_steps=3, num_negatives=2, rng=0)
+    kwargs.update(overrides)
+    return model, IncrementalUpdater(model, index, dataset, pool, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def world(tiny_dataset):
+    dataset, _truth = tiny_dataset
+    return dataset, dataset.build_index()
+
+
+def stream_events(dataset, index, num_users=3, per_user=2):
+    """Valid target-city events for the first few indexed users."""
+    pois = dataset.pois_in_city(TARGET)
+    user_ids = sorted(dataset.users)[:num_users]
+    events = []
+    ts = max(c.timestamp for c in dataset.checkins)
+    for i, uid in enumerate(user_ids):
+        for j in range(per_user):
+            ts += 1.0
+            poi = pois[(i * per_user + j) % len(pois)]
+            events.append(CheckinEvent(seq=len(events), user_id=uid,
+                                       poi_id=poi.poi_id, city=TARGET,
+                                       timestamp=ts))
+    return events
+
+
+def embedding_snapshot(model):
+    return model.user_embeddings.weight.data.copy()
+
+
+class TestIngest:
+    def test_only_touched_rows_move(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        events = stream_events(dataset, index)
+        before = embedding_snapshot(model)
+        stats = updater.ingest(events)
+        after = embedding_snapshot(model)
+
+        touched = sorted({index.users.index_of(e.user_id) for e in events})
+        untouched = np.setdiff1d(np.arange(index.num_users), touched)
+        np.testing.assert_array_equal(after[untouched], before[untouched])
+        for row in touched:
+            assert not np.array_equal(after[row], before[row])
+        assert stats.events_ingested == len(events)
+        assert stats.events_skipped == 0
+        assert stats.fold_in_steps == updater.fold_in_steps
+        assert stats.last_seq == events[-1].seq
+
+    def test_poi_side_parameters_never_change(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        before = model.poi_embeddings.weight.data.copy()
+        updater.ingest(stream_events(dataset, index))
+        updater.retrain()
+        np.testing.assert_array_equal(
+            model.poi_embeddings.weight.data, before)
+
+    def test_unknown_entities_are_counted_and_skipped(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        known = stream_events(dataset, index, num_users=1, per_user=1)[0]
+        unknown = [
+            CheckinEvent(seq=1, user_id=10 ** 9, poi_id=known.poi_id,
+                         city=TARGET, timestamp=known.timestamp + 1),
+            CheckinEvent(seq=2, user_id=known.user_id, poi_id=10 ** 9,
+                         city=TARGET, timestamp=known.timestamp + 2),
+        ]
+        before = embedding_snapshot(model)
+        stats = updater.ingest(unknown)
+        np.testing.assert_array_equal(embedding_snapshot(model), before)
+        assert stats.events_ingested == 0
+        assert stats.events_skipped == 2
+
+        stats = updater.ingest([known] + unknown)
+        assert stats.events_ingested == 1
+        assert stats.events_skipped == 4
+
+    def test_training_mode_restored(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        model.train()
+        updater.ingest(stream_events(dataset, index))
+        assert model.training
+        model.eval()
+        updater.ingest(stream_events(dataset, index, num_users=1))
+        assert not model.training
+
+
+class TestNegativeSampling:
+    def test_negatives_never_visited(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        events = stream_events(dataset, index)
+        updater.ingest(events)
+
+        user_rows = np.array(
+            [index.users.index_of(e.user_id) for e in events] * 10,
+            dtype=np.int64)
+        negatives = updater._sample_negatives(user_rows)
+        keys = user_rows * len(index.pois) + negatives
+        assert not updater._is_visited(keys).any()
+        # Every negative comes from the configured pool.
+        assert np.isin(negatives, updater._pool).all()
+
+    def test_ingested_pois_become_visited(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        event = stream_events(dataset, index, num_users=1, per_user=1)[0]
+        u = index.users.index_of(event.user_id)
+        p = index.pois.index_of(event.poi_id)
+        key = np.array([u * len(index.pois) + p], dtype=np.int64)
+        assert not updater._is_visited(key)[0]
+        updater.ingest([event])
+        assert updater._is_visited(key)[0]
+
+    def test_empty_pool_raises(self, world):
+        dataset, index = world
+        model = STTransRec(index.num_users, index.num_pois,
+                           index.num_words,
+                           STTransRecConfig(embedding_dim=8, seed=3))
+        with pytest.raises(ValueError, match="empty"):
+            IncrementalUpdater(model, index, dataset, [])
+
+
+class TestRetrain:
+    def test_retrain_moves_only_touched_rows(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        events = stream_events(dataset, index)
+        updater.ingest(events)
+        before = embedding_snapshot(model)
+        stats = updater.retrain()
+        after = embedding_snapshot(model)
+
+        touched = sorted({index.users.index_of(e.user_id) for e in events})
+        untouched = np.setdiff1d(np.arange(index.num_users), touched)
+        np.testing.assert_array_equal(after[untouched], before[untouched])
+        assert any(not np.array_equal(after[row], before[row])
+                   for row in touched)
+        assert stats.retrain_rounds == 1
+
+    def test_retrain_without_history_is_noop(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        before = embedding_snapshot(model)
+        stats = updater.retrain()
+        np.testing.assert_array_equal(embedding_snapshot(model), before)
+        assert stats.retrain_rounds == 0
+
+    def test_sparse_grad_flag_restored(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        updater.ingest(stream_events(dataset, index))
+        assert not model.user_embeddings.sparse_grad
+        updater.retrain()
+        assert not model.user_embeddings.sparse_grad
+        model.user_embeddings.sparse_grad = True
+        updater.retrain()
+        assert model.user_embeddings.sparse_grad
+
+    def test_history_is_bounded(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index,
+                                      max_history_per_user=3)
+        events = stream_events(dataset, index, num_users=1, per_user=8)
+        updater.ingest(events)
+        row = index.users.index_of(events[0].user_id)
+        history = updater._history[row]
+        assert len(history) == 3
+        expected = [index.pois.index_of(e.poi_id) for e in events[-3:]]
+        assert history == expected
+
+
+class TestTouchedTracking:
+    def test_drain_touched_returns_and_clears(self, world):
+        dataset, index = world
+        model, updater = make_updater(dataset, index)
+        events = stream_events(dataset, index)
+        updater.ingest(events)
+        expected = sorted({e.user_id for e in events})
+        assert updater.touched_users() == expected
+        assert updater.drain_touched() == expected
+        assert updater.touched_users() == []
+        # History survives the drain (retrain still has replay data).
+        assert updater.retrain().retrain_rounds == 1
