@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineRecommender
 from repro.baselines.features import poi_word_matrix
+from repro.nn.dtypes import coerce
 from repro.data.split import CrossingCitySplit
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive
@@ -65,7 +66,7 @@ class LCE(BaselineRecommender):
 
         interactions = train.interaction_matrix(self.index)      # (U, V)
         # Binarize: implicit feedback.
-        a = (interactions > 0).astype(np.float64)
+        a = coerce(interactions > 0)
         c = poi_word_matrix(train, self.index)                   # (V, W)
 
         num_users, num_items = a.shape

@@ -11,6 +11,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.nn.dtypes import coerce
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -37,7 +38,7 @@ def als_factorize(matrix: np.ndarray, rank: int, reg: float = 0.1,
     generator = as_rng(rng)
     users = generator.normal(0, 0.1, size=(num_users, rank))
     items = generator.normal(0, 0.1, size=(num_items, rank))
-    preference = (matrix > 0).astype(np.float64)
+    preference = coerce(matrix > 0)
     confidence = 1.0 + implicit_weight * matrix
     eye = reg * np.eye(rank)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import dtypes
+from repro.nn.backend import active_backend as _xp
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -29,14 +30,14 @@ def _finalize(arr: np.ndarray, dtype) -> np.ndarray:
 def normal(shape: tuple, std: float = 0.01, rng: SeedLike = None,
            dtype=None) -> np.ndarray:
     """Zero-mean Gaussian init with standard deviation ``std``."""
-    return _finalize(as_rng(rng).normal(0.0, std, size=shape), dtype)
+    return _finalize(_xp().normal(as_rng(rng), 0.0, std, size=shape), dtype)
 
 
 def he_normal(shape: tuple, rng: SeedLike = None, dtype=None) -> np.ndarray:
     """He (Kaiming) normal init for ReLU layers: std = sqrt(2 / fan_in)."""
     fan_in = shape[0] if len(shape) >= 1 else 1
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return _finalize(as_rng(rng).normal(0.0, std, size=shape), dtype)
+    return _finalize(_xp().normal(as_rng(rng), 0.0, std, size=shape), dtype)
 
 
 def xavier_uniform(shape: tuple, rng: SeedLike = None,
@@ -45,9 +46,10 @@ def xavier_uniform(shape: tuple, rng: SeedLike = None,
     fan_in = shape[0] if len(shape) >= 1 else 1
     fan_out = shape[1] if len(shape) >= 2 else fan_in
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return _finalize(as_rng(rng).uniform(-bound, bound, size=shape), dtype)
+    return _finalize(
+        _xp().uniform(as_rng(rng), -bound, bound, size=shape), dtype)
 
 
 def zeros(shape: tuple, dtype=None) -> np.ndarray:
     """All-zero init (biases)."""
-    return np.zeros(shape, dtype=dtypes.resolve(dtype))
+    return _xp().zeros(shape, dtype=dtypes.resolve(dtype))

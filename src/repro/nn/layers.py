@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.nn import init
+from repro.nn.backend import active_backend as _xp
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
 from repro.utils.rng import SeedLike, as_rng
@@ -151,7 +152,7 @@ class Dropout(Module):
         if not self.training or self.rate == 0.0:
             return x
         keep = 1.0 - self.rate
-        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        mask = _xp().dropout_mask(self._rng, x.shape, keep, x.data.dtype)
         return x * Tensor(mask)
 
     def __repr__(self) -> str:

@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.nn.backend import active_backend as _xp
 from repro.nn.tensor import Tensor
 
 
@@ -21,7 +22,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
         raise ValueError("concat requires at least one tensor")
     parents = tuple(Tensor._coerce(t) for t in tensors)
     datas = [p.data for p in parents]
-    out_data = np.concatenate(datas, axis=axis)
+    out_data = _xp().concatenate(datas, axis=axis)
     ax = axis % out_data.ndim
     sizes = [d.shape[ax] for d in datas]
     offsets = np.cumsum([0] + sizes)
@@ -42,11 +43,12 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ValueError("stack requires at least one tensor")
     parents = tuple(Tensor._coerce(t) for t in tensors)
-    out_data = np.stack([p.data for p in parents], axis=axis)
+    out_data = _xp().stack([p.data for p in parents], axis=axis)
     ax = axis % out_data.ndim
 
     def backward(grad: np.ndarray):
-        return tuple(np.take(grad, i, axis=ax) for i in range(len(parents)))
+        xp = _xp()
+        return tuple(xp.take(grad, i, axis=ax) for i in range(len(parents)))
 
     return Tensor._child(out_data, parents, backward)
 

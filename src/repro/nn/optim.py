@@ -12,6 +12,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.nn.backend import active_backend as _xp
 from repro.nn.sparse import SparseRowGrad
 from repro.nn.tensor import Tensor
 from repro.utils.validation import check_non_negative, check_positive
@@ -189,15 +190,9 @@ class Adam(Optimizer):
             # The dense recurrence may light up any row's moments, so a
             # previously derived active-row mask would go stale.
             self._active_rows[i] = None
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.data -= _xp().adam_update(
+                m, v, grad, self.lr, self.beta1, self.beta2, self.eps,
+                bias1, bias2, weight_decay=self.weight_decay, param=p.data)
 
     def _step_sparse_exact(self, i: int, p: Tensor, m: np.ndarray,
                            v: np.ndarray, grad: SparseRowGrad,
@@ -215,23 +210,20 @@ class Adam(Optimizer):
             tail = tuple(range(1, m.ndim))
             active = np.any(m != 0, axis=tail) | np.any(v != 0, axis=tail)
             self._active_rows[i] = active
+        xp = _xp()
         g = grad.coalesce()
         active[g.ids] = True
-        rows_idx = np.flatnonzero(active)
-        grad_rows = np.zeros((rows_idx.size,) + g.shape[1:],
+        rows_idx = xp.flatnonzero(active)
+        grad_rows = xp.zeros((rows_idx.size,) + g.shape[1:],
                              dtype=g.rows.dtype if g.rows.size else m.dtype)
-        grad_rows[np.searchsorted(rows_idx, g.ids)] = g.rows
+        grad_rows[xp.searchsorted(rows_idx, g.ids)] = g.rows
         mr = m[rows_idx]
         vr = v[rows_idx]
-        mr *= self.beta1
-        mr += (1.0 - self.beta1) * grad_rows
-        vr *= self.beta2
-        vr += (1.0 - self.beta2) * grad_rows * grad_rows
+        p.data[rows_idx] -= xp.adam_update(
+            mr, vr, grad_rows, self.lr, self.beta1, self.beta2, self.eps,
+            bias1, bias2)
         m[rows_idx] = mr
         v[rows_idx] = vr
-        m_hat = mr / bias1
-        v_hat = vr / bias2
-        p.data[rows_idx] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def _step_sparse_lazy(self, p: Tensor, m: np.ndarray, v: np.ndarray,
                           grad: SparseRowGrad,
@@ -241,15 +233,11 @@ class Adam(Optimizer):
         ids = g.ids
         mr = m[ids]
         vr = v[ids]
-        mr *= self.beta1
-        mr += (1.0 - self.beta1) * g.rows
-        vr *= self.beta2
-        vr += (1.0 - self.beta2) * g.rows * g.rows
+        p.data[ids] -= _xp().adam_update(
+            mr, vr, g.rows, self.lr, self.beta1, self.beta2, self.eps,
+            bias1, bias2)
         m[ids] = mr
         v[ids] = vr
-        m_hat = mr / bias1
-        v_hat = vr / bias2
-        p.data[ids] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def state_dict(self) -> dict:
         """Moment arrays + step count — everything resume needs for

@@ -37,6 +37,8 @@ from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.backend import active_backend as _xp
+
 __all__ = ["SparseRowGrad", "average_sparse_grads", "grad_values"]
 
 
@@ -101,23 +103,24 @@ class SparseRowGrad:
         """Sum duplicate ids; result has sorted unique ids.
 
         Per output row the contributions are added in first-occurrence
-        order — the accumulation order of ``np.add.at`` — so the dense
-        image of the result is bit-identical to a direct dense scatter.
+        order — the accumulation order of ``np.add.at`` — through the
+        active backend's ``coalesce_rows`` kernel.  The reference
+        backend's dense image is bit-identical to a direct dense
+        scatter; the optimized kernel re-associates the per-group sums
+        (same order, ``reduceat`` association).
         """
         if self.ids.size == 0:
             return self
-        unique, inverse = np.unique(self.ids, return_inverse=True)
-        if unique.size == self.ids.size and np.array_equal(unique, self.ids):
+        if self.ids.size == 1 or np.all(self.ids[1:] > self.ids[:-1]):
             return self                 # already coalesced and sorted
-        rows = np.zeros((unique.size,) + self.shape[1:],
-                        dtype=self.rows.dtype)
-        np.add.at(rows, inverse, self.rows)
+        unique, rows = _xp().coalesce_rows(self.ids, self.rows)
         return SparseRowGrad(self.shape, unique, rows)
 
     def to_dense(self) -> np.ndarray:
         """Materialize the dense gradient (the seed representation)."""
-        dense = np.zeros(self.shape, dtype=self.rows.dtype)
-        np.add.at(dense, self.ids, self.rows)
+        xp = _xp()
+        dense = xp.zeros(self.shape, dtype=self.rows.dtype)
+        xp.add_at(dense, self.ids, self.rows)
         return dense
 
     # ------------------------------------------------------------------

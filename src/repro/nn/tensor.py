@@ -30,6 +30,7 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.backend import active_backend as _xp
 from repro.nn.dtypes import coerce, default_dtype
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
@@ -272,25 +273,25 @@ class Tensor:
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = _xp().exp(self.data)
         return self._child(out_data, (self,), lambda grad: (grad * out_data,))
 
     def log(self) -> "Tensor":
         a = self
-        return self._child(np.log(self.data), (self,),
+        return self._child(_xp().log(self.data), (self,),
                            lambda grad: (grad / a.data,))
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = _xp().tanh(self.data)
         return self._child(out_data, (self,),
                            lambda grad: (grad * (1.0 - out_data**2),))
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-        out_data = np.where(mask, self.data, 0.0)
+        out_data = _xp().where(mask, self.data, 0.0)
         return self._child(out_data, (self,), lambda grad: (grad * mask,))
 
     def sigmoid(self) -> "Tensor":
@@ -308,12 +309,12 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
-        return self._child(np.clip(self.data, low, high), (self,),
+        return self._child(_xp().clip(self.data, low, high), (self,),
                            lambda grad: (grad * mask,))
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        return self._child(np.abs(self.data), (self,),
+        sign = _xp().sign(self.data)
+        return self._child(_xp().abs(self.data), (self,),
                            lambda grad: (grad * sign,))
 
     # ------------------------------------------------------------------
@@ -325,12 +326,13 @@ class Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray):
-            g = np.asarray(grad)
+            xp = _xp()
+            g = xp.asarray(grad)
             if axis is not None and not keepdims:
                 axes = axis if isinstance(axis, tuple) else (axis,)
                 for ax in sorted(x % a.ndim for x in axes):
-                    g = np.expand_dims(g, ax)
-            return (np.broadcast_to(g, a.shape).copy(),)
+                    g = xp.expand_dims(g, ax)
+            return (xp.broadcast_to(g, a.shape).copy(),)
 
         return self._child(out_data, (self,), backward)
 
@@ -348,12 +350,13 @@ class Tensor:
         out_data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray):
-            g = np.asarray(grad)
+            xp = _xp()
+            g = xp.asarray(grad)
             full = a.data.max(axis=axis, keepdims=True)
             mask = (a.data == full).astype(a.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True)
             if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
+                g = xp.expand_dims(g, axis)
             return (mask * g,)
 
         return self._child(out_data, (self,), backward)
@@ -383,8 +386,9 @@ class Tensor:
         out_data = self.data[index]
 
         def backward(grad: np.ndarray):
-            full = np.zeros_like(a.data)
-            np.add.at(full, index, grad)
+            xp = _xp()
+            full = xp.zeros_like(a.data)
+            xp.add_at(full, index, grad)
             return (full,)
 
         return self._child(out_data, (self,), backward)
@@ -401,9 +405,9 @@ class Tensor:
         interior nodes the gradient must flow onward as an array, so the
         dense default stays correct everywhere else.
         """
-        idx = np.asarray(indices)
+        idx = _xp().asarray(indices)
         a = self
-        out_data = self.data[idx]
+        out_data = _xp().take(self.data, idx, axis=0)
 
         if sparse_grad:
             # Flatten in C order: np.add.at accumulates duplicate ids in
@@ -420,8 +424,9 @@ class Tensor:
             return self._child(out_data, (self,), backward_sparse)
 
         def backward(grad: np.ndarray):
-            full = np.zeros_like(a.data)
-            np.add.at(full, idx, grad)
+            xp = _xp()
+            full = xp.zeros_like(a.data)
+            xp.add_at(full, idx, grad)
             return (full,)
 
         return self._child(out_data, (self,), backward)
@@ -445,11 +450,11 @@ class Tensor:
                 raise RuntimeError(
                     "backward() without an explicit gradient requires a scalar output"
                 )
-            seed = np.ones_like(self.data)
+            seed = _xp().ones_like(self.data)
         else:
-            seed = np.asarray(grad, dtype=self.data.dtype)
+            seed = _xp().asarray(grad, dtype=self.data.dtype)
             if seed.shape != self.shape:
-                seed = np.broadcast_to(seed, self.shape).copy()
+                seed = _xp().broadcast_to(seed, self.shape).copy()
 
         order = _topological_order(self)
         grads: dict[int, np.ndarray] = {id(self): seed}
@@ -472,17 +477,18 @@ class Tensor:
                 if key in grads:
                     grads[key] = _grad_add(grads[key], pg)
                 else:
-                    grads[key] = pg if _is_sparse_grad(pg) else np.asarray(pg)
+                    grads[key] = pg if _is_sparse_grad(pg) \
+                        else _xp().asarray(pg)
 
     # Convenience constructors -----------------------------------------
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=default_dtype()),
+        return Tensor(_xp().zeros(shape, dtype=default_dtype()),
                       requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=default_dtype()),
+        return Tensor(_xp().ones(shape, dtype=default_dtype()),
                       requires_grad=requires_grad)
 
 
@@ -512,17 +518,17 @@ def _topological_order(root: Tensor) -> list[Tensor]:
 
 
 def stable_sigmoid(x: np.ndarray) -> np.ndarray:
-    """Logistic function computed without overflow for large ``|x|``."""
-    x = coerce(x)
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    """Logistic function computed without overflow for large ``|x|``.
+
+    Delegates to the active backend's kernel; the reference backend is
+    the seed's masked two-branch computation, bit for bit.
+    """
+    return _xp().stable_sigmoid(x)
 
 
 def softplus(x: np.ndarray) -> np.ndarray:
-    """``log(1 + exp(x))`` computed without overflow."""
-    x = coerce(x)
-    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    """``log(1 + exp(x))`` computed without overflow.
+
+    Delegates to the active backend's kernel.
+    """
+    return _xp().softplus(x)

@@ -50,6 +50,7 @@ from repro.core.checkpoint import (
 from repro.core.config import STTransRecConfig
 from repro.core.trainer import _EPOCH_SECONDS_BUCKETS, STTransRecTrainer
 from repro.data.split import CrossingCitySplit
+from repro.nn.backend import set_default_backend, using_backend
 from repro.nn.dtypes import set_default_dtype, using_dtype
 from repro.nn.losses import bce_with_logits
 from repro.nn.optim import Adam
@@ -162,7 +163,8 @@ def _worker_loop(pipe, split, config, worker_seed: int,
                  incarnation: int = 0,
                  sparse_grads: bool = False,
                  transport_layout=None,
-                 precision: str = "f64") -> None:
+                 precision: str = "f64",
+                 backend: Optional[str] = None) -> None:
     """Worker process: recompute gradients for each parameter broadcast.
 
     Protocol: the master sends ``(step, state_dict)`` per training step
@@ -188,8 +190,11 @@ def _worker_loop(pipe, split, config, worker_seed: int,
     """
     # The worker owns its process, so setting the process-global policy
     # (rather than a scoped override) keeps every array the replica ever
-    # creates — batches, masks, intermediates — in the run's dtype.
+    # creates — batches, masks, intermediates — in the run's dtype and
+    # array backend.
     set_default_dtype(precision)
+    if backend is not None:
+        set_default_backend(backend)
     worker_config = STTransRecConfig(**{
         **config.__dict__, "seed": worker_seed,
     })
@@ -311,7 +316,8 @@ class DataParallelTrainer:
         # each incarnation's newest snapshot keeps a removed replica's
         # final metrics in the aggregate.
         self._worker_snapshots: dict = {}
-        with using_dtype(self.perf.precision):
+        with using_dtype(self.perf.precision), \
+                using_backend(self.perf.backend_name):
             self._master = STTransRecTrainer(split, config)
             self.model = self._master.model
             if self.perf.sparse_grads:
@@ -378,7 +384,7 @@ class DataParallelTrainer:
             args=(child, self.split, self.config,
                   _WORKER_SEED_BASE + worker_id, worker_id, plan,
                   incarnation, self.perf.sparse_grads, layout,
-                  self.perf.precision),
+                  self.perf.precision, self.perf.backend_name),
             daemon=True,
         )
         process.start()
@@ -491,14 +497,15 @@ class DataParallelTrainer:
         if self._supervisor is not None:
             self._supervisor.stats = faults
         losses: List[float] = []
-        for _ in range(num_steps):
-            if self._supervisor is None:
-                loss = self._single_step(faults)
-            else:
-                loss = self._parallel_step(faults)
-            self._global_step += 1
-            if loss is not None:
-                losses.append(loss)
+        with using_backend(self.perf.backend_name):
+            for _ in range(num_steps):
+                if self._supervisor is None:
+                    loss = self._single_step(faults)
+                else:
+                    loss = self._parallel_step(faults)
+                self._global_step += 1
+                if loss is not None:
+                    losses.append(loss)
         return losses
 
     def train_epoch(self) -> ParallelEpochStats:
@@ -523,7 +530,8 @@ class DataParallelTrainer:
         tel = self.telemetry
         started = time.perf_counter()
         try:
-            with _span(tel, "epoch"):
+            with _span(tel, "epoch"), \
+                    using_backend(self.perf.backend_name):
                 for _ in range(steps):
                     with _span(tel, "step"):
                         if self._supervisor is None:

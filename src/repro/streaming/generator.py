@@ -25,6 +25,7 @@ import numpy as np
 from repro.data.dataset import CheckinDataset
 from repro.data.records import POI
 from repro.data.synthetic import SyntheticGroundTruth
+from repro.nn.dtypes import coerce
 from repro.streaming.events import CheckinEvent, EventLog
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_fraction, check_positive
@@ -96,7 +97,7 @@ class CheckinStreamGenerator:
         if crowd is None:
             raise ValueError(
                 f"ground truth has no crowd preference for {target_city!r}")
-        self._crowd = np.asarray(crowd, dtype=np.float64)
+        self._crowd = coerce(crowd, np.float64)
         self._streamers = [
             uid for uid in truth.crossing_user_ids
             if uid in truth.user_preferences
